@@ -1,0 +1,63 @@
+//! Substrate micro-benchmarks: CSR construction, BFS k-vicinity,
+//! edge removal and the spectral-radius estimate — the DESIGN.md §6
+//! "dual-CSR layout" ablation evidence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fui_datagen::{label_direct, twitter, TwitterConfig};
+use fui_graph::bfs::k_vicinity;
+use fui_graph::{spectral, GraphBuilder, NodeId};
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let d = label_direct(twitter::generate(&TwitterConfig {
+        nodes: 6000,
+        avg_out_degree: 16.0,
+        ..TwitterConfig::default()
+    }));
+    let g = &d.graph;
+
+    c.bench_function("csr_rebuild_6k", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
+            for u in g.nodes() {
+                builder.add_node(g.node_labels(u));
+            }
+            for (u, v, l) in g.edges() {
+                builder.add_edge(u, v, l);
+            }
+            builder.build()
+        })
+    });
+
+    let source = g.nodes().find(|&u| g.out_degree(u) >= 5).unwrap();
+    let mut group = c.benchmark_group("bfs_k_vicinity");
+    for depth in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| k_vicinity(g, source, depth))
+        });
+    }
+    group.finish();
+
+    let victims: Vec<(NodeId, NodeId)> = g.edges().map(|(u, v, _)| (u, v)).step_by(97).collect();
+    c.bench_function("without_edges_1pct", |b| {
+        b.iter(|| g.without_edges(&victims))
+    });
+
+    let mut group = c.benchmark_group("spectral_radius");
+    group.sample_size(10);
+    group.bench_function("50_iters", |b| b.iter(|| spectral::spectral_radius(g, 50)));
+    group.finish();
+
+    // Full in-edge scan: the authority-count workload.
+    c.bench_function("in_edge_scan_6k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for u in g.nodes() {
+                acc += g.in_edges(u).filter(|e| !e.labels.is_empty()).count();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

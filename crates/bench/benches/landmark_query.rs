@@ -1,0 +1,74 @@
+//! The headline performance claim: landmark-approximate queries vs.
+//! exact propagation (Table 6's "2–3 orders of magnitude" at the
+//! paper's scale), plus the pruning ablation and the stored-list-size
+//! trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fui_core::{AuthorityIndex, PropagateOpts, Propagator, ScoreParams, ScoreVariant};
+use fui_datagen::{label_direct, twitter, TwitterConfig};
+use fui_landmarks::{ApproxRecommender, LandmarkIndex, Strategy};
+use fui_taxonomy::{SimMatrix, Topic};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_landmark_query(c: &mut Criterion) {
+    let d = label_direct(twitter::generate(&TwitterConfig {
+        nodes: 6000,
+        avg_out_degree: 16.0,
+        ..TwitterConfig::default()
+    }));
+    let authority = AuthorityIndex::build(&d.graph);
+    let sim = SimMatrix::opencalais();
+    let propagator = Propagator::new(
+        &d.graph,
+        &authority,
+        &sim,
+        ScoreParams::paper(),
+        ScoreVariant::Full,
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let source = d
+        .graph
+        .nodes()
+        .find(|&u| d.graph.out_degree(u) >= 5)
+        .unwrap();
+
+    c.bench_function("exact_query_converged_6k", |b| {
+        b.iter(|| propagator.propagate(source, &[Topic::Technology], PropagateOpts::default()))
+    });
+
+    let landmarks = Strategy::InDeg.select(&d.graph, 40, &mut rng);
+    let index = LandmarkIndex::build(&propagator, landmarks, 1000);
+
+    let mut group = c.benchmark_group("approx_query_stored_topn");
+    for top_n in [10usize, 100, 1000] {
+        let cut = index.truncated(top_n);
+        let approx = ApproxRecommender::new(&propagator, &cut);
+        group.bench_with_input(BenchmarkId::from_parameter(top_n), &top_n, |b, _| {
+            b.iter(|| approx.recommend(source, Topic::Technology, 100))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("approx_query_pruning");
+    let mut approx = ApproxRecommender::new(&propagator, &index);
+    group.bench_function("pruned", |b| {
+        b.iter(|| approx.recommend(source, Topic::Technology, 100))
+    });
+    approx.prune_at_landmarks = false;
+    group.bench_function("unpruned", |b| {
+        b.iter(|| approx.recommend(source, Topic::Technology, 100))
+    });
+    group.finish();
+
+    // Preprocessing cost per landmark (Table 5's comput. column).
+    let mut group = c.benchmark_group("landmark_preprocess");
+    group.sample_size(10);
+    group.bench_function("one_landmark_top1000", |b| {
+        b.iter(|| LandmarkIndex::build(&propagator, vec![source], 1000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_landmark_query);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Exact-score propagation cost: by depth cap, by variant, and to
+//! convergence — the cost the landmark machinery exists to avoid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fui_core::{AuthorityIndex, PropagateOpts, Propagator, ScoreParams, ScoreVariant};
+use fui_datagen::{label_direct, twitter, TwitterConfig};
+use fui_graph::NodeId;
+use fui_taxonomy::{SimMatrix, Topic};
+
+fn bench_propagation(c: &mut Criterion) {
+    let d = label_direct(twitter::generate(&TwitterConfig {
+        nodes: 4000,
+        avg_out_degree: 16.0,
+        ..TwitterConfig::default()
+    }));
+    let authority = AuthorityIndex::build(&d.graph);
+    let sim = SimMatrix::opencalais();
+    let params = ScoreParams::paper();
+    let source = d
+        .graph
+        .nodes()
+        .find(|&u| d.graph.out_degree(u) >= 5)
+        .unwrap();
+
+    let mut group = c.benchmark_group("propagation_depth");
+    group.sample_size(20);
+    let full = Propagator::new(&d.graph, &authority, &sim, params, ScoreVariant::Full);
+    for depth in [1u32, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                full.propagate(
+                    source,
+                    &[Topic::Technology],
+                    PropagateOpts {
+                        max_depth: Some(depth),
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("propagation_variant_converged");
+    group.sample_size(15);
+    for variant in [
+        ScoreVariant::Full,
+        ScoreVariant::NoAuthority,
+        ScoreVariant::NoSimilarity,
+        ScoreVariant::TopoOnly,
+    ] {
+        let engine = Propagator::new(&d.graph, &authority, &sim, params, variant);
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| engine.propagate(source, &[Topic::Technology], PropagateOpts::default()))
+        });
+    }
+    group.finish();
+
+    // All 18 topics at once — the landmark preprocessing workload.
+    let mut group = c.benchmark_group("propagation_all_topics");
+    group.sample_size(10);
+    group.bench_function("18_topics_converged", |b| {
+        b.iter(|| full.propagate(source, &Topic::ALL, PropagateOpts::default()))
+    });
+    group.finish();
+
+    // Authority index construction (one pass over in-edges).
+    c.bench_function("authority_index_build_4k", |b| {
+        b.iter(|| AuthorityIndex::build(&d.graph))
+    });
+
+    let _ = NodeId(0);
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Landmark selection cost across the 11 Table-4 strategies — the
+//! Table 5 "select." column (random-ish draws vs. orders-of-magnitude
+//! slower centrality-based selection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fui_datagen::{label_direct, twitter, TwitterConfig};
+use fui_landmarks::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_selection(c: &mut Criterion) {
+    let d = label_direct(twitter::generate(&TwitterConfig {
+        nodes: 6000,
+        avg_out_degree: 16.0,
+        ..TwitterConfig::default()
+    }));
+    let mut group = c.benchmark_group("landmark_selection");
+    group.sample_size(10);
+    for strategy in Strategy::table4_suite(&d.graph) {
+        let mut rng = StdRng::seed_from_u64(7);
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| strategy.select(&d.graph, 30, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Experiment driver: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! cargo run -p fui-bench --release --bin experiments -- <id> [flags]
+//!
+//! ids:    table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!         table3 table5 table6 sweep dynamic distrib trank_dt sig popularity all
+//! flags:  --full            paper-shaped densities (slow)
+//!         --trials K        average the link-prediction figures over K trials
+//!         --smoke           tiny smoke-test scale
+//!         --nodes N         Twitter-like node count
+//!         --tests T         link-prediction test-set size
+//!         --landmarks L     landmarks per strategy
+//!         --queries Q       query nodes for Tables 5/6
+//!         --seed S          master seed
+//!         --out DIR         also write each block to DIR/<id>.txt
+//! ```
+
+use std::time::Instant;
+
+use fui_bench::datasets::ExperimentScale;
+use fui_bench::experiments as exp;
+
+fn parse_args() -> (Vec<String>, ExperimentScale, Option<String>) {
+    let mut scale = ExperimentScale::default();
+    let mut ids = Vec::new();
+    let mut out_dir = None;
+    let mut args = std::env::args().skip(1).peekable();
+    let take_usize = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
+                          flag: &str|
+     -> usize {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} needs an integer"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = ExperimentScale::full(),
+            "--smoke" => scale = ExperimentScale::smoke(),
+            "--nodes" => scale.twitter_nodes = take_usize(&mut args, "--nodes"),
+            "--tests" => scale.test_size = take_usize(&mut args, "--tests"),
+            "--landmarks" => scale.landmarks = take_usize(&mut args, "--landmarks"),
+            "--queries" => scale.query_nodes = take_usize(&mut args, "--queries"),
+            "--trials" => scale.trials = take_usize(&mut args, "--trials"),
+            "--seed" => scale.seed = take_usize(&mut args, "--seed") as u64,
+            "--out" => out_dir = Some(args.next().expect("--out needs a directory")),
+            other if other.starts_with("--") => panic!("unknown flag {other}"),
+            id => ids.push(id.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        ids.push("all".to_owned());
+    }
+    (ids, scale, out_dir)
+}
+
+fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
+    match id {
+        "table2" => vec![("table2".into(), exp::table2::run(scale))],
+        "fig3" => vec![("fig3".into(), exp::fig3::run(scale))],
+        // Figures 4/5 and 6/7 come from one protocol run each.
+        "fig4" | "fig5" | "fig4_5" => {
+            vec![("fig4_5".into(), exp::linkpred::fig4_5(scale))]
+        }
+        "fig6" | "fig7" | "fig6_7" => {
+            vec![("fig6_7".into(), exp::linkpred::fig6_7(scale))]
+        }
+        "fig8" => vec![("fig8".into(), exp::fig8::run(scale))],
+        "fig9" => vec![("fig9".into(), exp::fig9::run(scale))],
+        "fig10" => vec![("fig10".into(), exp::fig10::run(scale))],
+        "table3" => vec![("table3".into(), exp::table3::run(scale))],
+        // Tables 5 and 6 come from one measurement pass.
+        "table5" | "table6" | "table5_6" => {
+            vec![("table5_6".into(), exp::landmark_tables::run(scale))]
+        }
+        "sweep" => vec![("sweep".into(), exp::sweep::run(scale))],
+        "dynamic" => vec![("dynamic".into(), exp::dynamic::run(scale))],
+        "distrib" => vec![("distrib".into(), exp::distrib::run(scale))],
+        "trank_dt" => vec![("trank_dt".into(), exp::trank_dt::run(scale))],
+        "sig" => vec![("sig".into(), exp::sig::run(scale))],
+        "popularity" => vec![("popularity".into(), exp::popularity::run(scale))],
+        "all" => {
+            let ids = [
+                "table2", "fig3", "fig4_5", "fig6_7", "fig8", "fig9", "fig10", "table3",
+                "table5_6", "sweep", "dynamic", "distrib", "trank_dt", "sig", "popularity",
+            ];
+            ids.iter().flat_map(|i| run_one(i, scale)).collect()
+        }
+        other => panic!("unknown experiment id {other:?} (try `all`)"),
+    }
+}
+
+fn main() {
+    let (ids, scale, out_dir) = parse_args();
+    eprintln!(
+        "# scale: twitter {}x{:.0}, dblp {}x{:.0}, T={}, landmarks={}, queries={}, seed={:#x}",
+        scale.twitter_nodes,
+        scale.twitter_avg_out,
+        scale.dblp_nodes,
+        scale.dblp_avg_out,
+        scale.test_size,
+        scale.landmarks,
+        scale.query_nodes,
+        scale.seed
+    );
+    for id in &ids {
+        for (name, block) in run_one(id, &scale) {
+            let t0 = Instant::now();
+            println!("{block}");
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("create output dir");
+                std::fs::write(format!("{dir}/{name}.txt"), &block)
+                    .expect("write experiment output");
+            }
+            let _ = t0;
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Dataset construction for the experiments, at configurable scale.
+
+use fui_datagen::{build_labeled, dblp, twitter, DblpConfig, LabeledDataset, TwitterConfig};
+use fui_textmine::{PipelineConfig, TweetGenerator};
+
+/// Which of the paper's two datasets an experiment runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetChoice {
+    /// The Twitter-like follow graph.
+    Twitter,
+    /// The DBLP-like citation graph.
+    Dblp,
+}
+
+impl DatasetChoice {
+    /// Dataset name for table headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetChoice::Twitter => "Twitter",
+            DatasetChoice::Dblp => "DBLP",
+        }
+    }
+}
+
+/// Experiment scale knobs (single-core laptop defaults; `--full` in
+/// the binary raises them toward the paper's densities).
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentScale {
+    /// Twitter-like node count.
+    pub twitter_nodes: usize,
+    /// Twitter-like average out-degree.
+    pub twitter_avg_out: f64,
+    /// DBLP-like node count.
+    pub dblp_nodes: usize,
+    /// DBLP-like average out-degree.
+    pub dblp_avg_out: f64,
+    /// Link-prediction test-set size `T`.
+    pub test_size: usize,
+    /// Landmarks per selection strategy.
+    pub landmarks: usize,
+    /// Query nodes averaged in the landmark comparison.
+    pub query_nodes: usize,
+    /// Link-prediction trials averaged per figure (the paper averages
+    /// 100; single-core default is smaller).
+    pub trials: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            twitter_nodes: 20_000,
+            twitter_avg_out: 16.0,
+            dblp_nodes: 9_000,
+            dblp_avg_out: 18.0,
+            test_size: 60,
+            landmarks: 30,
+            query_nodes: 40,
+            trials: 3,
+            seed: 0xEDB7_2016,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// Paper-shaped densities (slower; use on a beefier machine).
+    pub fn full() -> ExperimentScale {
+        ExperimentScale {
+            twitter_nodes: 20_000,
+            twitter_avg_out: 57.8,
+            dblp_nodes: 8_000,
+            dblp_avg_out: 39.0,
+            test_size: 100,
+            landmarks: 100,
+            query_nodes: 100,
+            trials: 5,
+            ..ExperimentScale::default()
+        }
+    }
+
+    /// Tiny scale for smoke tests of the harness itself.
+    pub fn smoke() -> ExperimentScale {
+        ExperimentScale {
+            twitter_nodes: 600,
+            twitter_avg_out: 12.0,
+            dblp_nodes: 500,
+            dblp_avg_out: 10.0,
+            test_size: 15,
+            landmarks: 8,
+            query_nodes: 8,
+            trials: 1,
+            ..ExperimentScale::default()
+        }
+    }
+
+    /// Builds the chosen dataset through the full topic-extraction
+    /// pipeline (the labels scorers see are classifier predictions, as
+    /// in the paper).
+    pub fn build(&self, which: DatasetChoice) -> LabeledDataset {
+        let gen = TweetGenerator::standard();
+        let pipeline = PipelineConfig {
+            tweets_per_user: 20,
+            seed: self.seed ^ 0x9E37_79B9,
+            ..PipelineConfig::default()
+        };
+        match which {
+            DatasetChoice::Twitter => {
+                let raw = twitter::generate(&TwitterConfig {
+                    nodes: self.twitter_nodes,
+                    avg_out_degree: self.twitter_avg_out,
+                    seed: self.seed,
+                    ..TwitterConfig::default()
+                });
+                build_labeled(raw, &gen, &pipeline)
+            }
+            DatasetChoice::Dblp => {
+                let raw = dblp::generate(&DblpConfig {
+                    nodes: self.dblp_nodes,
+                    avg_out_degree: self.dblp_avg_out,
+                    seed: self.seed.wrapping_add(1),
+                    ..DblpConfig::default()
+                });
+                build_labeled(raw, &gen, &pipeline)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_builds_both_datasets() {
+        let scale = ExperimentScale::smoke();
+        let tw = scale.build(DatasetChoice::Twitter);
+        assert_eq!(tw.graph.num_nodes(), 600);
+        assert!(tw.classifier_precision.unwrap() > 0.4);
+        let db = scale.build(DatasetChoice::Dblp);
+        assert_eq!(db.graph.num_nodes(), 500);
+        assert_eq!(db.name, "dblp");
+    }
+}

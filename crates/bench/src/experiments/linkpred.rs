@@ -1,0 +1,212 @@
+//! Figures 4–7 — the link-prediction comparison: recall@N and
+//! precision-vs-recall for Tr, Katz, TwitterRank and the two ablations
+//! (Tr−auth, Tr−sim), on both datasets.
+
+use fui_core::ScoreParams;
+use fui_core::ScoreVariant;
+use fui_datagen::LabeledDataset;
+use fui_eval::buckets::{select_bucketed_edges, PopularityBucket};
+use fui_eval::linkpred::{
+    draw_candidates, evaluate, select_test_edges, CandidateScorer, LinkPredConfig, RecallCurve,
+    TestEdge,
+};
+use fui_eval::topicpop::select_topic_edges;
+use fui_graph::NodeId;
+use fui_taxonomy::Topic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::Context;
+use crate::datasets::{DatasetChoice, ExperimentScale};
+use crate::table::{f3, TextTable};
+
+/// How the held-out test edges are selected.
+#[derive(Clone, Copy, Debug)]
+pub enum EdgeSelection {
+    /// Any eligible edge (Figures 4–7).
+    Any,
+    /// Targets restricted to a popularity decile (Figure 8).
+    Bucket(PopularityBucket),
+    /// Edges labeled with a probe topic (Figure 9).
+    OnTopic(Topic),
+}
+
+/// Averages [`run_protocol`] over `trials` independent test-set draws
+/// (the paper averages 100 trials); hit counts accumulate into one
+/// combined curve per method.
+pub fn run_protocol_trials(
+    d: &LabeledDataset,
+    test_size: usize,
+    selection: EdgeSelection,
+    include_ablations: bool,
+    max_n: usize,
+    seed: u64,
+    trials: usize,
+) -> Vec<(String, RecallCurve)> {
+    let mut combined: Vec<(String, RecallCurve)> = Vec::new();
+    for trial in 0..trials.max(1) {
+        let run = run_protocol(
+            d,
+            test_size,
+            selection,
+            include_ablations,
+            max_n,
+            seed.wrapping_add(trial as u64).wrapping_mul(0x9E37_79B9 | 1),
+        );
+        if combined.is_empty() {
+            combined = run;
+        } else {
+            for ((_, acc), (_, cur)) in combined.iter_mut().zip(run) {
+                for (a, c) in acc.hits_at.iter_mut().zip(&cur.hits_at) {
+                    *a += c;
+                }
+                acc.trials += cur.trials;
+            }
+        }
+    }
+    combined
+}
+
+/// Runs the protocol over one dataset: selects tests, removes them,
+/// builds every method on the reduced graph and evaluates them on
+/// shared candidate lists. Returns `(method name, curve)` pairs.
+pub fn run_protocol(
+    d: &LabeledDataset,
+    test_size: usize,
+    selection: EdgeSelection,
+    include_ablations: bool,
+    max_n: usize,
+    seed: u64,
+) -> Vec<(String, RecallCurve)> {
+    let cfg = LinkPredConfig {
+        test_size,
+        max_n,
+        negatives: 1000.min(d.graph.num_nodes().saturating_sub(2)),
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tests: Vec<TestEdge> = match selection {
+        EdgeSelection::Any => select_test_edges(&d.graph, &cfg, &mut rng, |_, _, _| true),
+        EdgeSelection::Bucket(b) => select_bucketed_edges(&d.graph, &cfg, b, &mut rng),
+        EdgeSelection::OnTopic(t) => select_topic_edges(&d.graph, &cfg, t, &mut rng),
+    };
+    let removed: Vec<(NodeId, NodeId)> = tests.iter().map(|e| (e.src, e.dst)).collect();
+    let reduced = d.graph.without_edges(&removed);
+    let ctx = Context::new(reduced, ScoreParams::default());
+    let candidates = draw_candidates(&ctx.graph, &tests, cfg.negatives, &mut rng);
+
+    let mut out: Vec<(String, RecallCurve)> = Vec::new();
+    {
+        let tr = ctx.tr();
+        out.push((
+            CandidateScorer::name(&tr).to_owned(),
+            evaluate(&tr, &tests, &candidates, max_n),
+        ));
+    }
+    {
+        let katz = ctx.katz();
+        out.push((
+            CandidateScorer::name(&katz).to_owned(),
+            evaluate(&katz, &tests, &candidates, max_n),
+        ));
+    }
+    {
+        let trank = ctx.twitterrank(&d.tweet_counts, &d.publisher_weights);
+        out.push((
+            CandidateScorer::name(&trank).to_owned(),
+            evaluate(&trank, &tests, &candidates, max_n),
+        ));
+    }
+    if include_ablations {
+        for variant in [ScoreVariant::NoAuthority, ScoreVariant::NoSimilarity] {
+            let rec = ctx.recommender(variant);
+            out.push((
+                CandidateScorer::name(&rec).to_owned(),
+                evaluate(&rec, &tests, &candidates, max_n),
+            ));
+        }
+    }
+    out
+}
+
+fn recall_table(results: &[(String, RecallCurve)], ns: &[usize]) -> String {
+    let mut header = vec!["N".to_owned()];
+    header.extend(results.iter().map(|(n, _)| n.clone()));
+    let mut t = TextTable::new(header);
+    for &n in ns {
+        let mut row = vec![n.to_string()];
+        row.extend(results.iter().map(|(_, c)| f3(c.recall_at(n))));
+        t.row(row);
+    }
+    t.render()
+}
+
+fn pr_table(results: &[(String, RecallCurve)], max_n: usize) -> String {
+    let mut t = TextTable::new(vec!["method", "N", "recall", "precision"]);
+    for (name, c) in results {
+        for n in [1, 2, 3, 5, 7, 10, 15, max_n] {
+            t.row(vec![
+                name.clone(),
+                n.to_string(),
+                f3(c.recall_at(n)),
+                f3(c.precision_at(n)),
+            ]);
+        }
+    }
+    t.render()
+}
+
+fn figs(d: &LabeledDataset, scale: &ExperimentScale, fig_recall: &str, fig_pr: &str) -> String {
+    let results = run_protocol_trials(
+        d,
+        scale.test_size,
+        EdgeSelection::Any,
+        true,
+        20,
+        scale.seed ^ 0x46,
+        scale.trials,
+    );
+    let ns = [1, 2, 3, 5, 7, 10, 15, 20];
+    format!(
+        "== {fig_recall}: Recall at N ({}) ==\n\
+         (paper: Tr > Katz > TwitterRank at every N; ablations between)\n\n{}\n\
+         == {fig_pr}: precision vs recall ({}) ==\n\n{}",
+        d.name,
+        recall_table(&results, &ns),
+        d.name,
+        pr_table(&results, 20)
+    )
+}
+
+/// Figures 4 & 5 (Twitter).
+pub fn fig4_5(scale: &ExperimentScale) -> String {
+    let d = scale.build(DatasetChoice::Twitter);
+    figs(&d, scale, "Figure 4", "Figure 5")
+}
+
+/// Figures 6 & 7 (DBLP).
+pub fn fig6_7(scale: &ExperimentScale) -> String {
+    let d = scale.build(DatasetChoice::Dblp);
+    figs(&d, scale, "Figure 6", "Figure 7")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_yields_curves_for_all_methods() {
+        let scale = ExperimentScale::smoke();
+        let d = scale.build(DatasetChoice::Twitter);
+        let results = run_protocol(&d, 10, EdgeSelection::Any, true, 20, 7);
+        assert_eq!(results.len(), 5);
+        let names: Vec<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Tr", "Katz", "TwitterRank", "Tr-auth", "Tr-sim"]);
+        for (_, c) in &results {
+            assert!(c.trials > 0);
+            for n in 2..=20 {
+                assert!(c.recall_at(n) >= c.recall_at(n - 1));
+            }
+        }
+    }
+}

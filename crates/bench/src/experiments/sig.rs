@@ -1,0 +1,77 @@
+//! Extra experiment: does the Figure-4 ordering survive resampling?
+//!
+//! Paired bootstrap over the held-out edges (same candidates for every
+//! method): `p(A > B)` at recall@10 for the headline comparisons.
+
+use fui_core::ScoreParams;
+use fui_eval::linkpred::{
+    draw_candidates, evaluate_detailed, select_test_edges, LinkPredConfig, TargetRank,
+};
+use fui_eval::significance::bootstrap_compare;
+use fui_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::context::Context;
+use crate::datasets::{DatasetChoice, ExperimentScale};
+use crate::table::{f3, TextTable};
+
+/// Runs the bootstrap comparison and renders the pairwise table.
+pub fn run(scale: &ExperimentScale) -> String {
+    let d = scale.build(DatasetChoice::Twitter);
+    let cfg = LinkPredConfig {
+        // One larger draw instead of several small ones: the bootstrap
+        // wants per-edge pairing.
+        test_size: scale.test_size * scale.trials.max(1),
+        negatives: 1000.min(d.graph.num_nodes().saturating_sub(2)),
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x516);
+    let tests = select_test_edges(&d.graph, &cfg, &mut rng, |_, _, _| true);
+    let removed: Vec<(NodeId, NodeId)> = tests.iter().map(|e| (e.src, e.dst)).collect();
+    let reduced = d.graph.without_edges(&removed);
+    let ctx = Context::new(reduced, ScoreParams::default());
+    let candidates = draw_candidates(&ctx.graph, &tests, cfg.negatives, &mut rng);
+
+    let tr = ctx.tr();
+    let katz = ctx.katz();
+    let trank = ctx.twitterrank(&d.tweet_counts, &d.publisher_weights);
+    let ranks: Vec<(&str, Vec<TargetRank>)> = vec![
+        ("Tr", evaluate_detailed(&tr, &tests, &candidates, 10).ranks),
+        ("Katz", evaluate_detailed(&katz, &tests, &candidates, 10).ranks),
+        (
+            "TwitterRank",
+            evaluate_detailed(&trank, &tests, &candidates, 10).ranks,
+        ),
+    ];
+
+    let mut t = TextTable::new(vec!["A vs B", "recall@10 A", "recall@10 B", "p(A > B)"]);
+    for (ai, bi) in [(0usize, 1usize), (0, 2), (1, 2)] {
+        let c = bootstrap_compare(&ranks[ai].1, &ranks[bi].1, 10, 2000, &mut rng);
+        t.row(vec![
+            format!("{} vs {}", ranks[ai].0, ranks[bi].0),
+            f3(c.recall_a),
+            f3(c.recall_b),
+            f3(c.prob_a_beats_b),
+        ]);
+    }
+    format!(
+        "== Significance: paired bootstrap over {} held-out edges (2000 resamples) ==\n\
+         (p(A > B) near 1.0 = robust win; near 0.5 = toss-up)\n\n{}",
+        tests.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn significance_renders_three_pairs() {
+        let out = run(&ExperimentScale::smoke());
+        assert!(out.contains("Tr vs Katz"));
+        assert!(out.contains("Tr vs TwitterRank"));
+        assert!(out.contains("Katz vs TwitterRank"));
+    }
+}

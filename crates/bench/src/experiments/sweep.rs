@@ -1,0 +1,87 @@
+//! Extra ablation (not a paper figure): the path-decay β against the
+//! Proposition 3 convergence bound `β < 1/σ_max(A)`, and how the
+//! exact top-10 shifts as β grows — justifying the paper's tiny
+//! β = 0.0005 default.
+
+use fui_core::{PropagateOpts, ScoreParams, ScoreVariant};
+use fui_eval::kendall_tau_distance;
+use fui_graph::spectral::spectral_radius;
+use fui_graph::NodeId;
+use fui_taxonomy::Topic;
+
+use crate::context::Context;
+use crate::datasets::{DatasetChoice, ExperimentScale};
+use crate::table::{f3, TextTable};
+
+/// Runs the sweep and renders the per-β report.
+pub fn run(scale: &ExperimentScale) -> String {
+    let d = scale.build(DatasetChoice::Twitter);
+    let ctx = Context::new(d.graph, ScoreParams::default());
+    let radius = spectral_radius(&ctx.graph, 50);
+    let bound = if radius > 0.0 { 1.0 / radius } else { f64::INFINITY };
+
+    // Reference ranking at the paper's β.
+    let source = ctx
+        .graph
+        .nodes()
+        .find(|&u| ctx.graph.out_degree(u) >= 3)
+        .unwrap_or(NodeId(0));
+    let topic = Topic::Technology;
+    let reference: Vec<NodeId> = ctx
+        .propagator(ScoreVariant::Full)
+        .propagate(source, &[topic], PropagateOpts::default())
+        .top_n_sigma(0, 10)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+
+    let mut t = TextTable::new(vec![
+        "beta",
+        "within bound",
+        "levels",
+        "converged",
+        "tau vs beta=0.0005",
+    ]);
+    for beta in [0.0001, 0.0005, 0.002, 0.01, 0.05] {
+        let params = ScoreParams {
+            beta,
+            ..ScoreParams::default()
+        };
+        let within = beta < bound;
+        let prop = fui_core::Propagator::new(
+            &ctx.graph,
+            &ctx.authority,
+            &ctx.sim,
+            params,
+            ScoreVariant::Full,
+        );
+        let r = prop.propagate(source, &[topic], PropagateOpts::default());
+        let top: Vec<NodeId> = r.top_n_sigma(0, 10).into_iter().map(|(v, _)| v).collect();
+        t.row(vec![
+            format!("{beta}"),
+            within.to_string(),
+            r.levels.to_string(),
+            r.converged.to_string(),
+            f3(kendall_tau_distance(&top, &reference)),
+        ]);
+    }
+    format!(
+        "== Sweep: path decay β vs the Proposition 3 bound ==\n\
+         sigma_max(A) ≈ {radius:.2}, convergence bound 1/sigma_max ≈ {bound:.5}\n\
+         (the paper's β = 0.0005 sits well inside the bound; larger β\n\
+          converges slower and reshuffles the ranking)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_renders_the_paper_beta() {
+        let out = run(&ExperimentScale::smoke());
+        assert!(out.contains("0.0005"));
+        assert!(out.contains("sigma_max"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Table 2 — topological properties of the two datasets, plus the
+//! label-pipeline quality the paper reports in prose (classifier
+//! precision ≈ 0.90).
+
+use fui_graph::components::giant_component_fraction;
+use fui_graph::stats::GraphStats;
+
+use crate::datasets::{DatasetChoice, ExperimentScale};
+use crate::table::{f1, f3, TextTable};
+
+/// Runs the experiment and renders the table.
+pub fn run(scale: &ExperimentScale) -> String {
+    let mut t = TextTable::new(vec!["Property", "Twitter", "DBLP"]);
+    let tw = scale.build(DatasetChoice::Twitter);
+    let db = scale.build(DatasetChoice::Dblp);
+    let (st, sd) = (GraphStats::compute(&tw.graph), GraphStats::compute(&db.graph));
+    t.row(vec![
+        "Total number of nodes".to_owned(),
+        st.nodes.to_string(),
+        sd.nodes.to_string(),
+    ]);
+    t.row(vec![
+        "Total number of edges".to_owned(),
+        st.edges.to_string(),
+        sd.edges.to_string(),
+    ]);
+    t.row(vec![
+        "Avg. out-degree".to_owned(),
+        f1(st.avg_out_degree),
+        f1(sd.avg_out_degree),
+    ]);
+    t.row(vec![
+        "Avg. in-degree".to_owned(),
+        f1(st.avg_in_degree),
+        f1(sd.avg_in_degree),
+    ]);
+    t.row(vec![
+        "max in-degree".to_owned(),
+        st.max_in_degree.to_string(),
+        sd.max_in_degree.to_string(),
+    ]);
+    t.row(vec![
+        "max out-degree".to_owned(),
+        st.max_out_degree.to_string(),
+        sd.max_out_degree.to_string(),
+    ]);
+    t.row(vec![
+        "giant weak component".to_owned(),
+        f3(giant_component_fraction(&tw.graph)),
+        f3(giant_component_fraction(&db.graph)),
+    ]);
+    t.row(vec![
+        "label classifier precision".to_owned(),
+        f3(tw.classifier_precision.unwrap_or(0.0)),
+        f3(db.classifier_precision.unwrap_or(0.0)),
+    ]);
+    format!(
+        "== Table 2: datasets topological properties ==\n\
+         (paper: Twitter 2.2M nodes / 125M edges, avg out 57.8, max in 348,595;\n\
+          DBLP 525k nodes / 20.5M edges — scaled here, same regime)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_rows() {
+        let out = run(&ExperimentScale::smoke());
+        assert!(out.contains("Total number of nodes"));
+        assert!(out.contains("max in-degree"));
+        assert!(out.contains("classifier precision"));
+    }
+}

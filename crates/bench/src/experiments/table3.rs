@@ -1,0 +1,81 @@
+//! Table 3 — the simulated DBLP user-validation study: researchers
+//! rate author recommendations (capped at 100 citations) from their
+//! own publication record.
+
+use fui_core::ScoreParams;
+use fui_eval::userstudy::{dblp_study, StudyConfig, TopRecommender};
+
+use crate::context::Context;
+use crate::datasets::{DatasetChoice, ExperimentScale};
+use crate::table::{f3, TextTable};
+
+/// Runs the study and renders the three Table 3 rows.
+pub fn run(scale: &ExperimentScale) -> String {
+    let d = scale.build(DatasetChoice::Dblp);
+    let hidden = d.hidden_profiles.clone();
+    let counts = d.tweet_counts.clone();
+    let weights = d.publisher_weights.clone();
+    let ctx = Context::new(d.graph, ScoreParams::default());
+    let tr = ctx.tr();
+    let katz = ctx.katz();
+    let trank = ctx.twitterrank(&counts, &weights);
+    let methods: Vec<&dyn TopRecommender> = vec![&katz, &tr, &trank];
+    let cfg = StudyConfig {
+        panel: 47,
+        seed: scale.seed ^ 0x43,
+        // "Could this author have been cited?" is a much stricter bar
+        // than topicality-from-tweets: harsher exponent, no
+        // ambiguous-topic shortcut (paper averages sit at 2.4/2.5/1.5).
+        latent_exponent: 1.6,
+        noise_std: 0.6,
+        ambiguous_topics: fui_taxonomy::TopicSet::empty(),
+        ..Default::default()
+    };
+    // The paper caps recommended authors at 100 citations; scale the
+    // cap with the synthetic graph's density.
+    let citation_cap = (ctx.graph.num_edges() / ctx.graph.num_nodes().max(1)) * 3;
+    let rows = dblp_study(&ctx.graph, &hidden, &methods, citation_cap.max(20), &cfg);
+
+    let mut t = TextTable::new(vec!["", "Katz", "Tr", "TWR"]);
+    let get = |name: &str| rows.iter().find(|r| r.method == name);
+    let avg = |name: &str| get(name).map(|r| r.average_mark).unwrap_or(0.0);
+    let n45 = |name: &str| get(name).map(|r| r.marks_4_and_5).unwrap_or(0);
+    let best = |name: &str| get(name).map(|r| r.best_answer).unwrap_or(0.0);
+    t.row(vec![
+        "average mark".to_owned(),
+        f3(avg("Katz")),
+        f3(avg("Tr")),
+        f3(avg("TwitterRank")),
+    ]);
+    t.row(vec![
+        "# 4 and 5-mark".to_owned(),
+        n45("Katz").to_string(),
+        n45("Tr").to_string(),
+        n45("TwitterRank").to_string(),
+    ]);
+    t.row(vec![
+        "best answer (%)".to_owned(),
+        f3(best("Katz")),
+        f3(best("Tr")),
+        f3(best("TwitterRank")),
+    ]);
+    format!(
+        "== Table 3: simulated user validation (DBLP) ==\n\
+         (paper: avg 2.38/2.47/1.51, #4-5 46/47/11, best 0.38/0.50/0.12 —\n\
+          Katz ≈ Tr ≫ TwitterRank; Tr wins the best-answer count)\n\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_three_rows() {
+        let out = run(&ExperimentScale::smoke());
+        assert!(out.contains("average mark"));
+        assert!(out.contains("# 4 and 5-mark"));
+        assert!(out.contains("best answer"));
+    }
+}

@@ -1,0 +1,381 @@
+//! The per-(user, topic) authority score.
+//!
+//! Section 3.2 of the paper:
+//!
+//! ```text
+//!                |Γu(t)|     log(1 + |Γu(t)|)
+//! auth(u, t) =  ───────── · ─────────────────────────
+//!                 |Γu|       log(1 + max_v |Γv(t)|)
+//!                 local            global
+//! ```
+//!
+//! The *local* factor rewards specialisation (a user followed
+//! exclusively on `t`), the *global* factor rewards popularity on `t`
+//! (log-smoothed so that "very specialised accounts with few followers
+//! and very popular but generalist accounts" score similarly). Both
+//! factors are 0 when nobody follows `u` on `t`.
+//!
+//! `|Γu|` and `|Γu(t)|` are local per-node counts; only the per-topic
+//! maximum needs a full pass, and the paper notes it can be stored and
+//! refreshed periodically. [`AuthorityIndex`] materialises all of it in
+//! one pass over the in-CSR.
+
+use fui_graph::{NodeId, SocialGraph};
+use fui_taxonomy::{Topic, NUM_TOPICS};
+
+/// Dense authority index: one score per (node, topic).
+#[derive(Clone, Debug)]
+pub struct AuthorityIndex {
+    /// `auth[v * NUM_TOPICS + t]`.
+    auth: Vec<f64>,
+    /// `|Γv(t)|`, same layout.
+    followers_on: Vec<u32>,
+    /// `max_v |Γv(t)|` per topic.
+    max_followers_on: [u32; NUM_TOPICS],
+}
+
+impl AuthorityIndex {
+    /// Builds the index in a single pass over all in-edges —
+    /// `O(N·T + E·|labels|)`.
+    pub fn build(graph: &SocialGraph) -> AuthorityIndex {
+        let n = graph.num_nodes();
+        let mut followers_on = vec![0u32; n * NUM_TOPICS];
+        for v in graph.nodes() {
+            let base = v.index() * NUM_TOPICS;
+            for e in graph.in_edges(v) {
+                for t in e.labels.iter() {
+                    followers_on[base + t.index()] += 1;
+                }
+            }
+        }
+        let mut max_followers_on = [0u32; NUM_TOPICS];
+        for v in 0..n {
+            for t in 0..NUM_TOPICS {
+                max_followers_on[t] = max_followers_on[t].max(followers_on[v * NUM_TOPICS + t]);
+            }
+        }
+        let mut auth = vec![0.0f64; n * NUM_TOPICS];
+        for v in graph.nodes() {
+            let total = graph.in_degree(v);
+            if total == 0 {
+                continue;
+            }
+            let base = v.index() * NUM_TOPICS;
+            for t in 0..NUM_TOPICS {
+                let on_t = followers_on[base + t];
+                if on_t == 0 {
+                    continue;
+                }
+                let local = f64::from(on_t) / total as f64;
+                let global =
+                    f64::from(1 + on_t).ln() / f64::from(1 + max_followers_on[t]).ln();
+                auth[base + t] = local * global;
+            }
+        }
+        AuthorityIndex {
+            auth,
+            followers_on,
+            max_followers_on,
+        }
+    }
+
+    /// `auth(v, t)`.
+    #[inline]
+    pub fn auth(&self, v: NodeId, t: Topic) -> f64 {
+        self.auth[v.index() * NUM_TOPICS + t.index()]
+    }
+
+    /// The full per-topic authority row of `v` (indexed by topic).
+    #[inline]
+    pub fn auth_row(&self, v: NodeId) -> &[f64] {
+        let base = v.index() * NUM_TOPICS;
+        &self.auth[base..base + NUM_TOPICS]
+    }
+
+    /// `|Γv(t)|` — followers of `v` interested in `t`.
+    #[inline]
+    pub fn followers_on(&self, v: NodeId, t: Topic) -> u32 {
+        self.followers_on[v.index() * NUM_TOPICS + t.index()]
+    }
+
+    /// `max_v |Γv(t)|` — the per-topic global maximum.
+    #[inline]
+    pub fn max_followers_on(&self, t: Topic) -> u32 {
+        self.max_followers_on[t.index()]
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.auth.len() / NUM_TOPICS
+    }
+
+    /// Applies one follow/unfollow incrementally — the paper's point
+    /// that "`|Γu|` and `|Γu(t)|` can be computed on local information
+    /// of each user, without graph exploration": only the followee's
+    /// row is touched. The per-topic global maxima are *not* lowered
+    /// on unfollows (that would need a scan); like the paper, treat
+    /// them as a periodically refreshed denominator —
+    /// [`refresh_maxima`](Self::refresh_maxima) is the periodic pass.
+    ///
+    /// `total_followers_after` is the followee's in-degree after the
+    /// change (the graph owns that count; passing it keeps this index
+    /// graph-free).
+    pub fn apply_edge_change(
+        &mut self,
+        followee: NodeId,
+        labels: fui_taxonomy::TopicSet,
+        added: bool,
+        total_followers_after: usize,
+    ) {
+        let base = followee.index() * NUM_TOPICS;
+        for t in labels.iter() {
+            let slot = &mut self.followers_on[base + t.index()];
+            if added {
+                *slot += 1;
+                self.max_followers_on[t.index()] = self.max_followers_on[t.index()].max(*slot);
+            } else {
+                *slot = slot.saturating_sub(1);
+            }
+        }
+        // Recompute the followee's authority row from the counts.
+        for t in 0..NUM_TOPICS {
+            let on_t = self.followers_on[base + t];
+            self.auth[base + t] = if on_t == 0 || total_followers_after == 0 {
+                0.0
+            } else {
+                let local = f64::from(on_t) / total_followers_after as f64;
+                let global =
+                    f64::from(1 + on_t).ln() / f64::from(1 + self.max_followers_on[t]).ln();
+                local * global
+            };
+        }
+        // An unfollow also changes every *other* topic's local factor
+        // of this followee (the |Γu| denominator moved) — the loop
+        // above already re-derived all 18 entries, so nothing else to
+        // do.
+    }
+
+    /// Recomputes the per-topic maxima from the stored counts (the
+    /// paper's "stored and re-computed periodically" denominator) and
+    /// re-derives every authority row against them. `in_degrees[v]`
+    /// must hold each node's current follower count.
+    pub fn refresh_maxima(&mut self, in_degrees: &[usize]) {
+        assert_eq!(in_degrees.len(), self.num_nodes(), "one in-degree per node");
+        let n = self.num_nodes();
+        self.max_followers_on = [0; NUM_TOPICS];
+        for v in 0..n {
+            for t in 0..NUM_TOPICS {
+                self.max_followers_on[t] =
+                    self.max_followers_on[t].max(self.followers_on[v * NUM_TOPICS + t]);
+            }
+        }
+        for (v, &in_deg) in in_degrees.iter().enumerate() {
+            let base = v * NUM_TOPICS;
+            for t in 0..NUM_TOPICS {
+                let on_t = self.followers_on[base + t];
+                self.auth[base + t] = if on_t == 0 || in_deg == 0 {
+                    0.0
+                } else {
+                    let local = f64::from(on_t) / in_deg as f64;
+                    let global =
+                        f64::from(1 + on_t).ln() / f64::from(1 + self.max_followers_on[t]).ln();
+                    local * global
+                };
+            }
+        }
+    }
+
+    /// The `k` highest-authority nodes on `t`, best first.
+    pub fn top_authorities(&self, t: Topic, k: usize) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> = (0..self.num_nodes())
+            .map(|i| (NodeId(i as u32), self.auth[i * NUM_TOPICS + t.index()]))
+            .filter(|&(_, a)| a > 0.0)
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("authority is not NaN"));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_graph::{GraphBuilder, TopicSet};
+    use fui_taxonomy::Topic;
+
+    /// The Example-1 graph shape: B followed on {tech, tech, bigdata→
+    /// business}, C followed on {tech, tech, business×4}. We map the
+    /// paper's "bigdata" to business.
+    fn example1() -> (SocialGraph, NodeId, NodeId) {
+        let mut g = GraphBuilder::new();
+        let b = g.add_node(TopicSet::empty());
+        let c = g.add_node(TopicSet::empty());
+        let tech = TopicSet::single(Topic::Technology);
+        let busi = TopicSet::single(Topic::Business);
+        // B: 3 followers -> 2 on technology, 1 on business.
+        for _ in 0..2 {
+            let f = g.add_node(TopicSet::empty());
+            g.add_edge(f, b, tech);
+        }
+        let f = g.add_node(TopicSet::empty());
+        g.add_edge(f, b, busi);
+        // C: 6 followers -> 2 on technology, 4 on business.
+        for _ in 0..2 {
+            let f = g.add_node(TopicSet::empty());
+            g.add_edge(f, c, tech);
+        }
+        for _ in 0..4 {
+            let f = g.add_node(TopicSet::empty());
+            g.add_edge(f, c, busi);
+        }
+        (g.build(), b, c)
+    }
+
+    #[test]
+    fn example_one_of_the_paper() {
+        let (g, b, c) = example1();
+        let idx = AuthorityIndex::build(&g);
+        // Same global popularity on technology (2 each), but B is more
+        // specialised: auth(B, tech) > auth(C, tech).
+        assert_eq!(idx.followers_on(b, Topic::Technology), 2);
+        assert_eq!(idx.followers_on(c, Topic::Technology), 2);
+        assert!(idx.auth(b, Topic::Technology) > idx.auth(c, Topic::Technology));
+        // Exact local values: 2/3 vs 2/6, global = 1 for both.
+        assert!((idx.auth(b, Topic::Technology) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((idx.auth(c, Topic::Technology) - 2.0 / 6.0).abs() < 1e-12);
+        // On business C is more followed (4 vs 1): global factor wins.
+        assert!(idx.auth(c, Topic::Business) > idx.auth(b, Topic::Business));
+    }
+
+    #[test]
+    fn zero_when_unfollowed_on_topic() {
+        let (g, b, _) = example1();
+        let idx = AuthorityIndex::build(&g);
+        assert_eq!(idx.auth(b, Topic::Sports), 0.0);
+        assert_eq!(idx.followers_on(b, Topic::Sports), 0);
+        // Followers themselves have no followers at all.
+        assert_eq!(idx.auth(NodeId(2), Topic::Technology), 0.0);
+    }
+
+    #[test]
+    fn exclusive_and_most_followed_scores_one() {
+        // Single account followed only on social, and it is the global
+        // max: local = global = 1.
+        let mut g = GraphBuilder::new();
+        let star = g.add_node(TopicSet::empty());
+        for _ in 0..5 {
+            let f = g.add_node(TopicSet::empty());
+            g.add_edge(f, star, TopicSet::single(Topic::Social));
+        }
+        let idx = AuthorityIndex::build(&g.build());
+        assert!((idx.auth(star, Topic::Social) - 1.0).abs() < 1e-12);
+        assert_eq!(idx.max_followers_on(Topic::Social), 5);
+    }
+
+    #[test]
+    fn authority_in_unit_interval() {
+        let (g, _, _) = example1();
+        let idx = AuthorityIndex::build(&g);
+        for v in g.nodes() {
+            for t in Topic::ALL {
+                let a = idx.auth(v, t);
+                assert!((0.0..=1.0).contains(&a), "auth({v},{t}) = {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_label_edges_count_once_per_topic() {
+        let mut g = GraphBuilder::new();
+        let v = g.add_node(TopicSet::empty());
+        let f = g.add_node(TopicSet::empty());
+        g.add_edge(
+            f,
+            v,
+            TopicSet::single(Topic::Technology).with(Topic::Business),
+        );
+        let idx = AuthorityIndex::build(&g.build());
+        assert_eq!(idx.followers_on(v, Topic::Technology), 1);
+        assert_eq!(idx.followers_on(v, Topic::Business), 1);
+        // local = 1/1 for both topics, global = 1 (it is the max).
+        assert!((idx.auth(v, Topic::Technology) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incremental_follow_matches_rebuild() {
+        let (g, b, _) = example1();
+        let mut idx = AuthorityIndex::build(&g);
+        // A new account follows B on sports.
+        let g2 = {
+            let mut builder = GraphBuilder::with_capacity(g.num_nodes() + 1, g.num_edges() + 1);
+            for u in g.nodes() {
+                builder.add_node(g.node_labels(u));
+            }
+            let newbie = builder.add_node(TopicSet::empty());
+            for (u, v, l) in g.edges() {
+                builder.add_edge(u, v, l);
+            }
+            builder.add_edge(newbie, b, TopicSet::single(Topic::Sports));
+            builder.build()
+        };
+        idx.apply_edge_change(
+            b,
+            TopicSet::single(Topic::Sports),
+            true,
+            g2.in_degree(b),
+        );
+        let fresh = AuthorityIndex::build(&g2);
+        for t in Topic::ALL {
+            assert!(
+                (idx.auth(b, t) - fresh.auth(b, t)).abs() < 1e-12,
+                "topic {t}: incremental {} vs rebuild {}",
+                idx.auth(b, t),
+                fresh.auth(b, t)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_unfollow_then_refresh_matches_rebuild() {
+        let (g, b, c) = example1();
+        let mut idx = AuthorityIndex::build(&g);
+        // B loses his business follower (node 4 in construction order).
+        let follower = g
+            .in_edges(b)
+            .find(|e| e.labels.contains(Topic::Business))
+            .map(|e| e.node)
+            .unwrap();
+        let g2 = g.without_edges(&[(follower, b)]);
+        idx.apply_edge_change(
+            b,
+            TopicSet::single(Topic::Business),
+            false,
+            g2.in_degree(b),
+        );
+        // The stale max may overstate the denominator; the periodic
+        // refresh fixes it exactly.
+        let in_degrees: Vec<usize> = g2.nodes().map(|v| g2.in_degree(v)).collect();
+        idx.refresh_maxima(&in_degrees);
+        let fresh = AuthorityIndex::build(&g2);
+        for v in g2.nodes() {
+            for t in Topic::ALL {
+                assert!(
+                    (idx.auth(v, t) - fresh.auth(v, t)).abs() < 1e-12,
+                    "node {v} topic {t}"
+                );
+            }
+        }
+        // c untouched by the whole affair.
+        assert_eq!(idx.followers_on(c, Topic::Business), 4);
+    }
+
+    #[test]
+    fn top_authorities_sorted() {
+        let (g, b, c) = example1();
+        let idx = AuthorityIndex::build(&g);
+        let top = idx.top_authorities(Topic::Technology, 5);
+        assert_eq!(top[0].0, b);
+        assert_eq!(top[1].0, c);
+        assert_eq!(top.len(), 2);
+    }
+}

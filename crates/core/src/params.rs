@@ -1,0 +1,202 @@
+//! Score parameters and ablation variants.
+
+use fui_graph::{spectral, SocialGraph};
+
+/// Decay factors and iteration controls of the Tr score.
+///
+/// The paper sets `β = 0.0005` and `α = 0.85` "similarly to the values
+/// used for the Katz and the TwitterRank algorithms" (Section 5.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoreParams {
+    /// Edge decay `α ∈ [0, 1]`: discounts edges far from the query
+    /// node (Equation 3).
+    pub alpha: f64,
+    /// Path decay `β ∈ [0, 1]`: favours short paths (Equation 1).
+    /// Must satisfy `β < 1/σ_max(A)` for convergence (Proposition 3).
+    pub beta: f64,
+    /// Relative tolerance of the iterative computation: iteration
+    /// stops when a level's new mass falls below `tolerance` times the
+    /// accumulated mass.
+    pub tolerance: f64,
+    /// Hard cap on the number of propagation levels.
+    pub max_depth: u32,
+}
+
+impl Default for ScoreParams {
+    fn default() -> Self {
+        ScoreParams {
+            alpha: 0.85,
+            beta: 0.0005,
+            tolerance: 1e-9,
+            max_depth: 30,
+        }
+    }
+}
+
+/// Why a parameter set was rejected by [`ScoreParams::validate`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamError {
+    /// `alpha` outside `[0, 1]`.
+    BadAlpha(f64),
+    /// `beta` outside `[0, 1]`.
+    BadBeta(f64),
+    /// `beta` violates the Proposition 3 convergence bound for this
+    /// graph; the payload is the estimated bound `1/σ_max(A)`.
+    BetaAboveSpectralBound {
+        /// The offending β.
+        beta: f64,
+        /// The estimated convergence bound.
+        bound: f64,
+    },
+    /// Tolerance not a small positive number.
+    BadTolerance(f64),
+}
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamError::BadAlpha(a) => write!(f, "alpha {a} outside [0, 1]"),
+            ParamError::BadBeta(b) => write!(f, "beta {b} outside [0, 1]"),
+            ParamError::BetaAboveSpectralBound { beta, bound } => write!(
+                f,
+                "beta {beta} >= convergence bound 1/sigma_max = {bound} (Proposition 3)"
+            ),
+            ParamError::BadTolerance(t) => write!(f, "tolerance {t} must be in (0, 1)"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl ScoreParams {
+    /// Paper defaults (`β = 0.0005`, `α = 0.85`).
+    pub fn paper() -> ScoreParams {
+        ScoreParams::default()
+    }
+
+    /// Range-checks the parameters without a graph.
+    pub fn check_ranges(&self) -> Result<(), ParamError> {
+        if !(0.0..=1.0).contains(&self.alpha) || !self.alpha.is_finite() {
+            return Err(ParamError::BadAlpha(self.alpha));
+        }
+        if !(0.0..=1.0).contains(&self.beta) || !self.beta.is_finite() {
+            return Err(ParamError::BadBeta(self.beta));
+        }
+        if !(self.tolerance > 0.0 && self.tolerance < 1.0) {
+            return Err(ParamError::BadTolerance(self.tolerance));
+        }
+        Ok(())
+    }
+
+    /// Full validation including the Proposition 3 spectral bound
+    /// `β < 1/σ_max(A)` on the given graph.
+    pub fn validate(&self, graph: &SocialGraph) -> Result<(), ParamError> {
+        self.check_ranges()?;
+        let radius = spectral::spectral_radius(graph, 50);
+        if radius > 0.0 {
+            let bound = 1.0 / radius;
+            if self.beta >= bound {
+                return Err(ParamError::BetaAboveSpectralBound {
+                    beta: self.beta,
+                    bound,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Score variants: the full Tr score and the ablations compared in
+/// Figure 4 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScoreVariant {
+    /// The full score: topology × edge similarity × authority.
+    Full,
+    /// `Tr−auth`: drop the authority factor (Katz + edge similarity).
+    NoAuthority,
+    /// `Tr−sim`: drop the edge-similarity factor (Katz + authority).
+    NoSimilarity,
+    /// Pure topology — the Katz baseline `topo_β` (Equation 2).
+    TopoOnly,
+}
+
+impl ScoreVariant {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreVariant::Full => "Tr",
+            ScoreVariant::NoAuthority => "Tr-auth",
+            ScoreVariant::NoSimilarity => "Tr-sim",
+            ScoreVariant::TopoOnly => "Katz",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_graph::{GraphBuilder, TopicSet};
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = ScoreParams::paper();
+        assert_eq!(p.beta, 0.0005);
+        assert_eq!(p.alpha, 0.85);
+        p.check_ranges().unwrap();
+    }
+
+    #[test]
+    fn range_checks() {
+        let bad_alpha = ScoreParams {
+            alpha: 1.5,
+            ..ScoreParams::default()
+        };
+        assert!(matches!(bad_alpha.check_ranges(), Err(ParamError::BadAlpha(_))));
+        let bad_beta = ScoreParams {
+            beta: -0.1,
+            ..ScoreParams::default()
+        };
+        assert!(matches!(bad_beta.check_ranges(), Err(ParamError::BadBeta(_))));
+        let bad_tol = ScoreParams {
+            tolerance: 0.0,
+            ..ScoreParams::default()
+        };
+        assert!(matches!(bad_tol.check_ranges(), Err(ParamError::BadTolerance(_))));
+    }
+
+    #[test]
+    fn spectral_bound_enforced() {
+        // A 4-clique has sigma_max = 3, bound 1/3.
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<_> = (0..4).map(|_| b.add_node(TopicSet::empty())).collect();
+        for &i in &nodes {
+            for &j in &nodes {
+                if i != j {
+                    b.add_edge(i, j, TopicSet::empty());
+                }
+            }
+        }
+        let g = b.build();
+        let ok = ScoreParams {
+            beta: 0.3,
+            ..ScoreParams::default()
+        };
+        ok.validate(&g).unwrap();
+        let bad = ScoreParams {
+            beta: 0.5,
+            ..ScoreParams::default()
+        };
+        assert!(matches!(
+            bad.validate(&g),
+            Err(ParamError::BetaAboveSpectralBound { .. })
+        ));
+    }
+
+    #[test]
+    fn variant_names() {
+        assert_eq!(ScoreVariant::Full.name(), "Tr");
+        assert_eq!(ScoreVariant::TopoOnly.name(), "Katz");
+        assert_eq!(ScoreVariant::NoAuthority.name(), "Tr-auth");
+        assert_eq!(ScoreVariant::NoSimilarity.name(), "Tr-sim");
+    }
+}

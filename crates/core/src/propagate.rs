@@ -1,0 +1,562 @@
+//! The iterative score computation (Proposition 1 / Algorithm 1) as
+//! level-synchronous frontier propagation.
+//!
+//! Level `k` holds the mass of walks of length exactly `k` out of the
+//! source. One pass over the out-edges of the current frontier pushes
+//! level `k` into level `k+1`:
+//!
+//! ```text
+//! topo_β^{k+1}[v]  += β  · topo_β^k[u]                        (Eq. 2 mass)
+//! topo_αβ^{k+1}[v] += αβ · topo_αβ^k[u]
+//! σ^{k+1}[v][t]    += β · σ^k[u][t] + topo_αβ^k[u] · ω_{u→v}(t)   (Eq. 5)
+//! ```
+//!
+//! with `ω_{u→v}(t) = βα · maxsim(label(u→v), t) · auth(v, t)`. The
+//! accumulated sums over all levels are exactly `topo_β(u,v)`,
+//! `topo_αβ(u,v)` and `σ(u,v,t)`.
+//!
+//! The engine serves three callers:
+//!
+//! * **exact recommendation** — run to convergence from a query node;
+//! * **landmark preprocessing** (Algorithm 1) — run to convergence
+//!   from each landmark, for all topics at once;
+//! * **landmark queries** (Algorithm 2) — run at small depth with
+//!   *pruning*: a frontier node flagged as a landmark is not expanded,
+//!   "to avoid considering twice paths which pass through a landmark"
+//!   (Section 5.4).
+//!
+//! Ablation variants (`Tr−auth`, `Tr−sim`, Katz) reuse the same sweep
+//! with the corresponding factor replaced by 1 (or dropped), so the
+//! Figure 4 comparisons measure scoring semantics, not implementation
+//! differences.
+
+use std::collections::HashMap;
+
+use fui_graph::{NodeId, SocialGraph};
+use fui_taxonomy::{SimMatrix, Topic, NUM_TOPICS};
+
+use crate::authority::AuthorityIndex;
+use crate::params::{ScoreParams, ScoreVariant};
+
+/// Options of a single propagation run.
+#[derive(Clone, Copy, Default)]
+pub struct PropagateOpts<'a> {
+    /// Additional depth cap on top of `ScoreParams::max_depth`
+    /// (0 keeps only the source; `None` means params-only).
+    pub max_depth: Option<u32>,
+    /// Dense landmark mask: frontier nodes (other than the source)
+    /// flagged `true` are collected but not expanded.
+    pub prune: Option<&'a [bool]>,
+}
+
+/// Result of a propagation: accumulated scores over every reached node.
+#[derive(Clone, Debug)]
+pub struct Propagation {
+    /// The query topics, in the order `sigma` is laid out.
+    pub topics: Vec<Topic>,
+    /// `σ(source, v, t)` — flat `[v * topics.len() + ti]`.
+    sigma: Vec<f64>,
+    /// `topo_β(source, v)` (Katz mass, empty walk included at the
+    /// source).
+    topo_beta: Vec<f64>,
+    /// `topo_αβ(source, v)`.
+    topo_alphabeta: Vec<f64>,
+    /// Nodes with any accumulated mass, source first, in first-reached
+    /// order.
+    pub reached: Vec<NodeId>,
+    /// Source node.
+    pub source: NodeId,
+    /// Number of levels propagated (max walk length considered).
+    pub levels: u32,
+    /// Whether the tolerance criterion was met (vs. hitting the depth
+    /// cap).
+    pub converged: bool,
+}
+
+impl Propagation {
+    /// `σ(source, v, topics[ti])`.
+    #[inline]
+    pub fn sigma_at(&self, v: NodeId, ti: usize) -> f64 {
+        self.sigma[v.index() * self.topics.len() + ti]
+    }
+
+    /// `σ(source, v, t)`; 0 for a topic that was not queried.
+    pub fn sigma(&self, v: NodeId, t: Topic) -> f64 {
+        match self.topics.iter().position(|&q| q == t) {
+            Some(ti) => self.sigma_at(v, ti),
+            None => 0.0,
+        }
+    }
+
+    /// `topo_β(source, v)` — the Katz score (the source's own entry
+    /// includes the empty walk's 1).
+    #[inline]
+    pub fn topo_beta(&self, v: NodeId) -> f64 {
+        self.topo_beta[v.index()]
+    }
+
+    /// `topo_αβ(source, v)`.
+    #[inline]
+    pub fn topo_alphabeta(&self, v: NodeId) -> f64 {
+        self.topo_alphabeta[v.index()]
+    }
+
+    /// The recommendation vector `R_{u,v}` of Table 1: the score of
+    /// `v` on every queried topic, packed into a [`fui_taxonomy::TopicWeights`]
+    /// (unqueried topics read 0).
+    pub fn recommendation_vector(&self, v: NodeId) -> fui_taxonomy::TopicWeights {
+        let mut w = fui_taxonomy::TopicWeights::zero();
+        for (ti, &t) in self.topics.iter().enumerate() {
+            w.set(t, self.sigma_at(v, ti));
+        }
+        w
+    }
+
+    /// Top-`n` nodes by `σ(·, topics[ti])`, excluding the source,
+    /// highest first (ties by node id).
+    pub fn top_n_sigma(&self, ti: usize, n: usize) -> Vec<(NodeId, f64)> {
+        self.top_n_by(n, |v| self.sigma_at(v, ti))
+    }
+
+    /// Top-`n` nodes by `topo_β`, excluding the source.
+    pub fn top_n_topo(&self, n: usize) -> Vec<(NodeId, f64)> {
+        self.top_n_by(n, |v| self.topo_beta(v))
+    }
+
+    fn top_n_by(&self, n: usize, score: impl Fn(NodeId) -> f64) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> = self
+            .reached
+            .iter()
+            .copied()
+            .filter(|&v| v != self.source)
+            .map(|v| (v, score(v)))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are not NaN")
+                .then(a.0 .0.cmp(&b.0 .0))
+        });
+        v.truncate(n);
+        v
+    }
+}
+
+/// Shared per-graph scoring state: the similarity-row cache (one row of
+/// `maxsim(labels, ·)` per distinct edge label set, resolved per edge
+/// position once) and the authority index.
+pub struct Propagator<'g> {
+    graph: &'g SocialGraph,
+    authority: &'g AuthorityIndex,
+    params: ScoreParams,
+    variant: ScoreVariant,
+    /// `maxsim` rows, one per distinct edge label mask.
+    sim_rows: Vec<[f64; NUM_TOPICS]>,
+    /// Row index per global out-edge CSR position.
+    edge_row: Vec<u32>,
+    /// All-ones row used to neutralise a factor under ablations.
+    ones: [f64; NUM_TOPICS],
+}
+
+impl<'g> Propagator<'g> {
+    /// Builds a propagator; scans the graph once to cache per-label-set
+    /// similarity rows.
+    pub fn new(
+        graph: &'g SocialGraph,
+        authority: &'g AuthorityIndex,
+        sim: &SimMatrix,
+        params: ScoreParams,
+        variant: ScoreVariant,
+    ) -> Propagator<'g> {
+        params.check_ranges().expect("invalid score parameters");
+        let mut mask_to_row: HashMap<u32, u32> = HashMap::new();
+        let mut sim_rows: Vec<[f64; NUM_TOPICS]> = Vec::new();
+        let mut edge_row = vec![0u32; graph.num_edges()];
+        for u in graph.nodes() {
+            for (pos, e) in graph.out_edges_indexed(u) {
+                let idx = *mask_to_row.entry(e.labels.mask()).or_insert_with(|| {
+                    let mut row = [0.0f64; NUM_TOPICS];
+                    for (t_idx, slot) in row.iter_mut().enumerate() {
+                        *slot = sim.max_sim(e.labels, Topic::from_index(t_idx));
+                    }
+                    sim_rows.push(row);
+                    (sim_rows.len() - 1) as u32
+                });
+                edge_row[pos] = idx;
+            }
+        }
+        if sim_rows.is_empty() {
+            sim_rows.push([0.0; NUM_TOPICS]);
+        }
+        Propagator {
+            graph,
+            authority,
+            params,
+            variant,
+            sim_rows,
+            edge_row,
+            ones: [1.0; NUM_TOPICS],
+        }
+    }
+
+    /// The graph being scored.
+    pub fn graph(&self) -> &SocialGraph {
+        self.graph
+    }
+
+    /// The score parameters.
+    pub fn params(&self) -> &ScoreParams {
+        &self.params
+    }
+
+    /// The score variant.
+    pub fn variant(&self) -> ScoreVariant {
+        self.variant
+    }
+
+    /// Runs the iterative computation from `source` for the given
+    /// query topics (empty slice is valid and yields a pure Katz run).
+    pub fn propagate(&self, source: NodeId, topics: &[Topic], opts: PropagateOpts<'_>) -> Propagation {
+        let n = self.graph.num_nodes();
+        assert!(source.index() < n, "source not in graph");
+        let tc = if self.variant == ScoreVariant::TopoOnly {
+            0
+        } else {
+            topics.len()
+        };
+        let topic_idx: Vec<usize> = topics.iter().map(|t| t.index()).collect();
+        let beta = self.params.beta;
+        let ab = self.params.alpha * beta;
+        let depth_cap = self
+            .params
+            .max_depth
+            .min(opts.max_depth.unwrap_or(u32::MAX));
+
+        // Accumulators (sigma buffers are empty under TopoOnly).
+        let mut acc_sigma = vec![0.0f64; n * tc];
+        let mut acc_tb = vec![0.0f64; n];
+        let mut acc_tab = vec![0.0f64; n];
+
+        // Level buffers (current and next), sparse via frontier lists.
+        let mut cur_sig = vec![0.0f64; n * tc];
+        let mut next_sig = cur_sig.clone();
+        let mut cur_tb = vec![0.0f64; n];
+        let mut next_tb = vec![0.0f64; n];
+        let mut cur_tab = vec![0.0f64; n];
+        let mut next_tab = vec![0.0f64; n];
+
+        let mut frontier: Vec<u32> = vec![source.0];
+        let mut next_frontier: Vec<u32> = Vec::new();
+        let mut in_next = vec![false; n];
+
+        let mut reached: Vec<NodeId> = Vec::new();
+        let mut seen = vec![false; n];
+
+        cur_tb[source.index()] = 1.0;
+        cur_tab[source.index()] = 1.0;
+
+        let mut acc_tb_total = 0.0f64;
+        let mut levels = 0u32;
+        let mut converged = false;
+
+        loop {
+            // Fold the current level into the accumulators.
+            let mut level_tb = 0.0f64;
+            for &u in &frontier {
+                let ui = u as usize;
+                if !seen[ui] {
+                    seen[ui] = true;
+                    reached.push(NodeId(u));
+                }
+                acc_tb[ui] += cur_tb[ui];
+                acc_tab[ui] += cur_tab[ui];
+                level_tb += cur_tb[ui];
+                if tc > 0 {
+                    let base = ui * tc;
+                    for ti in 0..tc {
+                        acc_sigma[base + ti] += cur_sig[base + ti];
+                    }
+                }
+            }
+            acc_tb_total += level_tb;
+
+            // Convergence: the level's topological mass (the slowest
+            // decaying of the three) is negligible relative to the
+            // accumulated mass.
+            if levels > 0 && level_tb < self.params.tolerance * acc_tb_total {
+                converged = true;
+                break;
+            }
+            if levels >= depth_cap {
+                break;
+            }
+
+            // Expand the frontier.
+            next_frontier.clear();
+            for &u in &frontier {
+                let ui = u as usize;
+                if u != source.0 {
+                    if let Some(mask) = opts.prune {
+                        if mask[ui] {
+                            continue;
+                        }
+                    }
+                }
+                let tb_u = cur_tb[ui];
+                let tab_u = cur_tab[ui];
+                let sig_base = ui * tc;
+                for (pos, e) in self.graph.out_edges_indexed(NodeId(u)) {
+                    let vi = e.node.index();
+                    if !in_next[vi] {
+                        in_next[vi] = true;
+                        next_frontier.push(e.node.0);
+                    }
+                    next_tb[vi] += beta * tb_u;
+                    next_tab[vi] += ab * tab_u;
+                    if tc > 0 {
+                        let (sim_row, auth_row): (&[f64], &[f64]) = match self.variant {
+                            ScoreVariant::Full => (
+                                &self.sim_rows[self.edge_row[pos] as usize],
+                                self.authority.auth_row(e.node),
+                            ),
+                            ScoreVariant::NoAuthority => {
+                                (&self.sim_rows[self.edge_row[pos] as usize], &self.ones)
+                            }
+                            ScoreVariant::NoSimilarity => {
+                                (&self.ones, self.authority.auth_row(e.node))
+                            }
+                            ScoreVariant::TopoOnly => unreachable!("tc == 0"),
+                        };
+                        let vbase = vi * tc;
+                        for ti in 0..tc {
+                            let t_idx = topic_idx[ti];
+                            let w = ab * sim_row[t_idx] * auth_row[t_idx];
+                            next_sig[vbase + ti] += beta * cur_sig[sig_base + ti] + tab_u * w;
+                        }
+                    }
+                }
+            }
+
+            // Clear the current level's slots and swap buffers.
+            for &u in &frontier {
+                let ui = u as usize;
+                cur_tb[ui] = 0.0;
+                cur_tab[ui] = 0.0;
+                if tc > 0 {
+                    let base = ui * tc;
+                    for ti in 0..tc {
+                        cur_sig[base + ti] = 0.0;
+                    }
+                }
+            }
+            for &v in &next_frontier {
+                in_next[v as usize] = false;
+            }
+            std::mem::swap(&mut cur_sig, &mut next_sig);
+            std::mem::swap(&mut cur_tb, &mut next_tb);
+            std::mem::swap(&mut cur_tab, &mut next_tab);
+            std::mem::swap(&mut frontier, &mut next_frontier);
+
+            levels += 1;
+            if frontier.is_empty() {
+                converged = true;
+                break;
+            }
+        }
+
+        // Pack sigma for the requested topics even under TopoOnly
+        // (zeros), so the result shape is uniform.
+        let sigma = if tc > 0 {
+            acc_sigma
+        } else {
+            vec![0.0; n * topics.len()]
+        };
+        Propagation {
+            topics: topics.to_vec(),
+            sigma,
+            topo_beta: acc_tb,
+            topo_alphabeta: acc_tab,
+            reached,
+            source,
+            levels,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_graph::{GraphBuilder, TopicSet};
+
+    fn diamond() -> SocialGraph {
+        // 0 -> {1, 2} -> 3, labels all technology.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..4).map(|_| b.add_node(TopicSet::empty())).collect();
+        let l = TopicSet::single(Topic::Technology);
+        b.add_edge(n[0], n[1], l);
+        b.add_edge(n[0], n[2], l);
+        b.add_edge(n[1], n[3], l);
+        b.add_edge(n[2], n[3], l);
+        b.build()
+    }
+
+    fn params() -> ScoreParams {
+        ScoreParams {
+            alpha: 0.7,
+            beta: 0.3,
+            tolerance: 1e-12,
+            max_depth: 30,
+        }
+    }
+
+    #[test]
+    fn topo_counts_all_walks() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let r = p.propagate(NodeId(0), &[Topic::Technology], PropagateOpts::default());
+        // topo_beta(0, 3) = 2 walks of length 2 = 2 * 0.09.
+        assert!((r.topo_beta(NodeId(3)) - 2.0 * 0.09).abs() < 1e-12);
+        assert!((r.topo_beta(NodeId(1)) - 0.3).abs() < 1e-12);
+        // Source includes the empty walk.
+        assert!((r.topo_beta(NodeId(0)) - 1.0).abs() < 1e-12);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn sigma_on_single_edge() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let r = p.propagate(NodeId(0), &[Topic::Technology], PropagateOpts::default());
+        // σ(0,1,tech): walk 0→1 only. ω = βα·sim·auth(1). Node 1 has
+        // one follower on tech; node 3 has two (the per-topic max).
+        let auth1 = idx.auth(NodeId(1), Topic::Technology);
+        let expected = 0.3 * 0.7 * 1.0 * auth1;
+        assert!((r.sigma(NodeId(1), Topic::Technology) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_cap_limits_walks() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let r = p.propagate(
+            NodeId(0),
+            &[Topic::Technology],
+            PropagateOpts {
+                max_depth: Some(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.topo_beta(NodeId(3)), 0.0);
+        assert!(!r.reached.contains(&NodeId(3)));
+        assert!((r.topo_beta(NodeId(1)) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_stops_expansion() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let mut mask = vec![false; 4];
+        mask[1] = true;
+        mask[2] = true;
+        let r = p.propagate(
+            NodeId(0),
+            &[Topic::Technology],
+            PropagateOpts {
+                prune: Some(&mask),
+                ..Default::default()
+            },
+        );
+        // Both intermediate nodes are landmarks: their scores exist but
+        // node 3 is never reached.
+        assert!(r.topo_beta(NodeId(1)) > 0.0);
+        assert_eq!(r.topo_beta(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn cycles_converge() {
+        // 0 <-> 1 two-cycle plus 1 -> 2.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..3).map(|_| b.add_node(TopicSet::empty())).collect();
+        let l = TopicSet::single(Topic::Social);
+        b.add_edge(n[0], n[1], l);
+        b.add_edge(n[1], n[0], l);
+        b.add_edge(n[1], n[2], l);
+        let g = b.build();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let r = p.propagate(NodeId(0), &[Topic::Social], PropagateOpts::default());
+        assert!(r.converged);
+        // Geometric series over the 2-cycle: topo(0,1) = β + β³ + β⁵ ...
+        let b2 = 0.3f64 * 0.3;
+        let expected = 0.3 / (1.0 - b2);
+        assert!((r.topo_beta(NodeId(1)) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topo_only_variant_has_zero_sigma() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::TopoOnly);
+        let r = p.propagate(NodeId(0), &[Topic::Technology], PropagateOpts::default());
+        assert_eq!(r.sigma(NodeId(3), Topic::Technology), 0.0);
+        assert!(r.topo_beta(NodeId(3)) > 0.0);
+    }
+
+    #[test]
+    fn recommendation_vector_packs_queried_topics() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let r = p.propagate(
+            NodeId(0),
+            &[Topic::Technology, Topic::Business],
+            PropagateOpts::default(),
+        );
+        let v = r.recommendation_vector(NodeId(3));
+        assert_eq!(v.get(Topic::Technology), r.sigma(NodeId(3), Topic::Technology));
+        assert_eq!(v.get(Topic::Business), r.sigma(NodeId(3), Topic::Business));
+        assert_eq!(v.get(Topic::War), 0.0);
+        assert!(v.get(Topic::Technology) > 0.0);
+    }
+
+    #[test]
+    fn top_n_excludes_source_and_sorts() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let r = p.propagate(NodeId(0), &[Topic::Technology], PropagateOpts::default());
+        let top = r.top_n_topo(10);
+        assert!(!top.iter().any(|&(v, _)| v == NodeId(0)));
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn unreached_nodes_absent() {
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..3).map(|_| b.add_node(TopicSet::empty())).collect();
+        b.add_edge(n[0], n[1], TopicSet::single(Topic::War));
+        // Node 2 is isolated.
+        let g = b.build();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let r = p.propagate(NodeId(0), &[Topic::War], PropagateOpts::default());
+        assert!(!r.reached.contains(&NodeId(2)));
+        assert_eq!(r.topo_beta(NodeId(2)), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Generator parameters, with defaults calibrated against the paper's
+//! Table 2 (scaled down to laptop size — the node count is the scale
+//! knob, densities and skews follow the paper).
+
+/// Parameters of the Twitter-like follow-graph generator.
+#[derive(Clone, Debug)]
+pub struct TwitterConfig {
+    /// Number of accounts.
+    pub nodes: usize,
+    /// Target average out-degree (the paper's crawl: 57.8).
+    pub avg_out_degree: f64,
+    /// Zipf exponent of topic popularity (drives the Figure 3 bias).
+    pub topic_zipf_s: f64,
+    /// Maximum number of topics in a hidden interest mixture.
+    pub max_topics_per_user: usize,
+    /// Probability a followee is drawn by preferential attachment
+    /// (vs. uniformly). Higher values fatten the in-degree tail.
+    pub pa_strength: f64,
+    /// Strength of topical homophily in followee acceptance, in
+    /// `[0, 1]`: 0 ignores topics, 1 only accepts topically matching
+    /// followees.
+    pub homophily: f64,
+    /// Probability that a followee is drawn by triadic closure
+    /// (follow whom your followees follow). Real follow graphs are
+    /// heavily clustered, and link prediction (Figures 4–9) feeds on
+    /// exactly those length-2 alternative paths.
+    pub triadic: f64,
+    /// Mean of `ln(tweet count)` (tweet counts are log-normal).
+    pub tweets_ln_mean: f64,
+    /// Std-dev of `ln(tweet count)`.
+    pub tweets_ln_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig {
+            nodes: 20_000,
+            avg_out_degree: 57.8,
+            topic_zipf_s: 0.95,
+            max_topics_per_user: 3,
+            pa_strength: 0.55,
+            homophily: 0.8,
+            triadic: 0.45,
+            tweets_ln_mean: 4.0,
+            tweets_ln_std: 1.2,
+            seed: 0x7717_7e12,
+        }
+    }
+}
+
+impl TwitterConfig {
+    /// The default configuration scaled to `nodes` accounts.
+    pub fn scaled(nodes: usize) -> TwitterConfig {
+        TwitterConfig {
+            nodes,
+            ..TwitterConfig::default()
+        }
+    }
+
+    /// A small, fast configuration for unit/integration tests.
+    pub fn tiny() -> TwitterConfig {
+        TwitterConfig {
+            nodes: 400,
+            avg_out_degree: 12.0,
+            ..TwitterConfig::default()
+        }
+    }
+}
+
+/// Parameters of the DBLP-like author-citation generator.
+#[derive(Clone, Debug)]
+pub struct DblpConfig {
+    /// Number of authors.
+    pub nodes: usize,
+    /// Target average out-degree — citations made (the paper's DBLP
+    /// graph: 47.3; in/out averages are both E/N ≈ 39 over all nodes).
+    pub avg_out_degree: f64,
+    /// Zipf exponent of research-community popularity.
+    pub topic_zipf_s: f64,
+    /// Fraction of citations staying inside the author's own community
+    /// ("researchers cite mainly researchers from their community").
+    pub intra_community: f64,
+    /// Preferential-attachment probability for the cited author.
+    /// Lower than Twitter's: the paper notes the top in-degree decile
+    /// is "a more uniform dataset regarding the in-degree".
+    pub pa_strength: f64,
+    /// Size of the co-author cliques wired as mutual self-citation
+    /// clusters (the Figure 6 "self-citations phenomenon"); 0 disables.
+    pub coauthor_clique: usize,
+    /// Mean of `ln(paper count)`.
+    pub papers_ln_mean: f64,
+    /// Std-dev of `ln(paper count)`.
+    pub papers_ln_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig {
+            nodes: 8_000,
+            avg_out_degree: 39.0,
+            topic_zipf_s: 0.9,
+            intra_community: 0.8,
+            pa_strength: 0.45,
+            coauthor_clique: 4,
+            papers_ln_mean: 2.5,
+            papers_ln_std: 0.8,
+            seed: 0xDB1_B00C,
+        }
+    }
+}
+
+impl DblpConfig {
+    /// The default configuration scaled to `nodes` authors.
+    pub fn scaled(nodes: usize) -> DblpConfig {
+        DblpConfig {
+            nodes,
+            ..DblpConfig::default()
+        }
+    }
+
+    /// A small, fast configuration for unit/integration tests.
+    pub fn tiny() -> DblpConfig {
+        DblpConfig {
+            nodes: 400,
+            avg_out_degree: 14.0,
+            ..DblpConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_calibrated() {
+        let t = TwitterConfig::default();
+        assert!((t.avg_out_degree - 57.8).abs() < 1e-9);
+        assert!(t.pa_strength > DblpConfig::default().pa_strength);
+        let d = DblpConfig::default();
+        assert!(d.intra_community > 0.5);
+    }
+
+    #[test]
+    fn scaled_overrides_only_nodes() {
+        let t = TwitterConfig::scaled(123);
+        assert_eq!(t.nodes, 123);
+        assert_eq!(t.seed, TwitterConfig::default().seed);
+    }
+}

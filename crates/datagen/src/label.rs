@@ -1,0 +1,162 @@
+//! End-to-end labeled datasets.
+//!
+//! Two labeling paths produce the [`LabeledDataset`] every scorer and
+//! experiment consumes:
+//!
+//! * [`build_labeled`] — the faithful reproduction: run the
+//!   topic-extraction pipeline of `fui-textmine` (synthetic tweets →
+//!   10% seeded → classifier → profiles → edge labels), so the labels
+//!   the scorers see are *predictions*, imperfect exactly like the
+//!   paper's OpenCalais + SVM labels;
+//! * [`label_direct`] — keep the generator's ground-truth labels
+//!   (fast; used by unit tests and micro-benchmarks where pipeline
+//!   noise is irrelevant).
+
+use fui_graph::SocialGraph;
+use fui_taxonomy::TopicWeights;
+use fui_textmine::{apply_labels, extract_topics, PipelineConfig, TweetGenerator};
+
+use crate::twitter::{truth_support, GeneratedDataset};
+
+/// A fully labeled dataset, ready for scoring and evaluation.
+#[derive(Clone, Debug)]
+pub struct LabeledDataset {
+    /// The labeled follow/citation graph.
+    pub graph: SocialGraph,
+    /// Generator ground truth (hidden interest mixtures) — used by the
+    /// simulated user studies, never by the scorers.
+    pub hidden_profiles: Vec<TopicWeights>,
+    /// Published tweet/paper counts per account.
+    pub tweet_counts: Vec<u32>,
+    /// Soft publisher profiles (TwitterRank's `DT` rows): classifier
+    /// log-odds when the pipeline ran, normalised ground truth
+    /// otherwise.
+    pub publisher_weights: Vec<TopicWeights>,
+    /// Micro-precision of the label classifier against ground truth
+    /// (`None` for direct labeling). The paper's SVM reached 0.90.
+    pub classifier_precision: Option<f64>,
+    /// Dataset family name.
+    pub name: &'static str,
+}
+
+/// Labels a generated dataset through the full extraction pipeline.
+pub fn build_labeled(
+    dataset: GeneratedDataset,
+    gen: &TweetGenerator,
+    cfg: &PipelineConfig,
+) -> LabeledDataset {
+    let GeneratedDataset {
+        mut graph,
+        hidden_profiles,
+        tweet_counts,
+        name,
+    } = dataset;
+    let out = extract_topics(&graph, &hidden_profiles, gen, cfg);
+    apply_labels(&mut graph, &out);
+    LabeledDataset {
+        graph,
+        hidden_profiles,
+        tweet_counts,
+        publisher_weights: out.publisher_weights,
+        classifier_precision: Some(out.classifier.precision),
+        name,
+    }
+}
+
+/// Keeps the generator's direct ground-truth labels.
+pub fn label_direct(dataset: GeneratedDataset) -> LabeledDataset {
+    let GeneratedDataset {
+        graph,
+        hidden_profiles,
+        tweet_counts,
+        name,
+    } = dataset;
+    let publisher_weights = hidden_profiles.clone();
+    LabeledDataset {
+        graph,
+        hidden_profiles,
+        tweet_counts,
+        publisher_weights,
+        classifier_precision: None,
+        name,
+    }
+}
+
+impl LabeledDataset {
+    /// Ground-truth label set of an account.
+    pub fn truth_labels(&self, u: fui_graph::NodeId) -> fui_taxonomy::TopicSet {
+        truth_support(&self.hidden_profiles[u.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TwitterConfig;
+    use crate::twitter::generate;
+    use fui_taxonomy::Topic;
+
+    #[test]
+    fn direct_labels_keep_ground_truth() {
+        let d = label_direct(generate(&TwitterConfig::tiny()));
+        assert!(d.classifier_precision.is_none());
+        for u in d.graph.nodes() {
+            assert_eq!(d.graph.node_labels(u), d.truth_labels(u));
+        }
+    }
+
+    #[test]
+    fn pipeline_labels_are_applied_and_scored() {
+        let gen = TweetGenerator::standard();
+        let cfg = PipelineConfig {
+            tweets_per_user: 12,
+            ..PipelineConfig::default()
+        };
+        let d = build_labeled(generate(&TwitterConfig::tiny()), &gen, &cfg);
+        let precision = d.classifier_precision.expect("pipeline reports precision");
+        // The paper's classifier reached 0.90; ours must land in a
+        // credible band for the substitution to hold.
+        assert!(precision > 0.6, "precision = {precision}");
+        for (_, _, l) in d.graph.edges() {
+            assert!(!l.is_empty());
+        }
+        // Soft profiles are normalised (or zero for degenerate users).
+        for w in &d.publisher_weights {
+            let t = w.total();
+            assert!(t == 0.0 || (t - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pipeline_labels_differ_from_truth_somewhere() {
+        let gen = TweetGenerator::standard();
+        let cfg = PipelineConfig {
+            tweets_per_user: 6, // noisy on purpose
+            ..PipelineConfig::default()
+        };
+        let d = build_labeled(generate(&TwitterConfig::tiny()), &gen, &cfg);
+        let mismatches = d
+            .graph
+            .nodes()
+            .filter(|&u| d.graph.node_labels(u) != d.truth_labels(u))
+            .count();
+        assert!(mismatches > 0, "predicted labels are suspiciously perfect");
+    }
+
+    #[test]
+    fn probe_topics_present_in_labels() {
+        let d = label_direct(generate(&TwitterConfig {
+            nodes: 2000,
+            avg_out_degree: 15.0,
+            ..TwitterConfig::default()
+        }));
+        for probe in [Topic::Technology, Topic::Leisure, Topic::Social] {
+            let count = d
+                .graph
+                .nodes()
+                .filter(|&u| d.graph.node_labels(u).contains(probe))
+                .count();
+            assert!(count > 0, "no account labeled {probe}");
+        }
+    }
+}

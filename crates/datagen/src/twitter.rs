@@ -1,0 +1,425 @@
+//! Twitter-like follow-graph generator.
+//!
+//! Reproduces the topological regime of the paper's 2015 crawl
+//! (Table 2): heavy power-law in-degree tail (max in-degree of 348,595
+//! against an average of 69.4), moderate exponential-ish out-degree,
+//! one giant weak component, and topically *homophilous* edges — the
+//! paper's core modeling assumption is that "a link between a user u
+//! and a user v expresses an interest of u for one or several topics
+//! from the content published by v", so followees are accepted with a
+//! probability increasing in interest-profile affinity.
+//!
+//! Mechanism: each account draws a hidden interest mixture over the
+//! 18-topic vocabulary (topic popularity is Zipf-skewed, which is what
+//! produces the biased edges-per-topic distribution of Figure 3), then
+//! draws followees by a preferential-attachment/uniform mixture
+//! filtered by topical affinity.
+
+use fui_graph::{GraphBuilder, NodeId, SocialGraph};
+use fui_taxonomy::{Topic, TopicSet, TopicWeights, NUM_TOPICS};
+use fui_textmine::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::config::TwitterConfig;
+use crate::util::{degree_sample, lognormal_count};
+
+/// Global popularity ranking of topics used by both generators: rank 0
+/// is the most popular. Calibrated so the paper's probe topics land
+/// where Section 5.3 places them — `technology` popular, `leisure`
+/// medium, `social` infrequent.
+pub const TOPIC_POPULARITY_ORDER: [Topic; NUM_TOPICS] = [
+    Topic::Technology,
+    Topic::Entertainment,
+    Topic::Sports,
+    Topic::Politics,
+    Topic::Business,
+    Topic::Health,
+    Topic::Leisure,
+    Topic::Education,
+    Topic::Law,
+    Topic::Environment,
+    Topic::HumanInterest,
+    Topic::Religion,
+    Topic::Weather,
+    Topic::Labor,
+    Topic::Disaster,
+    Topic::War,
+    Topic::Social,
+    Topic::Other,
+];
+
+/// A generated dataset: the labeled topology plus the generator's
+/// ground truth (hidden interest mixtures and activity counts) that the
+/// topic-extraction pipeline and the simulated user studies consume.
+#[derive(Clone, Debug)]
+pub struct GeneratedDataset {
+    /// The follow graph, labeled directly from ground truth (node
+    /// labels = mixture support, edge labels = follower ∩ publisher
+    /// interests). Run `fui_textmine::extract_topics` +
+    /// `apply_labels` for pipeline-predicted labels instead.
+    pub graph: SocialGraph,
+    /// Hidden interest mixture of each account.
+    pub hidden_profiles: Vec<TopicWeights>,
+    /// Number of tweets (or papers, for DBLP) published per account —
+    /// TwitterRank's activity signal.
+    pub tweet_counts: Vec<u32>,
+    /// Dataset family name (`"twitter"` / `"dblp"`).
+    pub name: &'static str,
+}
+
+impl GeneratedDataset {
+    /// Ground-truth label set of an account (support of its hidden
+    /// mixture, falling back to the dominant topic).
+    pub fn truth_labels(&self, u: NodeId) -> TopicSet {
+        truth_support(&self.hidden_profiles[u.index()])
+    }
+}
+
+/// Support of a hidden mixture at the generators' canonical threshold.
+pub(crate) fn truth_support(w: &TopicWeights) -> TopicSet {
+    let s = w.support(0.15);
+    if s.is_empty() {
+        w.argmax().map(TopicSet::single).unwrap_or_default()
+    } else {
+        s
+    }
+}
+
+/// Samples a hidden interest mixture: 1..=max_topics distinct topics,
+/// popularity-ranked Zipf draws, geometrically decaying weights.
+pub(crate) fn sample_profile(
+    topic_zipf: &Zipf,
+    max_topics: usize,
+    rng: &mut StdRng,
+) -> TopicWeights {
+    let mut k = 1;
+    while k < max_topics && rng.gen::<f64>() < 0.45 {
+        k += 1;
+    }
+    let mut w = TopicWeights::zero();
+    let mut weight = 1.0;
+    let mut picked = 0;
+    let mut guard = 0;
+    while picked < k && guard < 64 {
+        guard += 1;
+        let t = TOPIC_POPULARITY_ORDER[topic_zipf.sample(rng)];
+        if w.get(t) == 0.0 {
+            w.set(t, weight * (0.75 + 0.5 * rng.gen::<f64>()));
+            weight *= 0.55;
+            picked += 1;
+        }
+    }
+    w.normalize();
+    w
+}
+
+/// Cosine affinity between two mixtures (0 when either is zero).
+pub(crate) fn affinity(a: &TopicWeights, b: &TopicWeights, norm_a: f64, norm_b: f64) -> f64 {
+    if norm_a == 0.0 || norm_b == 0.0 {
+        return 0.0;
+    }
+    let dot: f64 = a.0.iter().zip(&b.0).map(|(x, y)| x * y).sum();
+    dot / (norm_a * norm_b)
+}
+
+pub(crate) fn norm(w: &TopicWeights) -> f64 {
+    w.0.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Ground-truth edge label: source interests ∩ target topics, falling
+/// back to the target's dominant topic (a follow always has a reason).
+pub(crate) fn edge_truth_label(
+    src: &TopicWeights,
+    dst: &TopicWeights,
+) -> TopicSet {
+    let inter = truth_support(src).intersection(truth_support(dst));
+    if inter.is_empty() {
+        dst.argmax().map(TopicSet::single).unwrap_or_default()
+    } else {
+        inter
+    }
+}
+
+/// Generates a Twitter-like dataset.
+pub fn generate(cfg: &TwitterConfig) -> GeneratedDataset {
+    assert!(cfg.nodes >= 2, "need at least two accounts");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.nodes;
+    let topic_zipf = Zipf::new(NUM_TOPICS, cfg.topic_zipf_s);
+
+    let hidden_profiles: Vec<TopicWeights> = (0..n)
+        .map(|_| sample_profile(&topic_zipf, cfg.max_topics_per_user, &mut rng))
+        .collect();
+    let norms: Vec<f64> = hidden_profiles.iter().map(norm).collect();
+    let tweet_counts: Vec<u32> = (0..n)
+        .map(|_| lognormal_count(&mut rng, cfg.tweets_ln_mean, cfg.tweets_ln_std, 1_000_000))
+        .collect();
+
+    // Preferential-attachment pool: every in-edge pushes its target, so
+    // drawing uniformly from the pool is proportional to in-degree + 1.
+    // A small set of "celebrity" accounts gets a large base
+    // attractiveness, reproducing the extreme in-degree spikes of the
+    // real crawl (Table 2: max in-degree 348,595 vs. average 69.4).
+    let mut pa_pool: Vec<u32> = (0..n as u32).collect();
+    for v in 0..n as u32 {
+        if rng.gen::<f64>() < 0.004 {
+            pa_pool.extend(std::iter::repeat_n(v, 60));
+        }
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(&mut rng);
+
+    let mut builder = GraphBuilder::with_capacity(n, (n as f64 * cfg.avg_out_degree) as usize);
+    for prof in &hidden_profiles {
+        builder.add_node(truth_support(prof));
+    }
+
+    // Pass A — preferential attachment + homophily. Each node draws
+    // the non-closure share of its degree.
+    let mut out_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut degree_budget = vec![0usize; n];
+    for &u in &order {
+        let u_idx = u as usize;
+        // A small fraction of accounts are "super readers" following
+        // far more than average (the paper's 185k max out-degree).
+        let boost = if rng.gen::<f64>() < 0.002 { 20.0 } else { 1.0 };
+        let want = degree_sample(&mut rng, cfg.avg_out_degree * boost).min(n / 2);
+        degree_budget[u_idx] = want;
+        let base = ((want as f64) * (1.0 - cfg.triadic)).ceil() as usize;
+        let mut attempts = 0usize;
+        let max_attempts = base * 12 + 24;
+        while out_adj[u_idx].len() < base && attempts < max_attempts {
+            attempts += 1;
+            let from_pa = rng.gen::<f64>() < cfg.pa_strength;
+            let v = if from_pa {
+                pa_pool[rng.gen_range(0..pa_pool.len())]
+            } else {
+                rng.gen_range(0..n as u32)
+            };
+            if v == u || out_adj[u_idx].contains(&v) {
+                continue;
+            }
+            let aff = affinity(
+                &hidden_profiles[u_idx],
+                &hidden_profiles[v as usize],
+                norms[u_idx],
+                norms[v as usize],
+            );
+            // Celebrities get followed across interest boundaries:
+            // popularity-driven picks face a softened topical filter.
+            let h = if from_pa {
+                cfg.homophily * 0.5
+            } else {
+                cfg.homophily
+            };
+            if rng.gen::<f64>() < (1.0 - h) + h * aff {
+                out_adj[u_idx].push(v);
+                pa_pool.push(v);
+            }
+        }
+    }
+
+    // Pass B — triadic closure over the completed pass-A adjacency:
+    // follow whom your followees follow. This is what gives the graph
+    // its clustering (real follow graphs are triangle-dense), and what
+    // leaves alternative length-2 paths behind every removed edge.
+    for &u in &order {
+        let u_idx = u as usize;
+        let want = degree_budget[u_idx];
+        let mut attempts = 0usize;
+        let max_attempts = want * 16 + 24;
+        while out_adj[u_idx].len() < want && attempts < max_attempts {
+            attempts += 1;
+            if out_adj[u_idx].is_empty() {
+                break;
+            }
+            // Tournament pick: prefer the topically closer of two
+            // random followees as the triangle pivot, so closure
+            // densifies *interest communities* (rare topics included)
+            // rather than the popularity core.
+            let w = {
+                let a = out_adj[u_idx][rng.gen_range(0..out_adj[u_idx].len())] as usize;
+                let b = out_adj[u_idx][rng.gen_range(0..out_adj[u_idx].len())] as usize;
+                let aff_of = |x: usize| {
+                    affinity(&hidden_profiles[u_idx], &hidden_profiles[x], norms[u_idx], norms[x])
+                };
+                if aff_of(a) >= aff_of(b) { a } else { b }
+            };
+            if out_adj[w].is_empty() {
+                continue;
+            }
+            let v = out_adj[w][rng.gen_range(0..out_adj[w].len())];
+            if v == u || out_adj[u_idx].contains(&v) {
+                continue;
+            }
+            let aff = affinity(
+                &hidden_profiles[u_idx],
+                &hidden_profiles[v as usize],
+                norms[u_idx],
+                norms[v as usize],
+            );
+            if rng.gen::<f64>() < (1.0 - cfg.homophily) + cfg.homophily * aff {
+                out_adj[u_idx].push(v);
+                pa_pool.push(v);
+            }
+        }
+    }
+
+    for &u in &order {
+        let u_idx = u as usize;
+        for &v in &out_adj[u_idx] {
+            let label = edge_truth_label(&hidden_profiles[u_idx], &hidden_profiles[v as usize]);
+            builder.add_edge(NodeId(u), NodeId(v), label);
+        }
+    }
+
+    GeneratedDataset {
+        graph: builder.build(),
+        hidden_profiles,
+        tweet_counts,
+        name: "twitter",
+    }
+}
+
+/// Edge counts per topic over a labeled graph — the series of Figure 3.
+pub fn edges_per_topic(graph: &SocialGraph) -> [usize; NUM_TOPICS] {
+    let mut counts = [0usize; NUM_TOPICS];
+    for (_, _, labels) in graph.edges() {
+        for t in labels.iter() {
+            counts[t.index()] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_graph::components::giant_component_fraction;
+    use fui_graph::stats::GraphStats;
+
+    fn small() -> GeneratedDataset {
+        generate(&TwitterConfig {
+            nodes: 1500,
+            avg_out_degree: 20.0,
+            ..TwitterConfig::default()
+        })
+    }
+
+    #[test]
+    fn average_out_degree_near_target() {
+        let d = small();
+        let s = GraphStats::compute(&d.graph);
+        assert!(
+            (s.avg_out_degree - 20.0).abs() / 20.0 < 0.25,
+            "avg out = {}",
+            s.avg_out_degree
+        );
+    }
+
+    #[test]
+    fn in_degree_has_heavy_tail() {
+        let d = small();
+        let s = GraphStats::compute(&d.graph);
+        // Max in-degree should dwarf the average (paper: 348,595 vs 69.4).
+        assert!(
+            s.max_in_degree as f64 > 6.0 * s.avg_in_degree,
+            "max in {} vs avg {}",
+            s.max_in_degree,
+            s.avg_in_degree
+        );
+    }
+
+    #[test]
+    fn graph_is_one_giant_component() {
+        let d = small();
+        assert!(giant_component_fraction(&d.graph) > 0.95);
+    }
+
+    #[test]
+    fn every_node_has_a_profile_and_tweets() {
+        let d = small();
+        for u in d.graph.nodes() {
+            assert!(!d.truth_labels(u).is_empty());
+            assert!(d.tweet_counts[u.index()] >= 1);
+        }
+    }
+
+    #[test]
+    fn edge_labels_are_never_empty() {
+        let d = small();
+        for (_, _, l) in d.graph.edges() {
+            assert!(!l.is_empty());
+        }
+    }
+
+    #[test]
+    fn topic_distribution_is_biased() {
+        let d = small();
+        let counts = edges_per_topic(&d.graph);
+        let max = *counts.iter().max().unwrap();
+        let mut sorted = counts;
+        sorted.sort_unstable();
+        let median = sorted[NUM_TOPICS / 2];
+        assert!(
+            max as f64 > 3.0 * median.max(1) as f64,
+            "max {max} vs median {median}"
+        );
+        // The probe topics keep their calibrated popularity order.
+        assert!(counts[Topic::Technology.index()] > counts[Topic::Leisure.index()]);
+        assert!(counts[Topic::Leisure.index()] > counts[Topic::Social.index()]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&TwitterConfig::tiny());
+        let b = generate(&TwitterConfig::tiny());
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.tweet_counts, b.tweet_counts);
+    }
+
+    #[test]
+    fn homophily_raises_edge_affinity() {
+        let base = TwitterConfig {
+            nodes: 800,
+            avg_out_degree: 15.0,
+            ..TwitterConfig::default()
+        };
+        let homo = generate(&TwitterConfig {
+            homophily: 0.95,
+            ..base.clone()
+        });
+        let rand_g = generate(&TwitterConfig {
+            homophily: 0.0,
+            seed: base.seed + 1,
+            ..base
+        });
+        let mean_aff = |d: &GeneratedDataset| {
+            let norms: Vec<f64> = d.hidden_profiles.iter().map(norm).collect();
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for (u, v, _) in d.graph.edges() {
+                total += affinity(
+                    &d.hidden_profiles[u.index()],
+                    &d.hidden_profiles[v.index()],
+                    norms[u.index()],
+                    norms[v.index()],
+                );
+                count += 1;
+            }
+            total / count as f64
+        };
+        assert!(
+            mean_aff(&homo) > mean_aff(&rand_g) + 0.1,
+            "homophilous edges are not more affine"
+        );
+    }
+
+    #[test]
+    fn graph_is_consistent() {
+        let d = generate(&TwitterConfig::tiny());
+        d.graph.check_consistency().unwrap();
+    }
+}

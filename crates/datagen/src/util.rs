@@ -1,0 +1,74 @@
+//! Small numeric sampling helpers (rand 0.8 ships only uniform
+//! primitives; everything else is derived here).
+
+use rand::Rng;
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Log-normal draw `exp(N(mu, sigma))`, clamped to `[1, max]` and
+/// rounded — used for tweet/paper counts.
+pub fn lognormal_count(rng: &mut impl Rng, mu: f64, sigma: f64, max: u32) -> u32 {
+    let x = (mu + sigma * standard_normal(rng)).exp();
+    (x.round() as u32).clamp(1, max)
+}
+
+/// Poisson-ish degree draw: a geometric mixture around `mean` giving
+/// realistic out-degree variance. Returns at least 1.
+pub fn degree_sample(rng: &mut impl Rng, mean: f64) -> usize {
+    // Exponential with the requested mean, discretised: heavier tail
+    // than Poisson, matching observed follow-count distributions.
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let d = (-mean * u.ln()).round() as usize;
+    d.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_counts_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let c = lognormal_count(&mut rng, 3.0, 1.0, 500);
+            assert!((1..=500).contains(&c));
+        }
+    }
+
+    #[test]
+    fn degree_sample_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| degree_sample(&mut rng, 20.0)).sum();
+        let mean = total as f64 / n as f64;
+        // max(1, .) shifts the mean up slightly.
+        assert!((mean - 20.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn degree_sample_is_at_least_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(degree_sample(&mut rng, 0.01) >= 1);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests on the dataset generators: structural invariants
+//! must hold across the configuration space, not just at the defaults.
+
+use fui_datagen::{dblp, label_direct, twitter, DblpConfig, TwitterConfig};
+use fui_graph::components::giant_component_fraction;
+use proptest::prelude::*;
+
+fn arb_twitter_cfg() -> impl Strategy<Value = TwitterConfig> {
+    (
+        50usize..400,
+        3.0f64..15.0,
+        0.0f64..0.9,   // pa_strength
+        0.0f64..0.95,  // homophily
+        0.0f64..0.8,   // triadic
+        any::<u64>(),
+    )
+        .prop_map(|(nodes, avg, pa, homo, triadic, seed)| TwitterConfig {
+            nodes,
+            avg_out_degree: avg,
+            pa_strength: pa,
+            homophily: homo,
+            triadic,
+            seed,
+            ..TwitterConfig::default()
+        })
+}
+
+fn arb_dblp_cfg() -> impl Strategy<Value = DblpConfig> {
+    (
+        50usize..400,
+        3.0f64..15.0,
+        0.0f64..0.95, // intra_community
+        0usize..6,    // coauthor_clique
+        any::<u64>(),
+    )
+        .prop_map(|(nodes, avg, intra, clique, seed)| DblpConfig {
+            nodes,
+            avg_out_degree: avg,
+            intra_community: intra,
+            coauthor_clique: clique,
+            seed,
+            ..DblpConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn twitter_generator_invariants(cfg in arb_twitter_cfg()) {
+        let d = twitter::generate(&cfg);
+        prop_assert_eq!(d.graph.num_nodes(), cfg.nodes);
+        prop_assert!(d.graph.check_consistency().is_ok());
+        prop_assert_eq!(d.hidden_profiles.len(), cfg.nodes);
+        prop_assert_eq!(d.tweet_counts.len(), cfg.nodes);
+        for u in d.graph.nodes() {
+            // Every account has interests and a positive tweet count.
+            prop_assert!(!d.truth_labels(u).is_empty());
+            prop_assert!(d.tweet_counts[u.index()] >= 1);
+            let total = d.hidden_profiles[u.index()].total();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        for (_, _, labels) in d.graph.edges() {
+            prop_assert!(!labels.is_empty());
+        }
+    }
+
+    #[test]
+    fn dblp_generator_invariants(cfg in arb_dblp_cfg()) {
+        let d = dblp::generate(&cfg);
+        prop_assert_eq!(d.graph.num_nodes(), cfg.nodes);
+        prop_assert!(d.graph.check_consistency().is_ok());
+        for (_, _, labels) in d.graph.edges() {
+            prop_assert!(!labels.is_empty());
+        }
+        for u in d.graph.nodes() {
+            prop_assert!(!d.truth_labels(u).is_empty());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic(cfg in arb_twitter_cfg()) {
+        let a = twitter::generate(&cfg);
+        let b = twitter::generate(&cfg);
+        prop_assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        prop_assert_eq!(&a.tweet_counts, &b.tweet_counts);
+        let ea: Vec<_> = a.graph.edges().collect();
+        let eb: Vec<_> = b.graph.edges().collect();
+        prop_assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn dense_enough_graphs_are_connected(
+        nodes in 200usize..500,
+        seed in any::<u64>(),
+    ) {
+        let d = twitter::generate(&TwitterConfig {
+            nodes,
+            avg_out_degree: 12.0,
+            seed,
+            ..TwitterConfig::default()
+        });
+        prop_assert!(
+            giant_component_fraction(&d.graph) > 0.9,
+            "giant component only {}",
+            giant_component_fraction(&d.graph)
+        );
+    }
+
+    #[test]
+    fn direct_labels_agree_with_truth(cfg in arb_twitter_cfg()) {
+        let d = label_direct(twitter::generate(&cfg));
+        for u in d.graph.nodes() {
+            prop_assert_eq!(d.graph.node_labels(u), d.truth_labels(u));
+        }
+        prop_assert!(d.classifier_precision.is_none());
+        // Soft profiles mirror the hidden mixtures under direct labels.
+        for (w, h) in d.publisher_weights.iter().zip(&d.hidden_profiles) {
+            prop_assert_eq!(w, h);
+        }
+    }
+}

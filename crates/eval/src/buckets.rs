@@ -1,0 +1,119 @@
+//! Popularity-stratified test-edge selection (Figure 8).
+//!
+//! The paper measures recall separately for held-out edges pointing at
+//! the 10% most-followed accounts (`TW max`) and the 10% least-followed
+//! accounts (`TW min`) — the regime where popularity-driven methods
+//! (TwitterRank) collapse and topical methods keep signal.
+
+use fui_graph::{NodeId, SocialGraph};
+use rand::Rng;
+
+use crate::linkpred::{select_test_edges, LinkPredConfig, TestEdge};
+
+/// Which popularity decile the target must fall into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PopularityBucket {
+    /// Targets among the 10% most-followed accounts.
+    Top10,
+    /// Targets among the 10% least-followed accounts (that still meet
+    /// the protocol's `kin` constraint).
+    Bottom10,
+}
+
+impl PopularityBucket {
+    /// Display label (`max` / `min`, as in Figure 8).
+    pub fn label(self) -> &'static str {
+        match self {
+            PopularityBucket::Top10 => "max",
+            PopularityBucket::Bottom10 => "min",
+        }
+    }
+}
+
+/// In-degree thresholds delimiting the top and bottom deciles.
+pub fn decile_thresholds(graph: &SocialGraph) -> (usize, usize) {
+    decile_thresholds_eligible(graph, 0)
+}
+
+/// Decile thresholds computed over nodes with in-degree at least
+/// `min_in_degree` — the protocol's `kin` constraint must leave the
+/// bottom bucket non-empty, so the deciles are taken over *eligible*
+/// targets.
+pub fn decile_thresholds_eligible(graph: &SocialGraph, min_in_degree: usize) -> (usize, usize) {
+    let mut degs: Vec<usize> = graph
+        .nodes()
+        .map(|v| graph.in_degree(v))
+        .filter(|&d| d >= min_in_degree)
+        .collect();
+    degs.sort_unstable();
+    let n = degs.len();
+    if n == 0 {
+        return (min_in_degree, min_in_degree);
+    }
+    let bottom = degs[(n - 1) / 10];
+    let top = degs[(n - 1) * 9 / 10];
+    (bottom, top)
+}
+
+/// Selects test edges whose target lies in the requested popularity
+/// bucket.
+pub fn select_bucketed_edges(
+    graph: &SocialGraph,
+    cfg: &LinkPredConfig,
+    bucket: PopularityBucket,
+    rng: &mut impl Rng,
+) -> Vec<TestEdge> {
+    let (bottom, top) = decile_thresholds_eligible(graph, cfg.kin);
+    select_test_edges(graph, cfg, rng, |g, _u, v: NodeId| {
+        let d = g.in_degree(v);
+        match bucket {
+            PopularityBucket::Top10 => d >= top,
+            PopularityBucket::Bottom10 => d <= bottom,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_datagen::{label_direct, twitter, TwitterConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn thresholds_are_ordered() {
+        let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
+        let (bottom, top) = decile_thresholds(&d.graph);
+        assert!(bottom <= top);
+    }
+
+    #[test]
+    fn buckets_select_the_right_targets() {
+        let d = label_direct(twitter::generate(&TwitterConfig {
+            nodes: 1200,
+            avg_out_degree: 15.0,
+            ..TwitterConfig::default()
+        }));
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = LinkPredConfig {
+            test_size: 30,
+            ..Default::default()
+        };
+        let (bottom, top) = decile_thresholds_eligible(&d.graph, cfg.kin);
+        let hi = select_bucketed_edges(&d.graph, &cfg, PopularityBucket::Top10, &mut rng);
+        let lo = select_bucketed_edges(&d.graph, &cfg, PopularityBucket::Bottom10, &mut rng);
+        assert!(!hi.is_empty());
+        for e in &hi {
+            assert!(d.graph.in_degree(e.dst) >= top);
+        }
+        for e in &lo {
+            assert!(d.graph.in_degree(e.dst) <= bottom);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(PopularityBucket::Top10.label(), "max");
+        assert_eq!(PopularityBucket::Bottom10.label(), "min");
+    }
+}

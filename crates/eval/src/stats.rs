@@ -1,0 +1,75 @@
+//! Small descriptive-statistics helpers used across the experiments.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of the ~95% confidence interval of the mean
+/// (normal approximation, `1.96·s/√n`).
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// The `q`-quantile (nearest-rank) of a slice; `None` when empty.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are not NaN"));
+    let idx = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+    Some(sorted[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935299395).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(ci95_half_width(&[1.0]), 0.0);
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let few = [1.0, 2.0, 3.0];
+        let many: Vec<f64> = (0..300).map(|i| f64::from(i % 3) + 1.0).collect();
+        assert!(ci95_half_width(&many) < ci95_half_width(&few));
+    }
+}

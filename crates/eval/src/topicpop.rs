@@ -1,0 +1,91 @@
+//! Topic-stratified test-edge selection (Figure 9).
+//!
+//! "Since the distribution of edge topics is very biased we also study
+//! the impact of the popularity of the topic on the recommendations"
+//! — the paper probes `social` (infrequent), `leisure` (medium) and
+//! `technology` (popular). Held-out edges are restricted to edges
+//! labeled with the probe topic, and the query topic is forced to it.
+
+use fui_graph::SocialGraph;
+use fui_taxonomy::Topic;
+use rand::Rng;
+
+use crate::linkpred::{select_test_edges, LinkPredConfig, TestEdge};
+
+/// The paper's three probe topics, in increasing popularity order.
+pub const PROBE_TOPICS: [Topic; 3] = [Topic::Social, Topic::Leisure, Topic::Technology];
+
+/// Selects test edges labeled with `topic`, with the query topic
+/// pinned to it.
+pub fn select_topic_edges(
+    graph: &SocialGraph,
+    cfg: &LinkPredConfig,
+    topic: Topic,
+    rng: &mut impl Rng,
+) -> Vec<TestEdge> {
+    let mut edges = select_test_edges(graph, cfg, rng, |g, u, v| {
+        g.edge_label(u, v)
+            .map(|l| l.contains(topic))
+            .unwrap_or(false)
+    });
+    for e in &mut edges {
+        e.topic = topic;
+    }
+    edges
+}
+
+/// Number of edges labeled with each probe topic (context for the
+/// Figure 9 discussion).
+pub fn probe_edge_counts(graph: &SocialGraph) -> [(Topic, usize); 3] {
+    let mut out = [(Topic::Social, 0usize); 3];
+    for (i, &t) in PROBE_TOPICS.iter().enumerate() {
+        let count = graph
+            .edges()
+            .filter(|&(_, _, labels)| labels.contains(t))
+            .count();
+        out[i] = (t, count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_datagen::{label_direct, twitter, TwitterConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn selected_edges_carry_the_probe_topic() {
+        let d = label_direct(twitter::generate(&TwitterConfig {
+            nodes: 1500,
+            avg_out_degree: 15.0,
+            ..TwitterConfig::default()
+        }));
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = LinkPredConfig {
+            test_size: 20,
+            ..Default::default()
+        };
+        for t in PROBE_TOPICS {
+            let edges = select_topic_edges(&d.graph, &cfg, t, &mut rng);
+            for e in &edges {
+                assert_eq!(e.topic, t);
+                assert!(d.graph.edge_label(e.src, e.dst).unwrap().contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn probe_popularity_order_holds_in_generated_data() {
+        let d = label_direct(twitter::generate(&TwitterConfig {
+            nodes: 1500,
+            avg_out_degree: 15.0,
+            ..TwitterConfig::default()
+        }));
+        let counts = probe_edge_counts(&d.graph);
+        // social < leisure < technology (the generator's calibration).
+        assert!(counts[0].1 < counts[1].1, "{counts:?}");
+        assert!(counts[1].1 < counts[2].1, "{counts:?}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Incremental construction of a [`SocialGraph`].
+
+use fui_taxonomy::TopicSet;
+
+use crate::csr::{NodeId, SocialGraph};
+
+/// Builder accumulating nodes and labeled edges, then packing them into
+/// the dual-CSR [`SocialGraph`].
+///
+/// ```
+/// use fui_graph::{GraphBuilder, Topic, TopicSet};
+///
+/// let mut b = GraphBuilder::new();
+/// let alice = b.add_node(TopicSet::empty());
+/// let bob = b.add_node(TopicSet::single(Topic::Technology));
+/// b.add_edge(alice, bob, TopicSet::single(Topic::Technology));
+/// let graph = b.build();
+/// assert_eq!(graph.followees(alice), &[bob]);
+/// assert_eq!(graph.followers(bob), &[alice]);
+/// assert_eq!(graph.followers_on(bob, Topic::Technology), 1);
+/// ```
+///
+/// Parallel edges between the same ordered pair are merged by unioning
+/// their label sets (a follow relationship is unique; its labels are the
+/// union of the interests that motivated it). Self-loops are rejected —
+/// an account does not follow itself.
+#[derive(Default)]
+pub struct GraphBuilder {
+    node_labels: Vec<TopicSet>,
+    edges: Vec<(NodeId, NodeId, TopicSet)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> GraphBuilder {
+        GraphBuilder::default()
+    }
+
+    /// Creates a builder with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> GraphBuilder {
+        GraphBuilder {
+            node_labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Adds an account with the given publisher profile and returns its
+    /// id.
+    pub fn add_node(&mut self, labels: TopicSet) -> NodeId {
+        let id = NodeId(u32::try_from(self.node_labels.len()).expect("node count fits in u32"));
+        self.node_labels.push(labels);
+        id
+    }
+
+    /// Adds `count` unlabeled accounts and returns the id of the first.
+    pub fn add_nodes(&mut self, count: usize) -> NodeId {
+        let first = NodeId(self.node_labels.len() as u32);
+        self.node_labels
+            .resize(self.node_labels.len() + count, TopicSet::empty());
+        first
+    }
+
+    /// Records that `follower` follows `followee` with the given topics
+    /// of interest.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added, or on a self-loop.
+    pub fn add_edge(&mut self, follower: NodeId, followee: NodeId, labels: TopicSet) {
+        assert!(
+            follower.index() < self.node_labels.len() && followee.index() < self.node_labels.len(),
+            "edge endpoints must be added before the edge"
+        );
+        assert_ne!(follower, followee, "an account cannot follow itself");
+        self.edges.push((follower, followee, labels));
+    }
+
+    /// Packs everything into the immutable dual-CSR graph.
+    ///
+    /// Runs two counting-sort passes (one per direction), `O(N + E)`.
+    pub fn build(mut self) -> SocialGraph {
+        let n = self.node_labels.len();
+
+        // Merge duplicate (follower, followee) pairs by unioning labels.
+        self.edges
+            .sort_unstable_by_key(|&(u, v, _)| (u.0, v.0));
+        self.edges.dedup_by(|next, prev| {
+            if prev.0 == next.0 && prev.1 == next.1 {
+                prev.2 = prev.2.union(next.2);
+                true
+            } else {
+                false
+            }
+        });
+        let m = self.edges.len();
+
+        // Out direction: edges are already sorted by follower.
+        let mut out_offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &self.edges {
+            out_offsets[u.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = Vec::with_capacity(m);
+        let mut out_labels = Vec::with_capacity(m);
+        for &(_, v, l) in &self.edges {
+            out_targets.push(v);
+            out_labels.push(l);
+        }
+
+        // In direction: counting sort by followee.
+        let mut in_offsets = vec![0usize; n + 1];
+        for &(_, v, _) in &self.edges {
+            in_offsets[v.index() + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut cursor = in_offsets.clone();
+        let mut in_sources = vec![NodeId(0); m];
+        let mut in_labels = vec![TopicSet::empty(); m];
+        for &(u, v, l) in &self.edges {
+            let slot = cursor[v.index()];
+            in_sources[slot] = u;
+            in_labels[slot] = l;
+            cursor[v.index()] += 1;
+        }
+
+        SocialGraph {
+            node_labels: self.node_labels,
+            out_offsets,
+            out_targets,
+            out_labels,
+            in_offsets,
+            in_sources,
+            in_labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_taxonomy::Topic;
+
+    #[test]
+    fn duplicate_edges_merge_labels() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(TopicSet::empty());
+        let v = b.add_node(TopicSet::empty());
+        b.add_edge(u, v, TopicSet::single(Topic::Technology));
+        b.add_edge(u, v, TopicSet::single(Topic::Sports));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        let l = g.edge_label(u, v).unwrap();
+        assert!(l.contains(Topic::Technology) && l.contains(Topic::Sports));
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot follow itself")]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(TopicSet::empty());
+        b.add_edge(u, u, TopicSet::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be added before")]
+    fn dangling_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(TopicSet::empty());
+        b.add_edge(u, NodeId(7), TopicSet::empty());
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_nodes(5);
+        assert_eq!(first, NodeId(0));
+        assert_eq!(b.num_nodes(), 5);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 5);
+    }
+
+    #[test]
+    fn csr_offsets_are_monotone_and_complete() {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..6).map(|_| b.add_node(TopicSet::empty())).collect();
+        // Star into node 0 plus a chain.
+        for &u in &nodes[1..] {
+            b.add_edge(u, nodes[0], TopicSet::single(Topic::Social));
+        }
+        for w in nodes.windows(2) {
+            b.add_edge(w[0], w[1], TopicSet::single(Topic::Health));
+        }
+        let g = b.build();
+        assert_eq!(g.num_edges(), 10);
+        assert_eq!(g.in_degree(nodes[0]), 5);
+        let total_out: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let total_in: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        assert_eq!(total_out, g.num_edges());
+        assert_eq!(total_in, g.num_edges());
+        g.check_consistency().unwrap();
+    }
+}

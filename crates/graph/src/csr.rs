@@ -1,0 +1,438 @@
+//! Immutable dual-CSR storage for the labeled follow graph.
+//!
+//! The graph is stored twice, both directions in compressed sparse row
+//! form:
+//!
+//! * the **out** CSR lists, for each user `u`, the accounts `u` follows
+//!   (the *publishers* of `u`) — this is the direction score propagation
+//!   and the k-vicinity BFS traverse;
+//! * the **in** CSR lists, for each user `u`, the accounts following `u`
+//!   (the *followers* `Γu`) — this is what the authority scores
+//!   `|Γu|, |Γu(t)|` are counted from.
+//!
+//! Every edge carries its topic label set in both copies so either
+//! direction can be scanned without indirection.
+
+use fui_taxonomy::{Topic, TopicSet};
+use std::fmt;
+
+/// Identifier of a user account: a dense index in `0..graph.num_nodes()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a usize index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// A labeled edge incident to some node, yielded by the adjacency
+/// iterators: the node at the other end plus the edge's topic labels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EdgeRef {
+    /// The neighbour at the other end of the edge.
+    pub node: NodeId,
+    /// Topics of interest labeling the follow relationship.
+    pub labels: TopicSet,
+}
+
+/// Immutable directed labeled graph in dual-CSR form.
+///
+/// Construct it through [`crate::GraphBuilder`].
+#[derive(Clone)]
+pub struct SocialGraph {
+    pub(crate) node_labels: Vec<TopicSet>,
+    // Out direction: who each node follows.
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_targets: Vec<NodeId>,
+    pub(crate) out_labels: Vec<TopicSet>,
+    // In direction: who follows each node.
+    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_sources: Vec<NodeId>,
+    pub(crate) in_labels: Vec<TopicSet>,
+}
+
+impl SocialGraph {
+    /// Number of user accounts.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of follow edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Topics the account publishes on (`labelN`).
+    #[inline]
+    pub fn node_labels(&self, u: NodeId) -> TopicSet {
+        self.node_labels[u.index()]
+    }
+
+    /// Replaces the publisher profile of a node.
+    pub fn set_node_labels(&mut self, u: NodeId, labels: TopicSet) {
+        self.node_labels[u.index()] = labels;
+    }
+
+    /// Number of accounts `u` follows (out-degree; the paper's
+    /// "publishers of u").
+    #[inline]
+    pub fn out_degree(&self, u: NodeId) -> usize {
+        self.out_offsets[u.index() + 1] - self.out_offsets[u.index()]
+    }
+
+    /// Number of followers of `u` — `|Γu|` (in-degree).
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        self.in_offsets[u.index() + 1] - self.in_offsets[u.index()]
+    }
+
+    /// The accounts `u` follows (targets of out-edges), as a slice.
+    #[inline]
+    pub fn followees(&self, u: NodeId) -> &[NodeId] {
+        &self.out_targets[self.out_offsets[u.index()]..self.out_offsets[u.index() + 1]]
+    }
+
+    /// The followers of `u` — the set `Γu` (sources of in-edges).
+    #[inline]
+    pub fn followers(&self, u: NodeId) -> &[NodeId] {
+        &self.in_sources[self.in_offsets[u.index()]..self.in_offsets[u.index() + 1]]
+    }
+
+    /// Labeled out-edges of `u`: `(followee, edge labels)` pairs.
+    #[inline]
+    pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let range = self.out_offsets[u.index()]..self.out_offsets[u.index() + 1];
+        self.out_targets[range.clone()]
+            .iter()
+            .zip(&self.out_labels[range])
+            .map(|(&node, &labels)| EdgeRef { node, labels })
+    }
+
+    /// Labeled out-edges of `u` together with their global CSR edge
+    /// position (stable for the lifetime of the graph) — used by
+    /// scorers to attach per-edge caches without hashing.
+    #[inline]
+    pub fn out_edges_indexed(&self, u: NodeId) -> impl Iterator<Item = (usize, EdgeRef)> + '_ {
+        let range = self.out_offsets[u.index()]..self.out_offsets[u.index() + 1];
+        let start = range.start;
+        self.out_targets[range.clone()]
+            .iter()
+            .zip(&self.out_labels[range])
+            .enumerate()
+            .map(move |(i, (&node, &labels))| (start + i, EdgeRef { node, labels }))
+    }
+
+    /// The label of the out-edge at a global CSR position (as yielded
+    /// by [`out_edges_indexed`](Self::out_edges_indexed)).
+    #[inline]
+    pub fn out_edge_label_at(&self, pos: usize) -> TopicSet {
+        self.out_labels[pos]
+    }
+
+    /// Labeled in-edges of `u`: `(follower, edge labels)` pairs.
+    #[inline]
+    pub fn in_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
+        let range = self.in_offsets[u.index()]..self.in_offsets[u.index() + 1];
+        self.in_sources[range.clone()]
+            .iter()
+            .zip(&self.in_labels[range])
+            .map(|(&node, &labels)| EdgeRef { node, labels })
+    }
+
+    /// Number of followers of `u` on topic `t` — `|Γu(t)|`: in-edges
+    /// whose label set contains `t`.
+    pub fn followers_on(&self, u: NodeId, t: Topic) -> usize {
+        self.in_edges(u).filter(|e| e.labels.contains(t)).count()
+    }
+
+    /// The label of edge `u → v`, or `None` if `u` does not follow `v`.
+    ///
+    /// Linear in `out_degree(u)`; use the CSR iterators in hot loops.
+    pub fn edge_label(&self, u: NodeId, v: NodeId) -> Option<TopicSet> {
+        self.out_edges(u).find(|e| e.node == v).map(|e| e.labels)
+    }
+
+    /// Whether the edge `u → v` (u follows v) exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.followees(u).contains(&v)
+    }
+
+    /// All edges as `(follower, followee, labels)` triples, grouped by
+    /// follower.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, TopicSet)> + '_ {
+        self.nodes()
+            .flat_map(move |u| self.out_edges(u).map(move |e| (u, e.node, e.labels)))
+    }
+
+    /// Rewrites every edge label with `f(follower, followee, old)` and
+    /// every node label with `g(node, old)`, keeping both CSR copies
+    /// consistent. Used by the topic-extraction pipeline to replace
+    /// generator ground truth with classifier-predicted labels.
+    pub fn relabel(
+        &mut self,
+        mut f: impl FnMut(NodeId, NodeId, TopicSet) -> TopicSet,
+        mut g: impl FnMut(NodeId, TopicSet) -> TopicSet,
+    ) {
+        for u in 0..self.num_nodes() {
+            let u_id = NodeId(u as u32);
+            for i in self.out_offsets[u]..self.out_offsets[u + 1] {
+                self.out_labels[i] = f(u_id, self.out_targets[i], self.out_labels[i]);
+            }
+        }
+        // Mirror into the in-CSR; edge identity is (source, target).
+        for v in 0..self.num_nodes() {
+            let v_id = NodeId(v as u32);
+            for i in self.in_offsets[v]..self.in_offsets[v + 1] {
+                let src = self.in_sources[i];
+                let label = self
+                    .edge_label(src, v_id)
+                    .expect("in-edge has a matching out-edge");
+                self.in_labels[i] = label;
+            }
+        }
+        for u in 0..self.num_nodes() {
+            let u_id = NodeId(u as u32);
+            self.node_labels[u] = g(u_id, self.node_labels[u]);
+        }
+    }
+
+    /// A copy of the graph with the given edges removed (the
+    /// link-prediction protocol of Section 5.3 removes the test set `T`
+    /// from the graph before scoring). Edges absent from the graph are
+    /// ignored.
+    pub fn without_edges(&self, removed: &[(NodeId, NodeId)]) -> SocialGraph {
+        use std::collections::HashSet;
+        let removed: HashSet<(NodeId, NodeId)> = removed.iter().copied().collect();
+        let mut builder = crate::GraphBuilder::with_capacity(self.num_nodes(), self.num_edges());
+        for u in self.nodes() {
+            builder.add_node(self.node_labels(u));
+        }
+        for (u, v, labels) in self.edges() {
+            if !removed.contains(&(u, v)) {
+                builder.add_edge(u, v, labels);
+            }
+        }
+        builder.build()
+    }
+
+    /// A copy of the graph with the given labeled edges added (edges
+    /// already present have their labels unioned). Together with
+    /// [`without_edges`](Self::without_edges) this supports the
+    /// dynamic-update workloads of `fui-landmarks::dynamic` — the
+    /// paper's future-work scenario where "many following links have a
+    /// short lifespan".
+    pub fn with_edges(&self, added: &[(NodeId, NodeId, TopicSet)]) -> SocialGraph {
+        let mut builder = crate::GraphBuilder::with_capacity(
+            self.num_nodes(),
+            self.num_edges() + added.len(),
+        );
+        for u in self.nodes() {
+            builder.add_node(self.node_labels(u));
+        }
+        for (u, v, labels) in self.edges() {
+            builder.add_edge(u, v, labels);
+        }
+        for &(u, v, labels) in added {
+            builder.add_edge(u, v, labels);
+        }
+        builder.build()
+    }
+
+    /// Approximate memory footprint of the CSR arrays in bytes.
+    pub fn size_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.node_labels.len() * size_of::<TopicSet>()
+            + (self.out_offsets.len() + self.in_offsets.len()) * size_of::<usize>()
+            + (self.out_targets.len() + self.in_sources.len()) * size_of::<NodeId>()
+            + (self.out_labels.len() + self.in_labels.len()) * size_of::<TopicSet>()
+    }
+
+    /// Internal consistency check: the in-CSR must be the exact
+    /// transpose of the out-CSR, labels included. `O(E log E)`; meant
+    /// for tests and debug assertions.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        if self.out_targets.len() != self.in_sources.len() {
+            return Err(format!(
+                "edge count mismatch: {} out vs {} in",
+                self.out_targets.len(),
+                self.in_sources.len()
+            ));
+        }
+        let mut out_edges: Vec<(u32, u32, u32)> = Vec::with_capacity(self.num_edges());
+        let mut in_edges: Vec<(u32, u32, u32)> = Vec::with_capacity(self.num_edges());
+        for u in self.nodes() {
+            for e in self.out_edges(u) {
+                out_edges.push((u.0, e.node.0, e.labels.mask()));
+            }
+            for e in self.in_edges(u) {
+                in_edges.push((e.node.0, u.0, e.labels.mask()));
+            }
+        }
+        out_edges.sort_unstable();
+        in_edges.sort_unstable();
+        if out_edges != in_edges {
+            return Err("in-CSR is not the labeled transpose of out-CSR".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for SocialGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SocialGraph")
+            .field("nodes", &self.num_nodes())
+            .field("edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// The figure-1 style toy graph used across the crate's tests:
+    /// A follows B and C; B and C are followed on various topics.
+    fn toy() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(TopicSet::empty());
+        let bb = b.add_node(TopicSet::single(Topic::Technology).with(Topic::Business));
+        let c = b.add_node(TopicSet::single(Topic::Technology));
+        let d = b.add_node(TopicSet::single(Topic::Sports));
+        b.add_edge(a, bb, TopicSet::single(Topic::Technology).with(Topic::Business));
+        b.add_edge(a, c, TopicSet::single(Topic::Technology));
+        b.add_edge(bb, d, TopicSet::single(Topic::Sports));
+        b.add_edge(c, d, TopicSet::single(Topic::Sports));
+        b.add_edge(d, a, TopicSet::single(Topic::Social));
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 5);
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn degrees_and_adjacency() {
+        let g = toy();
+        let (a, b, c, d) = (NodeId(0), NodeId(1), NodeId(2), NodeId(3));
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(a), 1);
+        assert_eq!(g.followees(a), &[b, c]);
+        assert_eq!(g.followers(d), &[b, c]);
+        assert_eq!(g.in_degree(d), 2);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+    }
+
+    #[test]
+    fn followers_on_topic() {
+        let g = toy();
+        let d = NodeId(3);
+        assert_eq!(g.followers_on(d, Topic::Sports), 2);
+        assert_eq!(g.followers_on(d, Topic::Technology), 0);
+        let b = NodeId(1);
+        assert_eq!(g.followers_on(b, Topic::Technology), 1);
+        assert_eq!(g.followers_on(b, Topic::Business), 1);
+    }
+
+    #[test]
+    fn edge_labels() {
+        let g = toy();
+        let (a, b) = (NodeId(0), NodeId(1));
+        let l = g.edge_label(a, b).unwrap();
+        assert!(l.contains(Topic::Technology) && l.contains(Topic::Business));
+        assert_eq!(g.edge_label(b, a), None);
+    }
+
+    #[test]
+    fn edges_iterator_yields_all() {
+        let g = toy();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn without_edges_removes_only_given() {
+        let g = toy();
+        let (a, b, c) = (NodeId(0), NodeId(1), NodeId(2));
+        let g2 = g.without_edges(&[(a, b)]);
+        assert_eq!(g2.num_edges(), g.num_edges() - 1);
+        assert!(!g2.has_edge(a, b));
+        assert!(g2.has_edge(a, c));
+        g2.check_consistency().unwrap();
+        // Node labels survive.
+        assert_eq!(g2.node_labels(b), g.node_labels(b));
+    }
+
+    #[test]
+    fn without_edges_ignores_missing() {
+        let g = toy();
+        let g2 = g.without_edges(&[(NodeId(1), NodeId(0))]);
+        assert_eq!(g2.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn with_edges_adds_and_merges() {
+        let g = toy();
+        let (b, a) = (NodeId(1), NodeId(0));
+        assert!(!g.has_edge(b, a));
+        let g2 = g.with_edges(&[
+            (b, a, TopicSet::single(Topic::Social)),
+            // Duplicate of an existing edge: labels union.
+            (a, b, TopicSet::single(Topic::War)),
+        ]);
+        assert_eq!(g2.num_edges(), g.num_edges() + 1);
+        assert!(g2.has_edge(b, a));
+        let label = g2.edge_label(a, b).unwrap();
+        assert!(label.contains(Topic::War) && label.contains(Topic::Technology));
+        g2.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn relabel_updates_both_directions() {
+        let mut g = toy();
+        g.relabel(
+            |_, _, _| TopicSet::single(Topic::War),
+            |_, old| old.with(Topic::War),
+        );
+        for (u, v, l) in g.edges() {
+            assert_eq!(l, TopicSet::single(Topic::War), "{u}->{v}");
+        }
+        // In-CSR sees the same labels.
+        for u in g.nodes() {
+            for e in g.in_edges(u) {
+                assert_eq!(e.labels, TopicSet::single(Topic::War));
+            }
+            assert!(g.node_labels(u).contains(Topic::War));
+        }
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        g.check_consistency().unwrap();
+    }
+}

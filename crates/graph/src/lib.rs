@@ -1,0 +1,47 @@
+//! Directed labeled social-graph substrate for *Finding Users of
+//! Interest in Micro-blogging Systems* (EDBT 2016).
+//!
+//! The paper models a micro-blogging service as a directed labeled graph
+//! `G = (N, E, T, labelN, labelE)`: nodes are user accounts, an edge
+//! `(u, v)` means *u follows v* (u receives v's posts), node labels are
+//! the topics the account publishes on and edge labels the topics of
+//! interest that motivated the follow (Section 3.1).
+//!
+//! This crate is the storage and traversal layer everything else builds
+//! on. It is written from scratch (no external graph library):
+//!
+//! * [`SocialGraph`] — immutable dual-CSR representation: one compressed
+//!   adjacency for out-edges (followees) and one for in-edges
+//!   (followers), each edge carrying its [`TopicSet`] label in both
+//!   copies. All score propagation, follower counting (`Γu(t)`) and BFS
+//!   run directly on these flat arrays.
+//! * [`GraphBuilder`] — incremental construction, used by the dataset
+//!   generators.
+//! * [`bfs`] — k-vicinity exploration `Υk(λ)` (Section 4).
+//! * [`stats`] — the topological properties of Table 2.
+//! * [`spectral`] — power-iteration estimate of `σ_max(A)` for the
+//!   convergence bound of Proposition 3.
+//! * [`centrality`] — closeness/betweenness (exact and pivot-sampled),
+//!   used by the centrality-flavoured landmark selection strategies.
+//! * [`components`] — weak connectivity via union-find,
+//! * [`io`] — TSV edge-list interchange for plugging in real datasets.
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod builder;
+pub mod centrality;
+pub mod components;
+pub mod csr;
+pub mod io;
+pub mod spectral;
+pub mod stats;
+
+pub use bfs::{k_vicinity, KVicinity};
+pub use builder::GraphBuilder;
+pub use csr::{EdgeRef, NodeId, SocialGraph};
+pub use stats::GraphStats;
+
+// Re-export the label types so downstream crates can use a single
+// import path for "graph things".
+pub use fui_taxonomy::{Topic, TopicSet};

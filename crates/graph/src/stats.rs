@@ -1,0 +1,175 @@
+//! Topological dataset properties — the rows of the paper's Table 2
+//! (total nodes/edges, average and maximum in/out degree) plus degree
+//! histograms used by the generators' calibration tests.
+
+use crate::csr::SocialGraph;
+
+/// Summary topological properties of a graph (Table 2 of the paper).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Total number of edges.
+    pub edges: usize,
+    /// Average out-degree (accounts followed).
+    pub avg_out_degree: f64,
+    /// Average in-degree (followers).
+    pub avg_in_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+}
+
+impl GraphStats {
+    /// Computes the Table 2 properties of a graph.
+    pub fn compute(graph: &SocialGraph) -> GraphStats {
+        let n = graph.num_nodes();
+        let m = graph.num_edges();
+        let mut max_in = 0;
+        let mut max_out = 0;
+        for u in graph.nodes() {
+            max_in = max_in.max(graph.in_degree(u));
+            max_out = max_out.max(graph.out_degree(u));
+        }
+        let avg = if n == 0 { 0.0 } else { m as f64 / n as f64 };
+        GraphStats {
+            nodes: n,
+            edges: m,
+            // In a directed graph both averages equal E/N; the paper
+            // reports them over *active* nodes, hence its small gap. We
+            // report over all nodes.
+            avg_out_degree: avg,
+            avg_in_degree: avg,
+            max_in_degree: max_in,
+            max_out_degree: max_out,
+        }
+    }
+}
+
+/// Histogram of in-degrees: `hist[d]` = number of nodes with in-degree
+/// `d` (the last bucket aggregates the tail).
+pub fn in_degree_histogram(graph: &SocialGraph, buckets: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; buckets];
+    for u in graph.nodes() {
+        let d = graph.in_degree(u).min(buckets - 1);
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Nodes sorted by descending in-degree (most-followed first).
+/// Ties broken by node id for determinism.
+pub fn nodes_by_in_degree(graph: &SocialGraph) -> Vec<crate::NodeId> {
+    let mut v: Vec<crate::NodeId> = graph.nodes().collect();
+    v.sort_by_key(|&u| (std::cmp::Reverse(graph.in_degree(u)), u.0));
+    v
+}
+
+/// Nodes sorted by descending out-degree (most-active readers first).
+pub fn nodes_by_out_degree(graph: &SocialGraph) -> Vec<crate::NodeId> {
+    let mut v: Vec<crate::NodeId> = graph.nodes().collect();
+    v.sort_by_key(|&u| (std::cmp::Reverse(graph.out_degree(u)), u.0));
+    v
+}
+
+/// Empirical power-law tail check: fits `log(count) ~ -γ·log(degree)`
+/// over the histogram tail and returns the exponent estimate. Used by
+/// generator calibration tests to confirm a heavy-tailed in-degree.
+pub fn tail_exponent(hist: &[usize], min_degree: usize) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = hist
+        .iter()
+        .enumerate()
+        .skip(min_degree.max(1))
+        .filter(|&(_, &c)| c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    Some(-slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GraphBuilder, NodeId};
+    use fui_taxonomy::TopicSet;
+
+    fn star(n: usize) -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_node(TopicSet::empty());
+        for _ in 1..n {
+            let u = b.add_node(TopicSet::empty());
+            b.add_edge(u, hub, TopicSet::empty());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn star_stats() {
+        let g = star(11);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 11);
+        assert_eq!(s.edges, 10);
+        assert_eq!(s.max_in_degree, 10);
+        assert_eq!(s.max_out_degree, 1);
+        assert!((s.avg_out_degree - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new().build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_in_degree, 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = star(11);
+        let h = in_degree_histogram(&g, 5);
+        assert_eq!(h.iter().sum::<usize>(), 11);
+        assert_eq!(h[0], 10); // leaves have in-degree 0
+        assert_eq!(h[4], 1); // hub clamps into the tail bucket
+    }
+
+    #[test]
+    fn degree_orderings() {
+        let g = star(5);
+        assert_eq!(nodes_by_in_degree(&g)[0], NodeId(0));
+        // All leaves have out-degree 1, hub 0; first leaf wins ties.
+        assert_eq!(nodes_by_out_degree(&g)[0], NodeId(1));
+    }
+
+    #[test]
+    fn tail_exponent_of_power_law() {
+        // Construct a histogram count(d) = round(1e6 * d^-2).
+        let hist: Vec<usize> = (0..200)
+            .map(|d| {
+                if d == 0 {
+                    0
+                } else {
+                    (1e6 / (d as f64 * d as f64)).round() as usize
+                }
+            })
+            .collect();
+        let gamma = tail_exponent(&hist, 1).unwrap();
+        assert!((gamma - 2.0).abs() < 0.1, "gamma = {gamma}");
+    }
+
+    #[test]
+    fn tail_exponent_needs_enough_points() {
+        assert_eq!(tail_exponent(&[0, 5], 1), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests on the CSR substrate: transpose consistency, degree
+//! accounting, BFS monotonicity and edge-removal behaviour
+//! (DESIGN.md §7).
+
+use fui_graph::bfs::k_vicinity;
+use fui_graph::{GraphBuilder, NodeId, SocialGraph, TopicSet};
+use proptest::prelude::*;
+
+/// A random small labeled digraph (no self-loops; duplicate edges are
+/// allowed in the input and must be merged by the builder).
+fn arb_graph() -> impl Strategy<Value = SocialGraph> {
+    (2usize..24).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32, any::<u32>());
+        proptest::collection::vec(edge, 0..120).prop_map(move |edges| {
+            let mut b = GraphBuilder::new();
+            for _ in 0..n {
+                b.add_node(TopicSet::empty());
+            }
+            for (u, v, mask) in edges {
+                if u != v {
+                    b.add_edge(NodeId(u), NodeId(v), TopicSet::from_mask(mask | 1));
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn in_csr_is_the_labeled_transpose(g in arb_graph()) {
+        prop_assert!(g.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn degree_sums_equal_edge_count(g in arb_graph()) {
+        let out: usize = g.nodes().map(|u| g.out_degree(u)).sum();
+        let inn: usize = g.nodes().map(|u| g.in_degree(u)).sum();
+        prop_assert_eq!(out, g.num_edges());
+        prop_assert_eq!(inn, g.num_edges());
+    }
+
+    #[test]
+    fn followers_on_bounded_by_in_degree(g in arb_graph()) {
+        for u in g.nodes() {
+            for t in fui_graph::Topic::ALL {
+                prop_assert!(g.followers_on(u, t) <= g.in_degree(u));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_vicinity_is_monotone_in_depth(g in arb_graph()) {
+        let start = NodeId(0);
+        let mut prev = 0;
+        for depth in 0..6 {
+            let count = k_vicinity(&g, start, depth).reached_count();
+            prop_assert!(count >= prev);
+            prev = count;
+        }
+    }
+
+    #[test]
+    fn bfs_levels_hold_nodes_at_their_distance(g in arb_graph()) {
+        let v = k_vicinity(&g, NodeId(0), 10);
+        for (d, level) in v.levels.iter().enumerate() {
+            for &node in level {
+                prop_assert_eq!(v.distance(node), Some(d as u32));
+            }
+        }
+    }
+
+    #[test]
+    fn without_edges_removes_exactly_the_given(g in arb_graph()) {
+        let victims: Vec<(NodeId, NodeId)> =
+            g.edges().map(|(u, v, _)| (u, v)).step_by(3).collect();
+        let g2 = g.without_edges(&victims);
+        prop_assert_eq!(g2.num_edges(), g.num_edges() - victims.len());
+        for &(u, v) in &victims {
+            prop_assert!(!g2.has_edge(u, v));
+        }
+        for (u, v, labels) in g2.edges() {
+            prop_assert_eq!(g.edge_label(u, v), Some(labels));
+        }
+        prop_assert!(g2.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn edge_label_matches_edges_iterator(g in arb_graph()) {
+        for (u, v, labels) in g.edges() {
+            prop_assert_eq!(g.edge_label(u, v), Some(labels));
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn spectral_radius_bounded_by_max_degree(g in arb_graph()) {
+        let r = fui_graph::spectral::spectral_radius(&g, 60);
+        let max_deg = g
+            .nodes()
+            .map(|u| g.out_degree(u).max(g.in_degree(u)))
+            .max()
+            .unwrap_or(0);
+        // Perron–Frobenius: radius ≤ max degree.
+        prop_assert!(r <= max_deg as f64 + 1e-6, "r = {r}, max deg = {max_deg}");
+    }
+}
+
+proptest! {
+    /// Robustness: the text parser must reject garbage gracefully,
+    /// never panic.
+    #[test]
+    fn io_parser_never_panics(text in "\\PC*") {
+        let _ = fui_graph::io::from_text(&text);
+    }
+
+    /// Round-trip through the text format preserves the graph.
+    #[test]
+    fn io_round_trips(g in arb_graph()) {
+        let text = fui_graph::io::to_text(&g);
+        let back = fui_graph::io::from_text(&text).expect("own output parses");
+        prop_assert_eq!(back.num_nodes(), g.num_nodes());
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        for (u, v, labels) in g.edges() {
+            prop_assert_eq!(back.edge_label(u, v), Some(labels));
+        }
+    }
+}

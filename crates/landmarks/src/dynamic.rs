@@ -1,0 +1,302 @@
+//! Dynamic updates — the paper's stated future work, implemented.
+//!
+//! "As future work we intend to study updating strategies since many
+//! following links have a short lifespan. This graph dynamicity may
+//! impact the scores stored by the landmarks." (Section 6.)
+//!
+//! The policy here is *impact-accumulation with lazy refresh*: every
+//! follow/unfollow is charged to each landmark in proportion to how
+//! much walk mass the landmark routes through the changed edge's
+//! endpoints — approximated from the landmark's own stored
+//! `topo_β(λ, ·)` values, so no graph traversal is needed at update
+//! time. When a landmark's accumulated impact crosses a threshold its
+//! entry is recomputed (Algorithm 1) against the current graph; until
+//! then queries keep using the slightly stale lists, which is exactly
+//! the trade-off the paper anticipates.
+
+use std::collections::HashMap;
+
+use fui_core::Propagator;
+use fui_graph::NodeId;
+use fui_taxonomy::TopicSet;
+
+use crate::index::LandmarkIndex;
+
+/// One follow-graph mutation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeChange {
+    /// The follower.
+    pub follower: NodeId,
+    /// The followee.
+    pub followee: NodeId,
+    /// Topics of the (un)followed relationship.
+    pub labels: TopicSet,
+    /// `true` for a new follow, `false` for an unfollow.
+    pub added: bool,
+}
+
+/// A landmark index plus per-landmark staleness accounting.
+pub struct DynamicLandmarks {
+    index: LandmarkIndex,
+    /// Accumulated impact per landmark slot.
+    staleness: Vec<f64>,
+    /// Impact at which a landmark is flagged for refresh.
+    pub refresh_threshold: f64,
+    /// Impact charged for a change not visible from the landmark's
+    /// stored lists (far-away changes still drift scores slightly).
+    pub background_impact: f64,
+    /// Per-landmark `node → stored topo_β(λ, node)` lookup.
+    topo_lookup: Vec<HashMap<u32, f64>>,
+    changes_seen: u64,
+}
+
+impl DynamicLandmarks {
+    /// Wraps an index with the default policy (refresh when the
+    /// accumulated impact reaches 10% of the landmark's total stored
+    /// topological mass).
+    pub fn new(index: LandmarkIndex) -> DynamicLandmarks {
+        DynamicLandmarks::with_policy(index, 0.1, 1e-9)
+    }
+
+    /// Wraps an index with an explicit policy. `refresh_threshold` is
+    /// relative to each landmark's total stored `topo_β` mass.
+    pub fn with_policy(
+        index: LandmarkIndex,
+        refresh_threshold: f64,
+        background_impact: f64,
+    ) -> DynamicLandmarks {
+        assert!(refresh_threshold > 0.0, "threshold must be positive");
+        let topo_lookup = (0..index.len())
+            .map(|slot| {
+                let entry = index.entry_at(slot);
+                let mut map: HashMap<u32, f64> = entry
+                    .topo
+                    .iter()
+                    .map(|s| (s.node.0, s.topo))
+                    .collect();
+                // Topical lists may cover nodes the topo list misses.
+                for list in &entry.recs {
+                    for s in list {
+                        map.entry(s.node.0).or_insert(s.topo);
+                    }
+                }
+                map
+            })
+            .collect();
+        DynamicLandmarks {
+            staleness: vec![0.0; index.len()],
+            index,
+            refresh_threshold,
+            background_impact,
+            topo_lookup,
+            changes_seen: 0,
+        }
+    }
+
+    /// The wrapped index (stale entries included — queries tolerate
+    /// them by design).
+    pub fn index(&self) -> &LandmarkIndex {
+        &self.index
+    }
+
+    /// Number of changes recorded so far.
+    pub fn changes_seen(&self) -> u64 {
+        self.changes_seen
+    }
+
+    /// Current accumulated impact of a landmark (by slot).
+    pub fn staleness_at(&self, slot: usize) -> f64 {
+        self.staleness[slot]
+    }
+
+    /// Charges one mutation to every landmark.
+    pub fn record(&mut self, change: &EdgeChange) {
+        self.changes_seen += 1;
+        for slot in 0..self.index.len() {
+            let lookup = &self.topo_lookup[slot];
+            let landmark = self.index.landmarks()[slot];
+            // Walk mass the landmark routes through the edge's source;
+            // an edge out of a heavy node redirects that much mass.
+            let via_src = if change.follower == landmark {
+                1.0
+            } else {
+                lookup.get(&change.follower.0).copied().unwrap_or(0.0)
+            };
+            let via_dst = lookup.get(&change.followee.0).copied().unwrap_or(0.0);
+            self.staleness[slot] += via_src + via_dst + self.background_impact;
+        }
+    }
+
+    /// Landmark slots whose impact crossed the threshold (relative to
+    /// their stored topological mass).
+    pub fn stale_slots(&self) -> Vec<usize> {
+        (0..self.index.len())
+            .filter(|&slot| {
+                let total: f64 = self
+                    .index
+                    .entry_at(slot)
+                    .topo
+                    .iter()
+                    .map(|s| s.topo)
+                    .sum::<f64>()
+                    .max(self.background_impact);
+                self.staleness[slot] >= self.refresh_threshold * total
+            })
+            .collect()
+    }
+
+    /// Recomputes every stale landmark against the current graph (the
+    /// propagator must be built on the post-update graph) and resets
+    /// their accounting. Returns the number refreshed.
+    pub fn refresh_stale(&mut self, propagator: &Propagator<'_>) -> usize {
+        let stale = self.stale_slots();
+        for &slot in &stale {
+            self.index.refresh(propagator, slot);
+            let entry = self.index.entry_at(slot);
+            let mut map: HashMap<u32, f64> =
+                entry.topo.iter().map(|s| (s.node.0, s.topo)).collect();
+            for list in &entry.recs {
+                for s in list {
+                    map.entry(s.node.0).or_insert(s.topo);
+                }
+            }
+            self.topo_lookup[slot] = map;
+            self.staleness[slot] = 0.0;
+        }
+        stale.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_core::{AuthorityIndex, ScoreParams, ScoreVariant};
+    use fui_graph::{GraphBuilder, SocialGraph};
+    use fui_taxonomy::{SimMatrix, Topic, NUM_TOPICS};
+
+    /// Chain λ → a → b plus an unrelated far pair x → y.
+    fn graph() -> SocialGraph {
+        let mut g = GraphBuilder::new();
+        let l = g.add_node(TopicSet::empty());
+        let a = g.add_node(TopicSet::empty());
+        let b = g.add_node(TopicSet::empty());
+        let x = g.add_node(TopicSet::empty());
+        let y = g.add_node(TopicSet::empty());
+        let tech = TopicSet::single(Topic::Technology);
+        g.add_edge(l, a, tech);
+        g.add_edge(a, b, tech);
+        g.add_edge(x, y, tech);
+        g.build()
+    }
+
+    fn params() -> ScoreParams {
+        ScoreParams {
+            alpha: 0.8,
+            beta: 0.2,
+            tolerance: 1e-12,
+            max_depth: 40,
+        }
+    }
+
+    #[test]
+    fn near_changes_hurt_more_than_far_ones() {
+        let g = graph();
+        let auth = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &auth, &sim, params(), ScoreVariant::Full);
+        let index = LandmarkIndex::build(&p, vec![NodeId(0)], 10);
+        let mut dyn_near = DynamicLandmarks::new(index.clone());
+        let mut dyn_far = DynamicLandmarks::new(index);
+        let tech = TopicSet::single(Topic::Technology);
+        dyn_near.record(&EdgeChange {
+            follower: NodeId(1), // inside λ's reach
+            followee: NodeId(2),
+            labels: tech,
+            added: true,
+        });
+        dyn_far.record(&EdgeChange {
+            follower: NodeId(3), // invisible from λ
+            followee: NodeId(4),
+            labels: tech,
+            added: true,
+        });
+        assert!(
+            dyn_near.staleness_at(0) > dyn_far.staleness_at(0),
+            "near {} vs far {}",
+            dyn_near.staleness_at(0),
+            dyn_far.staleness_at(0)
+        );
+    }
+
+    #[test]
+    fn refresh_restores_agreement_with_fresh_build() {
+        let g = graph();
+        let auth = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &auth, &sim, params(), ScoreVariant::Full);
+        let index = LandmarkIndex::build(&p, vec![NodeId(0)], 10);
+        let mut dynamic = DynamicLandmarks::with_policy(index, 0.01, 1e-9);
+
+        // Mutate the graph: λ's neighbour gains a follow to a new area.
+        let tech = TopicSet::single(Topic::Technology);
+        let g2 = g.with_edges(&[(NodeId(1), NodeId(4), tech)]);
+        let auth2 = AuthorityIndex::build(&g2);
+        let p2 = Propagator::new(&g2, &auth2, &sim, params(), ScoreVariant::Full);
+
+        dynamic.record(&EdgeChange {
+            follower: NodeId(1),
+            followee: NodeId(4),
+            labels: tech,
+            added: true,
+        });
+        assert!(!dynamic.stale_slots().is_empty(), "change near λ must flag it");
+        let refreshed = dynamic.refresh_stale(&p2);
+        assert_eq!(refreshed, 1);
+        assert!(dynamic.stale_slots().is_empty());
+        assert_eq!(dynamic.staleness_at(0), 0.0);
+
+        // The refreshed entry equals a from-scratch build on g2.
+        let fresh = LandmarkIndex::build(&p2, vec![NodeId(0)], 10);
+        let (a, b) = (dynamic.index().entry_at(0), fresh.entry_at(0));
+        assert_eq!(a.topo.len(), b.topo.len());
+        for (x, y) in a.topo.iter().zip(&b.topo) {
+            assert_eq!(x.node, y.node);
+            assert!((x.topo - y.topo).abs() < 1e-12);
+        }
+        for t in 0..NUM_TOPICS {
+            assert_eq!(a.recs[t].len(), b.recs[t].len());
+        }
+    }
+
+    #[test]
+    fn background_impact_eventually_flags_everything() {
+        let g = graph();
+        let auth = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &auth, &sim, params(), ScoreVariant::Full);
+        let index = LandmarkIndex::build(&p, vec![NodeId(0)], 10);
+        let mut dynamic = DynamicLandmarks::with_policy(index, 0.5, 0.05);
+        let tech = TopicSet::single(Topic::Technology);
+        for _ in 0..100 {
+            dynamic.record(&EdgeChange {
+                follower: NodeId(3),
+                followee: NodeId(4),
+                labels: tech,
+                added: true,
+            });
+        }
+        assert_eq!(dynamic.changes_seen(), 100);
+        assert!(!dynamic.stale_slots().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let g = graph();
+        let auth = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &auth, &sim, params(), ScoreVariant::Full);
+        let index = LandmarkIndex::build(&p, vec![], 10);
+        DynamicLandmarks::with_policy(index, 0.0, 0.0);
+    }
+}

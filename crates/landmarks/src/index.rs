@@ -1,0 +1,326 @@
+//! Landmark preprocessing (Algorithm 1) and the inverted-list index.
+//!
+//! For every landmark λ the preprocessing runs the iterative score
+//! computation to convergence over **all** topics and keeps, per topic,
+//! the top-n recommendations as an inverted list, plus the top-n
+//! topological scores. Each stored node carries *both* its `σ(λ,·,t)`
+//! and its `topo_β(λ,·)` values so the query-time composition of
+//! Proposition 4 has both terms available.
+//!
+//! Preprocessing is embarrassingly parallel across landmarks;
+//! [`LandmarkIndex::build_parallel`] fans out over crossbeam scoped
+//! threads sharing one read-only [`Propagator`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fui_core::{PropagateOpts, Propagator};
+use fui_graph::NodeId;
+use fui_taxonomy::{Topic, NUM_TOPICS};
+use parking_lot::Mutex;
+
+/// A node stored in a landmark's inverted lists with both composition
+/// ingredients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredNode {
+    /// The recommended account.
+    pub node: NodeId,
+    /// `σ(λ, node, t)` for the list's topic (for the topological list,
+    /// the σ of the list's ordering topic is not meaningful and is 0).
+    pub sigma: f64,
+    /// `topo_β(λ, node)`.
+    pub topo: f64,
+}
+
+/// Precomputed recommendation state of one landmark.
+#[derive(Clone, Debug, Default)]
+pub struct LandmarkEntry {
+    /// Per topic (indexed by `Topic::index()`): top-n by σ, best first.
+    pub recs: Vec<Vec<ScoredNode>>,
+    /// Top-n by `topo_β`, best first.
+    pub topo: Vec<ScoredNode>,
+}
+
+impl LandmarkEntry {
+    /// Approximate in-memory size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let per = std::mem::size_of::<ScoredNode>();
+        self.recs.iter().map(|l| l.len() * per).sum::<usize>() + self.topo.len() * per
+    }
+}
+
+/// The landmark index: selected landmarks, their inverted lists and a
+/// dense membership mask for O(1) landmark tests during BFS.
+#[derive(Clone, Debug)]
+pub struct LandmarkIndex {
+    landmarks: Vec<NodeId>,
+    entries: Vec<LandmarkEntry>,
+    /// Dense mask over graph nodes.
+    mask: Vec<bool>,
+    /// Landmark slot per node (`u32::MAX` = not a landmark).
+    slot: Vec<u32>,
+    /// Stored list length n (the paper evaluates 10 / 100 / 1000).
+    top_n: usize,
+}
+
+impl LandmarkIndex {
+    /// Sequentially precomputes the index over the given landmarks.
+    pub fn build(propagator: &Propagator<'_>, landmarks: Vec<NodeId>, top_n: usize) -> LandmarkIndex {
+        let entries = landmarks
+            .iter()
+            .map(|&l| compute_entry(propagator, l, top_n))
+            .collect();
+        Self::assemble(propagator.graph().num_nodes(), landmarks, entries, top_n)
+    }
+
+    /// Parallel preprocessing over `threads` crossbeam scoped threads.
+    pub fn build_parallel(
+        propagator: &Propagator<'_>,
+        landmarks: Vec<NodeId>,
+        top_n: usize,
+        threads: usize,
+    ) -> LandmarkIndex {
+        let threads = threads.max(1).min(landmarks.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<LandmarkEntry>>> =
+            Mutex::new(vec![None; landmarks.len()]);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= landmarks.len() {
+                        break;
+                    }
+                    let entry = compute_entry(propagator, landmarks[i], top_n);
+                    results.lock()[i] = Some(entry);
+                });
+            }
+        })
+        .expect("landmark preprocessing thread panicked");
+        let entries: Vec<LandmarkEntry> = results
+            .into_inner()
+            .into_iter()
+            .map(|e| e.expect("every landmark processed"))
+            .collect();
+        Self::assemble(propagator.graph().num_nodes(), landmarks, entries, top_n)
+    }
+
+    pub(crate) fn assemble(
+        num_nodes: usize,
+        landmarks: Vec<NodeId>,
+        entries: Vec<LandmarkEntry>,
+        top_n: usize,
+    ) -> LandmarkIndex {
+        let mut mask = vec![false; num_nodes];
+        let mut slot = vec![u32::MAX; num_nodes];
+        for (i, &l) in landmarks.iter().enumerate() {
+            mask[l.index()] = true;
+            slot[l.index()] = i as u32;
+        }
+        LandmarkIndex {
+            landmarks,
+            entries,
+            mask,
+            slot,
+            top_n,
+        }
+    }
+
+    /// The landmarks, in slot order.
+    pub fn landmarks(&self) -> &[NodeId] {
+        &self.landmarks
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// Whether the index holds no landmark.
+    pub fn is_empty(&self) -> bool {
+        self.landmarks.is_empty()
+    }
+
+    /// Stored list length.
+    pub fn top_n(&self) -> usize {
+        self.top_n
+    }
+
+    /// Dense landmark mask (for BFS pruning).
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Whether `v` is a landmark.
+    #[inline]
+    pub fn is_landmark(&self, v: NodeId) -> bool {
+        self.mask[v.index()]
+    }
+
+    /// The stored entry of landmark `v`, if it is one.
+    #[inline]
+    pub fn entry(&self, v: NodeId) -> Option<&LandmarkEntry> {
+        let s = self.slot[v.index()];
+        (s != u32::MAX).then(|| &self.entries[s as usize])
+    }
+
+    /// Entry by slot (parallel to [`landmarks`](Self::landmarks)).
+    pub fn entry_at(&self, slot: usize) -> &LandmarkEntry {
+        &self.entries[slot]
+    }
+
+    /// Total approximate size of the stored lists in bytes (the paper
+    /// reports ~1.4 MB per landmark at top-1000 over all topics).
+    pub fn size_bytes(&self) -> usize {
+        self.entries.iter().map(LandmarkEntry::size_bytes).sum()
+    }
+
+    /// Recomputes one landmark's entry against a (possibly changed)
+    /// graph — the refresh primitive of the dynamic-update policy
+    /// (`crate::dynamic`). The propagator must cover a graph with the
+    /// same node-id space.
+    pub fn refresh(&mut self, propagator: &Propagator<'_>, slot: usize) {
+        let landmark = self.landmarks[slot];
+        self.entries[slot] = compute_entry(propagator, landmark, self.top_n);
+    }
+
+    /// A copy keeping only the top-`top_n` of every stored list —
+    /// Table 6 compares landmarks storing top-10/100/1000 without
+    /// re-running the preprocessing.
+    pub fn truncated(&self, top_n: usize) -> LandmarkIndex {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| LandmarkEntry {
+                recs: e
+                    .recs
+                    .iter()
+                    .map(|l| l.iter().copied().take(top_n).collect())
+                    .collect(),
+                topo: e.topo.iter().copied().take(top_n).collect(),
+            })
+            .collect();
+        LandmarkIndex {
+            landmarks: self.landmarks.clone(),
+            entries,
+            mask: self.mask.clone(),
+            slot: self.slot.clone(),
+            top_n: top_n.min(self.top_n),
+        }
+    }
+}
+
+/// Runs Algorithm 1 for one landmark: propagate to convergence on all
+/// topics, extract per-topic and topological top-n lists.
+fn compute_entry(propagator: &Propagator<'_>, landmark: NodeId, top_n: usize) -> LandmarkEntry {
+    let r = propagator.propagate(landmark, &Topic::ALL, PropagateOpts::default());
+    let mut recs = Vec::with_capacity(NUM_TOPICS);
+    for ti in 0..NUM_TOPICS {
+        let list = r
+            .top_n_sigma(ti, top_n)
+            .into_iter()
+            .map(|(node, sigma)| ScoredNode {
+                node,
+                sigma,
+                topo: r.topo_beta(node),
+            })
+            .collect();
+        recs.push(list);
+    }
+    let topo = r
+        .top_n_topo(top_n)
+        .into_iter()
+        .map(|(node, topo)| ScoredNode {
+            node,
+            sigma: 0.0,
+            topo,
+        })
+        .collect();
+    LandmarkEntry { recs, topo }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_core::{AuthorityIndex, ScoreParams, ScoreVariant};
+    use fui_datagen::{label_direct, twitter, TwitterConfig};
+    use fui_taxonomy::SimMatrix;
+
+    fn fixture() -> (fui_datagen::LabeledDataset, AuthorityIndex) {
+        let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
+        let idx = AuthorityIndex::build(&d.graph);
+        (d, idx)
+    }
+
+    #[test]
+    fn entries_are_sorted_and_bounded() {
+        let (d, idx) = fixture();
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&d.graph, &idx, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let landmarks = vec![NodeId(0), NodeId(5), NodeId(17)];
+        let index = LandmarkIndex::build(&p, landmarks.clone(), 25);
+        assert_eq!(index.len(), 3);
+        for &l in &landmarks {
+            let e = index.entry(l).unwrap();
+            assert_eq!(e.recs.len(), NUM_TOPICS);
+            for list in &e.recs {
+                assert!(list.len() <= 25);
+                for w in list.windows(2) {
+                    assert!(w[0].sigma >= w[1].sigma);
+                }
+                for s in list {
+                    assert!(s.node != l, "landmark recommends itself");
+                    assert!(s.topo > 0.0, "stored node missing topo component");
+                }
+            }
+            assert!(e.topo.len() <= 25);
+            for w in e.topo.windows(2) {
+                assert!(w[0].topo >= w[1].topo);
+            }
+        }
+    }
+
+    #[test]
+    fn mask_and_slots_align() {
+        let (d, idx) = fixture();
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&d.graph, &idx, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let landmarks = vec![NodeId(3), NodeId(9)];
+        let index = LandmarkIndex::build(&p, landmarks, 10);
+        assert!(index.is_landmark(NodeId(3)));
+        assert!(index.is_landmark(NodeId(9)));
+        assert!(!index.is_landmark(NodeId(4)));
+        assert!(index.entry(NodeId(4)).is_none());
+        assert_eq!(index.mask().iter().filter(|&&b| b).count(), 2);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let (d, idx) = fixture();
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&d.graph, &idx, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let landmarks: Vec<NodeId> = (0..8).map(|i| NodeId(i * 13)).collect();
+        let seq = LandmarkIndex::build(&p, landmarks.clone(), 15);
+        let par = LandmarkIndex::build_parallel(&p, landmarks.clone(), 15, 4);
+        for &l in &landmarks {
+            let (a, b) = (seq.entry(l).unwrap(), par.entry(l).unwrap());
+            assert_eq!(a.topo.len(), b.topo.len());
+            for (x, y) in a.topo.iter().zip(&b.topo) {
+                assert_eq!(x.node, y.node);
+                assert!((x.topo - y.topo).abs() < 1e-15);
+            }
+            for t in 0..NUM_TOPICS {
+                assert_eq!(a.recs[t].len(), b.recs[t].len(), "topic {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_accounting_is_positive() {
+        let (d, idx) = fixture();
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&d.graph, &idx, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let index = LandmarkIndex::build(&p, vec![NodeId(1)], 50);
+        assert!(index.size_bytes() > 0);
+        assert_eq!(index.top_n(), 50);
+    }
+}

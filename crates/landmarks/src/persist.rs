@@ -1,0 +1,213 @@
+//! Binary persistence of a [`LandmarkIndex`].
+//!
+//! The preprocessing step is the expensive part of the landmark
+//! pipeline (minutes per landmark at the paper's scale), so a
+//! production deployment snapshots the index. Simple length-prefixed
+//! little-endian layout via `bytes`:
+//!
+//! ```text
+//! magic "FUILMK1\n" | u64 num_nodes | u64 top_n | u64 num_landmarks
+//! per landmark: u32 node id
+//!   per topic (NUM_TOPICS lists): u32 len | len × (u32 node, f64 sigma, f64 topo)
+//!   topo list:                    u32 len | len × (u32 node, f64 sigma, f64 topo)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fui_graph::NodeId;
+use fui_taxonomy::NUM_TOPICS;
+
+use crate::index::{LandmarkEntry, LandmarkIndex, ScoredNode};
+
+const MAGIC: &[u8; 8] = b"FUILMK1\n";
+
+/// Errors surfaced while decoding a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Buffer ended before the structure was complete.
+    Truncated,
+    /// A stored node id exceeds the declared node count.
+    NodeOutOfRange(u32),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a landmark index snapshot"),
+            DecodeError::Truncated => write!(f, "snapshot truncated"),
+            DecodeError::NodeOutOfRange(v) => write!(f, "node id {v} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialises an index to bytes.
+pub fn encode(index: &LandmarkIndex, num_nodes: usize) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + index.size_bytes() * 2);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(num_nodes as u64);
+    buf.put_u64_le(index.top_n() as u64);
+    buf.put_u64_le(index.len() as u64);
+    for (slot, &l) in index.landmarks().iter().enumerate() {
+        buf.put_u32_le(l.0);
+        let entry = index.entry_at(slot);
+        for list in &entry.recs {
+            put_list(&mut buf, list);
+        }
+        put_list(&mut buf, &entry.topo);
+    }
+    buf.freeze()
+}
+
+fn put_list(buf: &mut BytesMut, list: &[ScoredNode]) {
+    buf.put_u32_le(list.len() as u32);
+    for s in list {
+        buf.put_u32_le(s.node.0);
+        buf.put_f64_le(s.sigma);
+        buf.put_f64_le(s.topo);
+    }
+}
+
+/// Decodes a snapshot back into an index.
+pub fn decode(mut buf: Bytes) -> Result<(LandmarkIndex, usize), DecodeError> {
+    if buf.remaining() < MAGIC.len() {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    if buf.remaining() < 24 {
+        return Err(DecodeError::Truncated);
+    }
+    let num_nodes = buf.get_u64_le() as usize;
+    let top_n = buf.get_u64_le() as usize;
+    let count = buf.get_u64_le() as usize;
+    let mut landmarks = Vec::with_capacity(count);
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let id = buf.get_u32_le();
+        if id as usize >= num_nodes {
+            return Err(DecodeError::NodeOutOfRange(id));
+        }
+        landmarks.push(NodeId(id));
+        let mut recs = Vec::with_capacity(NUM_TOPICS);
+        for _ in 0..NUM_TOPICS {
+            recs.push(get_list(&mut buf, num_nodes)?);
+        }
+        let topo = get_list(&mut buf, num_nodes)?;
+        entries.push(LandmarkEntry { recs, topo });
+    }
+    Ok((
+        LandmarkIndex::assemble(num_nodes, landmarks, entries, top_n),
+        num_nodes,
+    ))
+}
+
+fn get_list(buf: &mut Bytes, num_nodes: usize) -> Result<Vec<ScoredNode>, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = buf.get_u32_le() as usize;
+    let mut list = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        if buf.remaining() < 4 + 8 + 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let node = buf.get_u32_le();
+        if node as usize >= num_nodes {
+            return Err(DecodeError::NodeOutOfRange(node));
+        }
+        let sigma = buf.get_f64_le();
+        let topo = buf.get_f64_le();
+        list.push(ScoredNode {
+            node: NodeId(node),
+            sigma,
+            topo,
+        });
+    }
+    Ok(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_core::{AuthorityIndex, Propagator, ScoreParams, ScoreVariant};
+    use fui_datagen::{label_direct, twitter, TwitterConfig};
+    use fui_taxonomy::SimMatrix;
+
+    fn sample_index() -> (LandmarkIndex, usize) {
+        let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
+        let auth = AuthorityIndex::build(&d.graph);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let landmarks = vec![NodeId(2), NodeId(71), NodeId(200)];
+        (LandmarkIndex::build(&p, landmarks, 20), d.graph.num_nodes())
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (index, n) = sample_index();
+        let bytes = encode(&index, n);
+        let (back, n2) = decode(bytes).unwrap();
+        assert_eq!(n, n2);
+        assert_eq!(back.len(), index.len());
+        assert_eq!(back.top_n(), index.top_n());
+        assert_eq!(back.landmarks(), index.landmarks());
+        for (slot, &l) in index.landmarks().iter().enumerate() {
+            let (a, b) = (index.entry_at(slot), back.entry(l).unwrap());
+            assert_eq!(a.topo.len(), b.topo.len());
+            for (x, y) in a.topo.iter().zip(&b.topo) {
+                assert_eq!(x.node, y.node);
+                assert_eq!(x.sigma.to_bits(), y.sigma.to_bits());
+                assert_eq!(x.topo.to_bits(), y.topo.to_bits());
+            }
+            for t in 0..NUM_TOPICS {
+                assert_eq!(a.recs[t].len(), b.recs[t].len());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = decode(Bytes::from_static(b"NOTANIDX........")).unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (index, n) = sample_index();
+        let bytes = encode(&index, n);
+        let cut = bytes.slice(0..bytes.len() - 7);
+        assert_eq!(decode(cut).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn corrupt_node_id_rejected() {
+        let (index, n) = sample_index();
+        let mut raw = encode(&index, n).to_vec();
+        // First landmark id sits right after the 32-byte header.
+        raw[32..36].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(DecodeError::NodeOutOfRange(_))
+        ));
+    }
+
+    #[test]
+    fn empty_index_round_trips() {
+        let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
+        let auth = AuthorityIndex::build(&d.graph);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let index = LandmarkIndex::build(&p, vec![], 10);
+        let (back, _) = decode(encode(&index, d.graph.num_nodes())).unwrap();
+        assert!(back.is_empty());
+    }
+}

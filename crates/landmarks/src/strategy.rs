@@ -1,0 +1,512 @@
+//! The 11 landmark selection strategies of Table 4.
+//!
+//! | name       | selection rule                                                    |
+//! |------------|-------------------------------------------------------------------|
+//! | `Random`   | uniform draw                                                      |
+//! | `Follow`   | draw with probability ∝ number of followers (in-degree)           |
+//! | `Publish`  | draw with probability ∝ number of publishers followed (out-degree)|
+//! | `In-Deg`   | the nodes with highest in-degree                                  |
+//! | `Btw-Fol`  | uniform among nodes with follower count in a band                 |
+//! | `Out-Deg`  | the nodes with highest out-degree                                 |
+//! | `Btw-Pub`  | uniform among nodes with publisher count in a band                |
+//! | `Central`  | nodes reachable at a given distance from most seed nodes          |
+//! | `Out-Cen`  | nodes covering (reaching) the most seed nodes                     |
+//! | `Combine`  | weighted combination of `Central` and `Out-Cen`                   |
+//! | `Combine2` | weighted combination of `Btw-Fol` and `Btw-Pub`                   |
+
+use fui_graph::bfs::{k_vicinity, reverse_distances};
+use fui_graph::{NodeId, SocialGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A landmark selection strategy with its parameters.
+///
+/// ```
+/// use fui_landmarks::Strategy;
+/// use fui_graph::{GraphBuilder, TopicSet};
+/// use rand::SeedableRng;
+///
+/// let mut b = GraphBuilder::new();
+/// let hub = b.add_node(TopicSet::empty());
+/// for _ in 0..5 {
+///     let f = b.add_node(TopicSet::empty());
+///     b.add_edge(f, hub, TopicSet::empty());
+/// }
+/// let g = b.build();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// // The most-followed account is the natural landmark.
+/// assert_eq!(Strategy::InDeg.select(&g, 1, &mut rng), vec![hub]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Strategy {
+    /// Uniform draw.
+    Random,
+    /// Draw weighted by follower count (in-degree).
+    Follow,
+    /// Draw weighted by publisher count (out-degree).
+    Publish,
+    /// Highest in-degree nodes.
+    InDeg,
+    /// Uniform among nodes with in-degree in `[min, max]`.
+    BtwFol {
+        /// Minimum follower count (inclusive).
+        min: usize,
+        /// Maximum follower count (inclusive).
+        max: usize,
+    },
+    /// Highest out-degree nodes.
+    OutDeg,
+    /// Uniform among nodes with out-degree in `[min, max]`.
+    BtwPub {
+        /// Minimum publisher count (inclusive).
+        min: usize,
+        /// Maximum publisher count (inclusive).
+        max: usize,
+    },
+    /// Nodes reachable from the most seeds within `depth` hops.
+    Central {
+        /// Number of random BFS seeds.
+        seeds: usize,
+        /// BFS depth.
+        depth: u32,
+    },
+    /// Nodes reaching the most seeds within `depth` hops.
+    OutCen {
+        /// Number of random BFS seeds.
+        seeds: usize,
+        /// BFS depth.
+        depth: u32,
+    },
+    /// Weighted combination of `Central` and `OutCen` coverage.
+    Combine {
+        /// Number of random BFS seeds.
+        seeds: usize,
+        /// BFS depth.
+        depth: u32,
+        /// Weight of the `Central` component in `[0, 1]`.
+        w_central: f64,
+    },
+    /// Weighted combination of the two band filters.
+    Combine2 {
+        /// Follower band.
+        fol: (usize, usize),
+        /// Publisher band.
+        publ: (usize, usize),
+        /// Weight of the follower component in `[0, 1]`.
+        w_fol: f64,
+    },
+}
+
+impl Strategy {
+    /// Display name matching Table 4.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Random => "Random",
+            Strategy::Follow => "Follow",
+            Strategy::Publish => "Publish",
+            Strategy::InDeg => "In-Deg",
+            Strategy::BtwFol { .. } => "Btw-Fol",
+            Strategy::OutDeg => "Out-Deg",
+            Strategy::BtwPub { .. } => "Btw-Pub",
+            Strategy::Central { .. } => "Central",
+            Strategy::OutCen { .. } => "Out-Cen",
+            Strategy::Combine { .. } => "Combine",
+            Strategy::Combine2 { .. } => "Combine2",
+        }
+    }
+
+    /// The full Table 4 suite with parameters derived from the graph's
+    /// degree distribution (bands around the average degree, seed
+    /// counts scaled to the node count).
+    pub fn table4_suite(graph: &SocialGraph) -> Vec<Strategy> {
+        let n = graph.num_nodes().max(1);
+        let avg = (graph.num_edges() as f64 / n as f64).ceil() as usize;
+        let fol_band = (avg.max(1), avg.saturating_mul(10).max(2));
+        let pub_band = fol_band;
+        let seeds = (n / 100).clamp(10, 500);
+        vec![
+            Strategy::Random,
+            Strategy::Follow,
+            Strategy::Publish,
+            Strategy::InDeg,
+            Strategy::BtwFol {
+                min: fol_band.0,
+                max: fol_band.1,
+            },
+            Strategy::OutDeg,
+            Strategy::BtwPub {
+                min: pub_band.0,
+                max: pub_band.1,
+            },
+            Strategy::Central { seeds, depth: 3 },
+            Strategy::OutCen { seeds, depth: 3 },
+            Strategy::Combine {
+                seeds,
+                depth: 3,
+                w_central: 0.5,
+            },
+            Strategy::Combine2 {
+                fol: fol_band,
+                publ: pub_band,
+                w_fol: 0.5,
+            },
+        ]
+    }
+
+    /// Selects `count` distinct landmarks (fewer if the graph or the
+    /// eligible set is smaller).
+    pub fn select(&self, graph: &SocialGraph, count: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+        let n = graph.num_nodes();
+        let count = count.min(n);
+        match self {
+            Strategy::Random => {
+                let mut all: Vec<NodeId> = graph.nodes().collect();
+                all.shuffle(rng);
+                all.truncate(count);
+                all
+            }
+            Strategy::Follow => {
+                weighted_distinct(graph, count, rng, |g, v| g.in_degree(v) as f64)
+            }
+            Strategy::Publish => {
+                weighted_distinct(graph, count, rng, |g, v| g.out_degree(v) as f64)
+            }
+            Strategy::InDeg => top_by(graph, count, |g, v| g.in_degree(v)),
+            Strategy::OutDeg => top_by(graph, count, |g, v| g.out_degree(v)),
+            Strategy::BtwFol { min, max } => {
+                band_uniform(graph, count, rng, |g, v| g.in_degree(v), *min, *max)
+            }
+            Strategy::BtwPub { min, max } => {
+                band_uniform(graph, count, rng, |g, v| g.out_degree(v), *min, *max)
+            }
+            Strategy::Central { seeds, depth } => {
+                let cov = central_coverage(graph, *seeds, *depth, rng);
+                top_by_score(count, &cov)
+            }
+            Strategy::OutCen { seeds, depth } => {
+                let cov = outcen_coverage(graph, *seeds, *depth, rng);
+                top_by_score(count, &cov)
+            }
+            Strategy::Combine {
+                seeds,
+                depth,
+                w_central,
+            } => {
+                let a = central_coverage(graph, *seeds, *depth, rng);
+                let b = outcen_coverage(graph, *seeds, *depth, rng);
+                let (na, nb) = (normalise(&a), normalise(&b));
+                let combined: Vec<f64> = na
+                    .iter()
+                    .zip(&nb)
+                    .map(|(x, y)| w_central * x + (1.0 - w_central) * y)
+                    .collect();
+                top_by_score(count, &combined)
+            }
+            Strategy::Combine2 { fol, publ, w_fol } => {
+                let scores: Vec<f64> = graph
+                    .nodes()
+                    .map(|v| {
+                        let in_fol = (fol.0..=fol.1).contains(&graph.in_degree(v));
+                        let in_pub = (publ.0..=publ.1).contains(&graph.out_degree(v));
+                        w_fol * f64::from(u8::from(in_fol))
+                            + (1.0 - w_fol) * f64::from(u8::from(in_pub))
+                    })
+                    .collect();
+                weighted_distinct_scores(count, &scores, rng)
+            }
+        }
+    }
+}
+
+/// Distinct weighted draw by rejection over a cumulative table.
+fn weighted_distinct(
+    graph: &SocialGraph,
+    count: usize,
+    rng: &mut impl Rng,
+    weight: impl Fn(&SocialGraph, NodeId) -> f64,
+) -> Vec<NodeId> {
+    let scores: Vec<f64> = graph.nodes().map(|v| weight(graph, v)).collect();
+    weighted_distinct_scores(count, &scores, rng)
+}
+
+fn weighted_distinct_scores(count: usize, scores: &[f64], rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut cumulative = Vec::with_capacity(scores.len());
+    let mut total = 0.0f64;
+    for &s in scores {
+        total += s.max(0.0);
+        cumulative.push(total);
+    }
+    let mut out: Vec<NodeId> = Vec::with_capacity(count);
+    if total <= 0.0 {
+        // Degenerate weights: fall back to a uniform draw.
+        let mut all: Vec<u32> = (0..scores.len() as u32).collect();
+        all.shuffle(rng);
+        return all.into_iter().take(count).map(NodeId).collect();
+    }
+    let mut guard = 0usize;
+    let max_guard = count * 50 + 100;
+    while out.len() < count && guard < max_guard {
+        guard += 1;
+        let x = rng.gen::<f64>() * total;
+        let idx = cumulative.partition_point(|&c| c <= x).min(scores.len() - 1);
+        let v = NodeId(idx as u32);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    // Exhausted rejection budget (few positive-weight nodes): fill
+    // with the remaining positive-weight nodes deterministically.
+    if out.len() < count {
+        for (i, &s) in scores.iter().enumerate() {
+            if s > 0.0 && !out.contains(&NodeId(i as u32)) {
+                out.push(NodeId(i as u32));
+                if out.len() == count {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn top_by(
+    graph: &SocialGraph,
+    count: usize,
+    key: impl Fn(&SocialGraph, NodeId) -> usize,
+) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = graph.nodes().collect();
+    all.sort_by_key(|&v| (std::cmp::Reverse(key(graph, v)), v.0));
+    all.truncate(count);
+    all
+}
+
+fn top_by_score(count: usize, scores: &[f64]) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = (0..scores.len() as u32).map(NodeId).collect();
+    all.sort_by(|&a, &b| {
+        scores[b.index()]
+            .partial_cmp(&scores[a.index()])
+            .expect("scores are not NaN")
+            .then(a.0.cmp(&b.0))
+    });
+    all.truncate(count);
+    all
+}
+
+fn band_uniform(
+    graph: &SocialGraph,
+    count: usize,
+    rng: &mut impl Rng,
+    key: impl Fn(&SocialGraph, NodeId) -> usize,
+    min: usize,
+    max: usize,
+) -> Vec<NodeId> {
+    let mut eligible: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&v| (min..=max).contains(&key(graph, v)))
+        .collect();
+    eligible.shuffle(rng);
+    eligible.truncate(count);
+    eligible
+}
+
+/// How many random seeds reach each node within `depth` hops.
+fn central_coverage(
+    graph: &SocialGraph,
+    seeds: usize,
+    depth: u32,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let mut cov = vec![0.0f64; graph.num_nodes()];
+    for &s in pick_seeds(graph, seeds, rng).iter() {
+        let v = k_vicinity(graph, s, depth);
+        for reached in v.reached() {
+            if reached != s {
+                cov[reached.index()] += 1.0;
+            }
+        }
+    }
+    cov
+}
+
+/// How many random seeds each node can reach within `depth` hops.
+fn outcen_coverage(
+    graph: &SocialGraph,
+    seeds: usize,
+    depth: u32,
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let mut cov = vec![0.0f64; graph.num_nodes()];
+    for &s in pick_seeds(graph, seeds, rng).iter() {
+        // Nodes that reach s = reverse BFS from s along in-edges.
+        let dist = reverse_distances(graph, s, depth);
+        for (v, &d) in dist.iter().enumerate() {
+            if d != u32::MAX && v != s.index() {
+                cov[v] += 1.0;
+            }
+        }
+    }
+    cov
+}
+
+fn pick_seeds(graph: &SocialGraph, seeds: usize, rng: &mut impl Rng) -> Vec<NodeId> {
+    let mut all: Vec<NodeId> = graph.nodes().collect();
+    all.shuffle(rng);
+    all.truncate(seeds.max(1));
+    all
+}
+
+fn normalise(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return scores.to_vec();
+    }
+    scores.iter().map(|&s| s / max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_graph::{GraphBuilder, TopicSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Star into node 0 (in-degree hub) + node 1 follows everyone
+    /// (out-degree hub).
+    fn hubs(n: usize) -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| b.add_node(TopicSet::empty())).collect();
+        for &v in &nodes[2..] {
+            b.add_edge(v, nodes[0], TopicSet::empty());
+            b.add_edge(nodes[1], v, TopicSet::empty());
+        }
+        b.add_edge(nodes[1], nodes[0], TopicSet::empty());
+        b.build()
+    }
+
+    #[test]
+    fn suite_has_eleven_strategies_with_table4_names() {
+        let g = hubs(50);
+        let suite = Strategy::table4_suite(&g);
+        assert_eq!(suite.len(), 11);
+        let names: Vec<&str> = suite.iter().map(|s| s.name()).collect();
+        for expected in [
+            "Random", "Follow", "Publish", "In-Deg", "Btw-Fol", "Out-Deg", "Btw-Pub",
+            "Central", "Out-Cen", "Combine", "Combine2",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+
+    #[test]
+    fn all_strategies_return_distinct_landmarks() {
+        let g = hubs(60);
+        let mut rng = StdRng::seed_from_u64(5);
+        for s in Strategy::table4_suite(&g) {
+            let picked = s.select(&g, 10, &mut rng);
+            let mut dedup = picked.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), picked.len(), "{} duplicated", s.name());
+            assert!(picked.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn indeg_picks_the_in_hub() {
+        let g = hubs(40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = Strategy::InDeg.select(&g, 1, &mut rng);
+        assert_eq!(picked, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn outdeg_picks_the_out_hub() {
+        let g = hubs(40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = Strategy::OutDeg.select(&g, 1, &mut rng);
+        assert_eq!(picked, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn follow_weighting_prefers_the_in_hub() {
+        let g = hubs(40);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = 0;
+        for _ in 0..50 {
+            if Strategy::Follow.select(&g, 1, &mut rng)[0] == NodeId(0) {
+                hits += 1;
+            }
+        }
+        // Node 0 holds 39 of 77 in-edges; ~half the draws hit it.
+        assert!(hits > 15, "hub drawn only {hits}/50 times");
+    }
+
+    #[test]
+    fn band_filter_respects_bounds() {
+        let g = hubs(40);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = Strategy::BtwFol { min: 1, max: 2 }.select(&g, 40, &mut rng);
+        for v in picked {
+            let d = g.in_degree(v);
+            assert!((1..=2).contains(&d), "{v} has in-degree {d}");
+        }
+    }
+
+    #[test]
+    fn central_prefers_the_well_reached_hub() {
+        let g = hubs(40);
+        let mut rng = StdRng::seed_from_u64(4);
+        let picked = Strategy::Central { seeds: 20, depth: 2 }.select(&g, 1, &mut rng);
+        // Node 0 is reachable from every other node in one hop.
+        assert_eq!(picked, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn outcen_prefers_the_reaching_hub() {
+        let g = hubs(40);
+        let mut rng = StdRng::seed_from_u64(4);
+        let picked = Strategy::OutCen { seeds: 20, depth: 2 }.select(&g, 1, &mut rng);
+        // Node 1 reaches every seed in one hop.
+        assert_eq!(picked, vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn combine_mixes_both_hubs() {
+        let g = hubs(40);
+        let mut rng = StdRng::seed_from_u64(6);
+        let picked = Strategy::Combine {
+            seeds: 20,
+            depth: 2,
+            w_central: 0.5,
+        }
+        .select(&g, 2, &mut rng);
+        assert!(picked.contains(&NodeId(0)) && picked.contains(&NodeId(1)), "{picked:?}");
+    }
+
+    #[test]
+    fn combine2_draws_from_both_bands() {
+        let g = hubs(40);
+        let mut rng = StdRng::seed_from_u64(7);
+        let picked = Strategy::Combine2 {
+            fol: (1, 2),
+            publ: (1, 2),
+            w_fol: 0.5,
+        }
+        .select(&g, 10, &mut rng);
+        assert!(!picked.is_empty());
+        for v in picked {
+            assert!(
+                (1..=2).contains(&g.in_degree(v)) || (1..=2).contains(&g.out_degree(v)),
+                "{v} outside both bands"
+            );
+        }
+    }
+
+    #[test]
+    fn count_larger_than_graph_is_clamped() {
+        let g = hubs(10);
+        let mut rng = StdRng::seed_from_u64(8);
+        let picked = Strategy::Random.select(&g, 1000, &mut rng);
+        assert_eq!(picked.len(), 10);
+    }
+}

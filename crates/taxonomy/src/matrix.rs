@@ -1,0 +1,165 @@
+//! Precomputed triangular topic-similarity matrix.
+//!
+//! Section 5.2 of the paper: "The topic similarities given by the Wu
+//! and Palmer similarity scores are pre-computed and stored in memory
+//! as a triangular similarity matrix" (2.5 KB for 18 topics). This is
+//! the structure every scorer reads in its hot loop, so lookups are a
+//! single index into a flat array.
+
+use crate::topics::{Topic, TopicSet, NUM_TOPICS};
+use crate::tree::Taxonomy;
+
+/// Symmetric topic-similarity matrix stored as a lower triangle.
+///
+/// ```
+/// use fui_taxonomy::{SimMatrix, Topic};
+///
+/// let sim = SimMatrix::opencalais();
+/// assert_eq!(sim.sim(Topic::Technology, Topic::Technology), 1.0);
+/// // Health sits in the same sci-tech branch as technology...
+/// assert!(sim.sim(Topic::Health, Topic::Technology)
+///         > sim.sim(Topic::Sports, Topic::Technology));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimMatrix {
+    // Row-major lower triangle, including the diagonal:
+    // entry (i, j) with i >= j lives at i*(i+1)/2 + j.
+    tri: Vec<f64>,
+}
+
+#[inline]
+fn tri_index(a: usize, b: usize) -> usize {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi * (hi + 1) / 2 + lo
+}
+
+impl SimMatrix {
+    /// Precomputes Wu–Palmer similarities for every topic pair of the
+    /// given taxonomy.
+    pub fn from_taxonomy(tax: &Taxonomy) -> SimMatrix {
+        let mut tri = vec![0.0; NUM_TOPICS * (NUM_TOPICS + 1) / 2];
+        for a in Topic::ALL {
+            for b in Topic::ALL {
+                if b.index() <= a.index() {
+                    tri[tri_index(a.index(), b.index())] = tax.wu_palmer(a, b);
+                }
+            }
+        }
+        SimMatrix { tri }
+    }
+
+    /// The matrix for the standard OpenCalais taxonomy
+    /// ([`Taxonomy::opencalais`]).
+    pub fn opencalais() -> SimMatrix {
+        SimMatrix::from_taxonomy(&Taxonomy::opencalais())
+    }
+
+    /// The identity similarity (`sim(a,b) = 1` iff `a == b`, else 0).
+    ///
+    /// Used by the `Tr−sim` ablation of Section 5.3, which drops the
+    /// semantic-similarity component of the score.
+    pub fn identity() -> SimMatrix {
+        let mut tri = vec![0.0; NUM_TOPICS * (NUM_TOPICS + 1) / 2];
+        for t in 0..NUM_TOPICS {
+            tri[tri_index(t, t)] = 1.0;
+        }
+        SimMatrix { tri }
+    }
+
+    /// Similarity between two topics.
+    #[inline]
+    pub fn sim(&self, a: Topic, b: Topic) -> f64 {
+        self.tri[tri_index(a.index(), b.index())]
+    }
+
+    /// `max_{t' ∈ labels} sim(t', t)` — the semantic component of the
+    /// paper's edge relevance (Equation 3). Returns 0 for an empty
+    /// label set ("When an edge is labeled with several topics, we only
+    /// keep the maximum similarity to t among all its topics").
+    #[inline]
+    pub fn max_sim(&self, labels: TopicSet, t: Topic) -> f64 {
+        let mut best = 0.0f64;
+        for t2 in labels.iter() {
+            let s = self.sim(t2, t);
+            if s > best {
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// Approximate in-memory size in bytes (the paper quotes 2.5 KB for
+    /// 18 topics).
+    pub fn size_bytes(&self) -> usize {
+        self.tri.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_direct_computation() {
+        let tax = Taxonomy::opencalais();
+        let m = SimMatrix::from_taxonomy(&tax);
+        for a in Topic::ALL {
+            for b in Topic::ALL {
+                assert_eq!(m.sim(a, b), tax.wu_palmer(a, b), "sim({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let m = SimMatrix::opencalais();
+        for a in Topic::ALL {
+            assert_eq!(m.sim(a, a), 1.0);
+            for b in Topic::ALL {
+                assert_eq!(m.sim(a, b), m.sim(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn max_sim_picks_best_label() {
+        let m = SimMatrix::opencalais();
+        let labels = TopicSet::single(Topic::Politics).with(Topic::Leisure);
+        // For the query topic entertainment, the leisure label (sibling,
+        // 2/3) beats politics (cross-branch, 1/3).
+        let got = m.max_sim(labels, Topic::Entertainment);
+        assert_eq!(got, m.sim(Topic::Leisure, Topic::Entertainment));
+        assert!((got - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_sim_of_empty_labels_is_zero() {
+        let m = SimMatrix::opencalais();
+        assert_eq!(m.max_sim(TopicSet::empty(), Topic::Social), 0.0);
+    }
+
+    #[test]
+    fn max_sim_with_exact_label_is_one() {
+        let m = SimMatrix::opencalais();
+        let labels = TopicSet::single(Topic::Social);
+        assert_eq!(m.max_sim(labels, Topic::Social), 1.0);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let m = SimMatrix::identity();
+        for a in Topic::ALL {
+            for b in Topic::ALL {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert_eq!(m.sim(a, b), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn size_is_small() {
+        let m = SimMatrix::opencalais();
+        // 18 topics -> 171 entries -> well under the paper's 2.5 KB.
+        assert!(m.size_bytes() <= 2560);
+    }
+}

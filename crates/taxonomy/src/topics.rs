@@ -1,0 +1,577 @@
+//! The fixed topic vocabulary `T` and compact topic sets.
+//!
+//! The paper tags users and follow relationships with "a list of 18
+//! standard topics for Web sites/documents proposed by OpenCalais"
+//! (Section 5.1). We reproduce that vocabulary one-to-one (with
+//! `Hospitality_Recreation` surfaced under the name the paper's
+//! experiments use, **Leisure**).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of topics in the vocabulary (the paper's 18 OpenCalais
+/// categories).
+pub const NUM_TOPICS: usize = 18;
+
+/// A topic from the fixed 18-topic OpenCalais-style vocabulary.
+///
+/// The discriminant is the topic's index in `0..NUM_TOPICS` and doubles
+/// as its bit position inside a [`TopicSet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+pub enum Topic {
+    /// Business & finance.
+    Business = 0,
+    /// Disasters & accidents.
+    Disaster = 1,
+    /// Education.
+    Education = 2,
+    /// Entertainment & culture.
+    Entertainment = 3,
+    /// Environment.
+    Environment = 4,
+    /// Health, medical & pharma.
+    Health = 5,
+    /// Hospitality & recreation — the paper's *leisure* topic.
+    Leisure = 6,
+    /// Human interest.
+    HumanInterest = 7,
+    /// Labor.
+    Labor = 8,
+    /// Law & crime.
+    Law = 9,
+    /// Politics.
+    Politics = 10,
+    /// Religion & belief.
+    Religion = 11,
+    /// Social issues — the paper's *social* topic.
+    Social = 12,
+    /// Sports.
+    Sports = 13,
+    /// Technology & internet — the paper's *technology* topic.
+    Technology = 14,
+    /// Weather.
+    Weather = 15,
+    /// War & conflict.
+    War = 16,
+    /// Everything else.
+    Other = 17,
+}
+
+impl Topic {
+    /// All topics, in index order.
+    pub const ALL: [Topic; NUM_TOPICS] = [
+        Topic::Business,
+        Topic::Disaster,
+        Topic::Education,
+        Topic::Entertainment,
+        Topic::Environment,
+        Topic::Health,
+        Topic::Leisure,
+        Topic::HumanInterest,
+        Topic::Labor,
+        Topic::Law,
+        Topic::Politics,
+        Topic::Religion,
+        Topic::Social,
+        Topic::Sports,
+        Topic::Technology,
+        Topic::Weather,
+        Topic::War,
+        Topic::Other,
+    ];
+
+    /// The topic's index in `0..NUM_TOPICS`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The topic with the given index.
+    ///
+    /// # Panics
+    /// Panics if `index >= NUM_TOPICS`.
+    #[inline]
+    pub fn from_index(index: usize) -> Topic {
+        Topic::ALL[index]
+    }
+
+    /// The topic with the given index, if in range.
+    #[inline]
+    pub fn try_from_index(index: usize) -> Option<Topic> {
+        Topic::ALL.get(index).copied()
+    }
+
+    /// Canonical lower-case name, as used in the paper's figures
+    /// (`technology`, `social`, `leisure`, ...).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Topic::Business => "business",
+            Topic::Disaster => "disaster",
+            Topic::Education => "education",
+            Topic::Entertainment => "entertainment",
+            Topic::Environment => "environment",
+            Topic::Health => "health",
+            Topic::Leisure => "leisure",
+            Topic::HumanInterest => "human_interest",
+            Topic::Labor => "labor",
+            Topic::Law => "law",
+            Topic::Politics => "politics",
+            Topic::Religion => "religion",
+            Topic::Social => "social",
+            Topic::Sports => "sports",
+            Topic::Technology => "technology",
+            Topic::Weather => "weather",
+            Topic::War => "war",
+            Topic::Other => "other",
+        }
+    }
+
+    /// The bit of this topic inside a [`TopicSet`] mask.
+    #[inline]
+    pub const fn bit(self) -> u32 {
+        1u32 << (self as u32)
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown topic name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownTopic(pub String);
+
+impl fmt::Display for UnknownTopic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown topic name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownTopic {}
+
+impl FromStr for Topic {
+    type Err = UnknownTopic;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Topic::ALL
+            .iter()
+            .copied()
+            .find(|t| t.name() == lower)
+            .ok_or_else(|| UnknownTopic(s.to_owned()))
+    }
+}
+
+/// A set of topics, packed into a `u32` bitmask.
+///
+/// Topic sets are the labels of the paper's labeled social graph: the
+/// function `labelN` maps each user to the set of topics characterising
+/// his posts, and `labelE` maps each follow edge to the topics of
+/// interest that motivated the follow (Section 3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TopicSet(u32);
+
+impl TopicSet {
+    /// The mask covering every topic of the vocabulary.
+    pub const FULL_MASK: u32 = (1u32 << NUM_TOPICS as u32) - 1;
+
+    /// The empty set.
+    #[inline]
+    pub const fn empty() -> TopicSet {
+        TopicSet(0)
+    }
+
+    /// The set of all `NUM_TOPICS` topics.
+    #[inline]
+    pub const fn full() -> TopicSet {
+        TopicSet(Self::FULL_MASK)
+    }
+
+    /// A singleton set.
+    #[inline]
+    pub const fn single(t: Topic) -> TopicSet {
+        TopicSet(t.bit())
+    }
+
+    /// Builds a set from a raw bitmask; bits outside the vocabulary are
+    /// dropped.
+    #[inline]
+    pub const fn from_mask(mask: u32) -> TopicSet {
+        TopicSet(mask & Self::FULL_MASK)
+    }
+
+    /// The raw bitmask.
+    #[inline]
+    pub const fn mask(self) -> u32 {
+        self.0
+    }
+
+    /// Whether the set contains no topic.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of topics in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test.
+    #[inline]
+    pub const fn contains(self, t: Topic) -> bool {
+        self.0 & t.bit() != 0
+    }
+
+    /// Adds a topic (in place).
+    #[inline]
+    pub fn insert(&mut self, t: Topic) {
+        self.0 |= t.bit();
+    }
+
+    /// Removes a topic (in place).
+    #[inline]
+    pub fn remove(&mut self, t: Topic) {
+        self.0 &= !t.bit();
+    }
+
+    /// The set with `t` added.
+    #[inline]
+    pub const fn with(self, t: Topic) -> TopicSet {
+        TopicSet(self.0 | t.bit())
+    }
+
+    /// Set union.
+    #[inline]
+    pub const fn union(self, other: TopicSet) -> TopicSet {
+        TopicSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub const fn intersection(self, other: TopicSet) -> TopicSet {
+        TopicSet(self.0 & other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub const fn difference(self, other: TopicSet) -> TopicSet {
+        TopicSet(self.0 & !other.0)
+    }
+
+    /// Complement with respect to the full vocabulary.
+    #[inline]
+    pub const fn complement(self) -> TopicSet {
+        TopicSet(!self.0 & Self::FULL_MASK)
+    }
+
+    /// Whether the two sets share at least one topic.
+    #[inline]
+    pub const fn intersects(self, other: TopicSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether `self` is a subset of `other`.
+    #[inline]
+    pub const fn is_subset(self, other: TopicSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the member topics in index order.
+    #[inline]
+    pub fn iter(self) -> TopicSetIter {
+        TopicSetIter(self.0)
+    }
+
+    /// An arbitrary member (the lowest-index one), if any.
+    #[inline]
+    pub fn first(self) -> Option<Topic> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Topic::from_index(self.0.trailing_zeros() as usize))
+        }
+    }
+}
+
+impl FromIterator<Topic> for TopicSet {
+    fn from_iter<I: IntoIterator<Item = Topic>>(iter: I) -> Self {
+        let mut s = TopicSet::empty();
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+impl IntoIterator for TopicSet {
+    type Item = Topic;
+    type IntoIter = TopicSetIter;
+
+    fn into_iter(self) -> TopicSetIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for TopicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for TopicSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for t in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the topics of a [`TopicSet`].
+#[derive(Clone, Debug)]
+pub struct TopicSetIter(u32);
+
+impl Iterator for TopicSetIter {
+    type Item = Topic;
+
+    #[inline]
+    fn next(&mut self) -> Option<Topic> {
+        if self.0 == 0 {
+            return None;
+        }
+        let idx = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(Topic::from_index(idx))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for TopicSetIter {}
+
+/// A dense weight vector over the topic vocabulary.
+///
+/// Used for user interest mixtures (datagen's hidden profiles, the
+/// follower-profile frequencies of Section 5.1, and TwitterRank's `DT`
+/// matrix rows). Weights are non-negative; [`TopicWeights::normalize`]
+/// rescales them to sum to one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopicWeights(pub [f64; NUM_TOPICS]);
+
+impl Default for TopicWeights {
+    fn default() -> Self {
+        TopicWeights([0.0; NUM_TOPICS])
+    }
+}
+
+impl TopicWeights {
+    /// The zero vector.
+    pub fn zero() -> TopicWeights {
+        TopicWeights::default()
+    }
+
+    /// Weight of a topic.
+    #[inline]
+    pub fn get(&self, t: Topic) -> f64 {
+        self.0[t.index()]
+    }
+
+    /// Sets the weight of a topic.
+    #[inline]
+    pub fn set(&mut self, t: Topic, w: f64) {
+        self.0[t.index()] = w;
+    }
+
+    /// Adds `w` to the weight of `t`.
+    #[inline]
+    pub fn add(&mut self, t: Topic, w: f64) {
+        self.0[t.index()] += w;
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Rescales the weights to sum to 1. A zero vector is left unchanged.
+    pub fn normalize(&mut self) {
+        let s = self.total();
+        if s > 0.0 {
+            for w in &mut self.0 {
+                *w /= s;
+            }
+        }
+    }
+
+    /// The set of topics with weight at least `threshold`.
+    pub fn support(&self, threshold: f64) -> TopicSet {
+        Topic::ALL
+            .iter()
+            .copied()
+            .filter(|t| self.get(*t) >= threshold)
+            .collect()
+    }
+
+    /// The topic with the highest weight (ties broken by index), or
+    /// `None` for an all-zero vector.
+    pub fn argmax(&self) -> Option<Topic> {
+        let (idx, &w) = self
+            .0
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("weights are not NaN"))?;
+        if w > 0.0 {
+            Some(Topic::from_index(idx))
+        } else {
+            None
+        }
+    }
+
+    /// The `k` highest-weighted topics with non-zero weight, best first.
+    pub fn top_k(&self, k: usize) -> Vec<(Topic, f64)> {
+        let mut v: Vec<(Topic, f64)> = Topic::ALL
+            .iter()
+            .copied()
+            .map(|t| (t, self.get(t)))
+            .filter(|&(_, w)| w > 0.0)
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("weights are not NaN"));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_has_eighteen_topics() {
+        assert_eq!(Topic::ALL.len(), NUM_TOPICS);
+        assert_eq!(NUM_TOPICS, 18);
+        for (i, t) in Topic::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+            assert_eq!(Topic::from_index(i), *t);
+        }
+    }
+
+    #[test]
+    fn topic_names_round_trip() {
+        for t in Topic::ALL {
+            assert_eq!(t.name().parse::<Topic>().unwrap(), t);
+        }
+        assert!("TECHNOLOGY".parse::<Topic>().is_ok());
+        assert!("quux".parse::<Topic>().is_err());
+    }
+
+    #[test]
+    fn empty_and_full_sets() {
+        assert!(TopicSet::empty().is_empty());
+        assert_eq!(TopicSet::empty().len(), 0);
+        assert_eq!(TopicSet::full().len(), NUM_TOPICS);
+        for t in Topic::ALL {
+            assert!(!TopicSet::empty().contains(t));
+            assert!(TopicSet::full().contains(t));
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = TopicSet::empty();
+        s.insert(Topic::Technology);
+        s.insert(Topic::Social);
+        assert!(s.contains(Topic::Technology));
+        assert!(s.contains(Topic::Social));
+        assert!(!s.contains(Topic::Sports));
+        assert_eq!(s.len(), 2);
+        s.remove(Topic::Technology);
+        assert!(!s.contains(Topic::Technology));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = TopicSet::single(Topic::Technology).with(Topic::Business);
+        let b = TopicSet::single(Topic::Business).with(Topic::Sports);
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b), TopicSet::single(Topic::Business));
+        assert_eq!(a.difference(b), TopicSet::single(Topic::Technology));
+        assert!(a.intersects(b));
+        assert!(!a.is_subset(b));
+        assert!(TopicSet::single(Topic::Business).is_subset(a));
+        assert_eq!(a.complement().complement(), a);
+    }
+
+    #[test]
+    fn iteration_matches_membership() {
+        let s = TopicSet::from_mask(0b1010_0000_0101);
+        let collected: Vec<Topic> = s.iter().collect();
+        assert_eq!(collected.len(), s.len());
+        for t in &collected {
+            assert!(s.contains(*t));
+        }
+        let rebuilt: TopicSet = collected.into_iter().collect();
+        assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn from_mask_clamps_to_vocabulary() {
+        let s = TopicSet::from_mask(u32::MAX);
+        assert_eq!(s, TopicSet::full());
+    }
+
+    #[test]
+    fn first_returns_lowest_index() {
+        assert_eq!(TopicSet::empty().first(), None);
+        let s = TopicSet::single(Topic::War).with(Topic::Education);
+        assert_eq!(s.first(), Some(Topic::Education));
+    }
+
+    #[test]
+    fn weights_normalize_and_argmax() {
+        let mut w = TopicWeights::zero();
+        assert_eq!(w.argmax(), None);
+        w.set(Topic::Technology, 3.0);
+        w.set(Topic::Social, 1.0);
+        w.normalize();
+        assert!((w.total() - 1.0).abs() < 1e-12);
+        assert!((w.get(Topic::Technology) - 0.75).abs() < 1e-12);
+        assert_eq!(w.argmax(), Some(Topic::Technology));
+    }
+
+    #[test]
+    fn weights_support_and_top_k() {
+        let mut w = TopicWeights::zero();
+        w.set(Topic::Technology, 0.5);
+        w.set(Topic::Social, 0.3);
+        w.set(Topic::Sports, 0.2);
+        let sup = w.support(0.25);
+        assert!(sup.contains(Topic::Technology));
+        assert!(sup.contains(Topic::Social));
+        assert!(!sup.contains(Topic::Sports));
+        let top = w.top_k(2);
+        assert_eq!(top[0].0, Topic::Technology);
+        assert_eq!(top[1].0, Topic::Social);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut w = TopicWeights::zero();
+        w.normalize();
+        assert_eq!(w.total(), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Concept taxonomy and the Wu–Palmer similarity measure.
+//!
+//! The paper computes the semantic similarity between two topics with
+//! the Wu and Palmer measure \[27\] over WordNet. Since the vocabulary
+//! is the small fixed set of 18 OpenCalais categories ("we have a small
+//! number of topics for labeling our dataset without synonymy issues"),
+//! we materialise an explicit taxonomy tree with the same shape:
+//! category leaves grouped under intermediate concepts under a common
+//! root.
+//!
+//! Wu–Palmer similarity of two concepts `a` and `b` is
+//!
+//! ```text
+//! sim(a, b) = 2 · depth(lcs(a, b)) / (depth(a) + depth(b))
+//! ```
+//!
+//! where `lcs` is the lowest common subsumer (deepest common ancestor)
+//! and the root has depth 1, so `sim ∈ (0, 1]` with `sim(a, a) = 1`.
+
+use std::fmt;
+
+use crate::topics::{Topic, NUM_TOPICS};
+
+/// Identifier of a concept inside a [`Taxonomy`] (index into its node
+/// arrays).
+pub type ConceptId = usize;
+
+/// Errors produced while building or querying a taxonomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaxonomyError {
+    /// A child referenced a parent id that does not exist yet.
+    UnknownParent(ConceptId),
+    /// A topic was bound to more than one concept.
+    DuplicateTopic(Topic),
+    /// A topic of the vocabulary has no concept bound to it.
+    UnboundTopic(Topic),
+}
+
+impl fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxonomyError::UnknownParent(id) => write!(f, "unknown parent concept {id}"),
+            TaxonomyError::DuplicateTopic(t) => write!(f, "topic {t} bound twice"),
+            TaxonomyError::UnboundTopic(t) => write!(f, "topic {t} not bound to any concept"),
+        }
+    }
+}
+
+impl std::error::Error for TaxonomyError {}
+
+/// A rooted concept tree with topics bound to (some of) its nodes.
+///
+/// Depths follow the Wu–Palmer convention: the root has depth 1.
+#[derive(Clone, Debug)]
+pub struct Taxonomy {
+    names: Vec<String>,
+    parent: Vec<Option<ConceptId>>,
+    depth: Vec<u32>,
+    /// Concept bound to each topic of the vocabulary.
+    topic_concept: [ConceptId; NUM_TOPICS],
+}
+
+/// Incremental builder for a [`Taxonomy`].
+///
+/// Concepts must be added parent-before-child; the first concept added
+/// is the root.
+#[derive(Default)]
+pub struct TaxonomyBuilder {
+    names: Vec<String>,
+    parent: Vec<Option<ConceptId>>,
+    depth: Vec<u32>,
+    topic_concept: [Option<ConceptId>; NUM_TOPICS],
+}
+
+impl TaxonomyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> TaxonomyBuilder {
+        TaxonomyBuilder::default()
+    }
+
+    /// Adds the root concept. Only valid as the first insertion.
+    pub fn root(&mut self, name: &str) -> ConceptId {
+        assert!(self.names.is_empty(), "root must be the first concept");
+        self.names.push(name.to_owned());
+        self.parent.push(None);
+        self.depth.push(1);
+        0
+    }
+
+    /// Adds an inner concept under `parent`.
+    pub fn concept(&mut self, name: &str, parent: ConceptId) -> Result<ConceptId, TaxonomyError> {
+        if parent >= self.names.len() {
+            return Err(TaxonomyError::UnknownParent(parent));
+        }
+        let id = self.names.len();
+        self.names.push(name.to_owned());
+        self.parent.push(Some(parent));
+        self.depth.push(self.depth[parent] + 1);
+        Ok(id)
+    }
+
+    /// Adds a leaf concept bound to a vocabulary topic.
+    pub fn topic(&mut self, t: Topic, parent: ConceptId) -> Result<ConceptId, TaxonomyError> {
+        if self.topic_concept[t.index()].is_some() {
+            return Err(TaxonomyError::DuplicateTopic(t));
+        }
+        let id = self.concept(t.name(), parent)?;
+        self.topic_concept[t.index()] = Some(id);
+        Ok(id)
+    }
+
+    /// Finalises the taxonomy; every vocabulary topic must be bound.
+    pub fn build(self) -> Result<Taxonomy, TaxonomyError> {
+        let mut topic_concept = [0usize; NUM_TOPICS];
+        for t in Topic::ALL {
+            topic_concept[t.index()] =
+                self.topic_concept[t.index()].ok_or(TaxonomyError::UnboundTopic(t))?;
+        }
+        Ok(Taxonomy {
+            names: self.names,
+            parent: self.parent,
+            depth: self.depth,
+            topic_concept,
+        })
+    }
+}
+
+impl Taxonomy {
+    /// The standard 18-category OpenCalais-style taxonomy used
+    /// throughout the reproduction.
+    ///
+    /// Leaves are the [`Topic`] vocabulary; they are grouped under five
+    /// intermediate concepts (society, economy, science & technology,
+    /// lifestyle, nature) so that semantically close categories — e.g.
+    /// `entertainment` and `leisure` — obtain a higher Wu–Palmer
+    /// similarity than unrelated ones.
+    pub fn opencalais() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new();
+        let root = b.root("topic");
+        let society = b.concept("society", root).expect("root exists");
+        let economy = b.concept("economy", root).expect("root exists");
+        let scitech = b.concept("scitech", root).expect("root exists");
+        let lifestyle = b.concept("lifestyle", root).expect("root exists");
+        let nature = b.concept("nature", root).expect("root exists");
+        for (t, parent) in [
+            (Topic::Politics, society),
+            (Topic::Law, society),
+            (Topic::Religion, society),
+            (Topic::Social, society),
+            (Topic::HumanInterest, society),
+            (Topic::War, society),
+            (Topic::Business, economy),
+            (Topic::Labor, economy),
+            (Topic::Technology, scitech),
+            (Topic::Health, scitech),
+            (Topic::Education, scitech),
+            (Topic::Entertainment, lifestyle),
+            (Topic::Sports, lifestyle),
+            (Topic::Leisure, lifestyle),
+            (Topic::Weather, nature),
+            (Topic::Disaster, nature),
+            (Topic::Environment, nature),
+            (Topic::Other, root),
+        ] {
+            b.topic(t, parent).expect("all parents exist, no duplicates");
+        }
+        b.build().expect("all topics bound")
+    }
+
+    /// Number of concepts (inner nodes + leaves).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the taxonomy has no concept.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a concept.
+    pub fn name(&self, c: ConceptId) -> &str {
+        &self.names[c]
+    }
+
+    /// Depth of a concept (root = 1).
+    pub fn depth(&self, c: ConceptId) -> u32 {
+        self.depth[c]
+    }
+
+    /// Parent of a concept (`None` for the root).
+    pub fn parent(&self, c: ConceptId) -> Option<ConceptId> {
+        self.parent[c]
+    }
+
+    /// The concept bound to a vocabulary topic.
+    pub fn concept_of(&self, t: Topic) -> ConceptId {
+        self.topic_concept[t.index()]
+    }
+
+    /// Lowest common subsumer (deepest common ancestor) of two concepts.
+    pub fn lcs(&self, mut a: ConceptId, mut b: ConceptId) -> ConceptId {
+        while self.depth[a] > self.depth[b] {
+            a = self.parent[a].expect("non-root concepts have parents");
+        }
+        while self.depth[b] > self.depth[a] {
+            b = self.parent[b].expect("non-root concepts have parents");
+        }
+        while a != b {
+            a = self.parent[a].expect("concepts share the root");
+            b = self.parent[b].expect("concepts share the root");
+        }
+        a
+    }
+
+    /// Wu–Palmer similarity between two concepts:
+    /// `2·depth(lcs) / (depth(a) + depth(b))`.
+    pub fn wu_palmer_concepts(&self, a: ConceptId, b: ConceptId) -> f64 {
+        let l = self.lcs(a, b);
+        2.0 * f64::from(self.depth[l]) / (f64::from(self.depth[a]) + f64::from(self.depth[b]))
+    }
+
+    /// Wu–Palmer similarity between two vocabulary topics.
+    pub fn wu_palmer(&self, a: Topic, b: Topic) -> f64 {
+        self.wu_palmer_concepts(self.concept_of(a), self.concept_of(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opencalais_binds_all_topics() {
+        let tax = Taxonomy::opencalais();
+        for t in Topic::ALL {
+            let c = tax.concept_of(t);
+            assert_eq!(tax.name(c), t.name());
+        }
+    }
+
+    #[test]
+    fn root_has_depth_one() {
+        let tax = Taxonomy::opencalais();
+        assert_eq!(tax.depth(0), 1);
+        assert_eq!(tax.parent(0), None);
+    }
+
+    #[test]
+    fn identity_similarity_is_one() {
+        let tax = Taxonomy::opencalais();
+        for t in Topic::ALL {
+            assert_eq!(tax.wu_palmer(t, t), 1.0);
+        }
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_positive() {
+        let tax = Taxonomy::opencalais();
+        for a in Topic::ALL {
+            for b in Topic::ALL {
+                let s = tax.wu_palmer(a, b);
+                assert!(s > 0.0 && s <= 1.0, "sim({a},{b}) = {s}");
+                assert_eq!(s, tax.wu_palmer(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_are_closer_than_cross_branch() {
+        let tax = Taxonomy::opencalais();
+        // entertainment and leisure share the lifestyle parent.
+        let close = tax.wu_palmer(Topic::Entertainment, Topic::Leisure);
+        // entertainment and politics only share the root.
+        let far = tax.wu_palmer(Topic::Entertainment, Topic::Politics);
+        assert!(close > far, "{close} <= {far}");
+        // Leaves at depth 3 under a shared depth-2 parent: 2*2/(3+3).
+        assert!((close - 2.0 / 3.0).abs() < 1e-12);
+        // Cross-branch leaves: 2*1/(3+3).
+        assert!((far - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn other_sits_directly_under_root() {
+        let tax = Taxonomy::opencalais();
+        let other = tax.concept_of(Topic::Other);
+        assert_eq!(tax.parent(other), Some(0));
+        // sim(other, technology) = 2*1/(2+3) = 0.4.
+        let s = tax.wu_palmer(Topic::Other, Topic::Technology);
+        assert!((s - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lcs_of_node_with_ancestor_is_the_ancestor() {
+        let tax = Taxonomy::opencalais();
+        let tech = tax.concept_of(Topic::Technology);
+        let parent = tax.parent(tech).unwrap();
+        assert_eq!(tax.lcs(tech, parent), parent);
+        assert_eq!(tax.lcs(tech, 0), 0);
+    }
+
+    #[test]
+    fn builder_rejects_duplicate_topic() {
+        let mut b = TaxonomyBuilder::new();
+        let root = b.root("root");
+        b.topic(Topic::Business, root).unwrap();
+        assert_eq!(
+            b.topic(Topic::Business, root),
+            Err(TaxonomyError::DuplicateTopic(Topic::Business))
+        );
+    }
+
+    #[test]
+    fn builder_rejects_unknown_parent() {
+        let mut b = TaxonomyBuilder::new();
+        b.root("root");
+        assert_eq!(b.concept("x", 42), Err(TaxonomyError::UnknownParent(42)));
+    }
+
+    #[test]
+    fn builder_rejects_unbound_topic() {
+        let mut b = TaxonomyBuilder::new();
+        let root = b.root("root");
+        b.topic(Topic::Business, root).unwrap();
+        match b.build() {
+            Err(TaxonomyError::UnboundTopic(_)) => {}
+            other => panic!("expected UnboundTopic, got {other:?}"),
+        }
+    }
+}

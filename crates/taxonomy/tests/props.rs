@@ -1,0 +1,96 @@
+//! Property tests: TopicSet set-algebra laws and Wu–Palmer metric
+//! properties (DESIGN.md §7).
+
+use fui_taxonomy::{SimMatrix, Taxonomy, Topic, TopicSet, NUM_TOPICS};
+use proptest::prelude::*;
+
+fn arb_topic() -> impl Strategy<Value = Topic> {
+    (0..NUM_TOPICS).prop_map(Topic::from_index)
+}
+
+fn arb_set() -> impl Strategy<Value = TopicSet> {
+    any::<u32>().prop_map(TopicSet::from_mask)
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_associative(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(a.union(b), b.union(a));
+        prop_assert_eq!(a.union(b).union(c), a.union(b.union(c)));
+    }
+
+    #[test]
+    fn intersection_distributes_over_union(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(
+            a.intersection(b.union(c)),
+            a.intersection(b).union(a.intersection(c))
+        );
+    }
+
+    #[test]
+    fn de_morgan(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(
+            a.union(b).complement(),
+            a.complement().intersection(b.complement())
+        );
+    }
+
+    #[test]
+    fn difference_and_subset(a in arb_set(), b in arb_set()) {
+        let d = a.difference(b);
+        prop_assert!(d.is_subset(a));
+        prop_assert!(!d.intersects(b));
+        prop_assert_eq!(d.union(a.intersection(b)), a);
+    }
+
+    #[test]
+    fn iteration_equals_membership(a in arb_set()) {
+        let collected: Vec<Topic> = a.iter().collect();
+        prop_assert_eq!(collected.len(), a.len());
+        for t in Topic::ALL {
+            prop_assert_eq!(collected.contains(&t), a.contains(t));
+        }
+        let rebuilt: TopicSet = collected.into_iter().collect();
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(a in arb_set(), t in arb_topic()) {
+        let mut s = a;
+        let had = s.contains(t);
+        s.insert(t);
+        prop_assert!(s.contains(t));
+        if !had {
+            s.remove(t);
+            prop_assert_eq!(s, a);
+        }
+    }
+
+    #[test]
+    fn wu_palmer_is_a_similarity(a in arb_topic(), b in arb_topic()) {
+        let tax = Taxonomy::opencalais();
+        let s = tax.wu_palmer(a, b);
+        prop_assert!(s > 0.0 && s <= 1.0);
+        prop_assert_eq!(s, tax.wu_palmer(b, a));
+        prop_assert_eq!(tax.wu_palmer(a, a), 1.0);
+        // Identity is maximal.
+        prop_assert!(s <= tax.wu_palmer(a, a));
+    }
+
+    #[test]
+    fn matrix_agrees_with_taxonomy(a in arb_topic(), b in arb_topic()) {
+        let tax = Taxonomy::opencalais();
+        let m = SimMatrix::from_taxonomy(&tax);
+        prop_assert_eq!(m.sim(a, b), tax.wu_palmer(a, b));
+    }
+
+    #[test]
+    fn max_sim_is_max_over_members(labels in arb_set(), t in arb_topic()) {
+        let m = SimMatrix::opencalais();
+        let direct = labels
+            .iter()
+            .map(|l| m.sim(l, t))
+            .fold(0.0f64, f64::max);
+        prop_assert_eq!(m.max_sim(labels, t), direct);
+    }
+}

@@ -1,0 +1,326 @@
+//! Latent Dirichlet Allocation by collapsed Gibbs sampling.
+//!
+//! The EDBT paper's strongest baseline, TwitterRank (Weng et al.,
+//! WSDM 2010), derives its user-topic matrix `DT` from LDA over each
+//! user's aggregated tweets. The default reproduction pipeline uses
+//! the supervised classifier's soft profiles instead (they play the
+//! same role and are calibrated against ground truth), but this module
+//! provides the genuine unsupervised article: a from-scratch collapsed
+//! Gibbs sampler, plus [`lda_user_profiles`] which aligns the latent
+//! topics to the 18-topic vocabulary so the output drops into the same
+//! [`TopicWeights`] slots.
+
+use fui_taxonomy::{Topic, TopicWeights, NUM_TOPICS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::{Vocabulary, WordId};
+
+/// Sampler hyper-parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LdaConfig {
+    /// Number of latent topics `K`.
+    pub topics: usize,
+    /// Symmetric document–topic prior.
+    pub alpha: f64,
+    /// Symmetric topic–word prior.
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub iterations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig {
+            topics: NUM_TOPICS,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 150,
+            seed: 0x1DA,
+        }
+    }
+}
+
+/// A fitted LDA model (counts after the final sweep).
+#[derive(Clone, Debug)]
+pub struct LdaModel {
+    topics: usize,
+    vocab: usize,
+    alpha: f64,
+    beta: f64,
+    /// `doc_topic[d * K + k]`.
+    doc_topic: Vec<u32>,
+    /// `topic_word[k * V + w]`.
+    topic_word: Vec<u32>,
+    /// Tokens per topic.
+    topic_total: Vec<u32>,
+    /// Tokens per document.
+    doc_len: Vec<u32>,
+}
+
+impl LdaModel {
+    /// Fits the model on bag-of-words documents over a vocabulary of
+    /// `vocab` word ids.
+    ///
+    /// # Panics
+    /// Panics on an empty corpus, zero topics or a word id out of
+    /// range.
+    pub fn fit(docs: &[Vec<WordId>], vocab: usize, cfg: &LdaConfig) -> LdaModel {
+        assert!(!docs.is_empty(), "empty corpus");
+        assert!(cfg.topics >= 1, "need at least one topic");
+        let k = cfg.topics;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let mut doc_topic = vec![0u32; docs.len() * k];
+        let mut topic_word = vec![0u32; k * vocab];
+        let mut topic_total = vec![0u32; k];
+        let mut doc_len = vec![0u32; docs.len()];
+        // Current topic assignment of every token.
+        let mut assignment: Vec<Vec<u16>> = Vec::with_capacity(docs.len());
+
+        for (d, doc) in docs.iter().enumerate() {
+            let mut z = Vec::with_capacity(doc.len());
+            for &w in doc {
+                assert!((w as usize) < vocab, "word id {w} out of range");
+                let t = rng.gen_range(0..k);
+                doc_topic[d * k + t] += 1;
+                topic_word[t * vocab + w as usize] += 1;
+                topic_total[t] += 1;
+                doc_len[d] += 1;
+                z.push(t as u16);
+            }
+            assignment.push(z);
+        }
+
+        let v_beta = cfg.beta * vocab as f64;
+        let mut weights = vec![0.0f64; k];
+        for _ in 0..cfg.iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (i, &w) in doc.iter().enumerate() {
+                    let old = assignment[d][i] as usize;
+                    // Remove the token from the counts.
+                    doc_topic[d * k + old] -= 1;
+                    topic_word[old * vocab + w as usize] -= 1;
+                    topic_total[old] -= 1;
+                    // Full conditional: (n_dk + α) (n_kw + β)/(n_k + Vβ).
+                    let mut total = 0.0;
+                    for (t, slot) in weights.iter_mut().enumerate() {
+                        let p = (f64::from(doc_topic[d * k + t]) + cfg.alpha)
+                            * (f64::from(topic_word[t * vocab + w as usize]) + cfg.beta)
+                            / (f64::from(topic_total[t]) + v_beta);
+                        total += p;
+                        *slot = total;
+                    }
+                    let x = rng.gen::<f64>() * total;
+                    let new = weights.partition_point(|&c| c < x).min(k - 1);
+                    assignment[d][i] = new as u16;
+                    doc_topic[d * k + new] += 1;
+                    topic_word[new * vocab + w as usize] += 1;
+                    topic_total[new] += 1;
+                }
+            }
+        }
+
+        LdaModel {
+            topics: k,
+            vocab,
+            alpha: cfg.alpha,
+            beta: cfg.beta,
+            doc_topic,
+            topic_word,
+            topic_total,
+            doc_len,
+        }
+    }
+
+    /// Number of latent topics.
+    pub fn num_topics(&self) -> usize {
+        self.topics
+    }
+
+    /// Smoothed document–topic distribution θ_d.
+    pub fn doc_topics(&self, d: usize) -> Vec<f64> {
+        let k = self.topics;
+        let denom = f64::from(self.doc_len[d]) + self.alpha * k as f64;
+        (0..k)
+            .map(|t| (f64::from(self.doc_topic[d * k + t]) + self.alpha) / denom)
+            .collect()
+    }
+
+    /// Smoothed topic–word distribution φ_k.
+    pub fn topic_words(&self, t: usize) -> Vec<f64> {
+        let denom = f64::from(self.topic_total[t]) + self.beta * self.vocab as f64;
+        (0..self.vocab)
+            .map(|w| (f64::from(self.topic_word[t * self.vocab + w]) + self.beta) / denom)
+            .collect()
+    }
+
+    /// The `n` highest-probability words of latent topic `t`.
+    pub fn top_words(&self, t: usize, n: usize) -> Vec<WordId> {
+        let phi = self.topic_words(t);
+        let mut idx: Vec<usize> = (0..self.vocab).collect();
+        idx.sort_by(|&a, &b| phi[b].partial_cmp(&phi[a]).expect("phi is not NaN"));
+        idx.truncate(n);
+        idx.into_iter().map(|w| w as WordId).collect()
+    }
+
+    /// Aligns each latent topic to the vocabulary [`Topic`] whose word
+    /// band dominates its top words (`None` when stop words dominate).
+    pub fn align_topics(&self, vocab: &Vocabulary, top_n: usize) -> Vec<Option<Topic>> {
+        (0..self.topics)
+            .map(|t| {
+                let mut counts = [0usize; NUM_TOPICS];
+                let mut stop = 0usize;
+                for w in self.top_words(t, top_n) {
+                    match vocab.word_topic(w) {
+                        Some(topic) => counts[topic.index()] += 1,
+                        None => stop += 1,
+                    }
+                }
+                let (best, &best_count) = counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .expect("vocabulary is non-empty");
+                (best_count > stop && best_count > 0).then(|| Topic::from_index(best))
+            })
+            .collect()
+    }
+}
+
+/// The full TwitterRank-style pipeline: fit LDA on the users'
+/// documents and map θ rows onto the 18-topic vocabulary through the
+/// latent-topic alignment. Unaligned latent topics (stop-word
+/// clusters) are dropped; rows renormalise over the aligned mass.
+pub fn lda_user_profiles(
+    docs: &[Vec<WordId>],
+    vocab: &Vocabulary,
+    cfg: &LdaConfig,
+) -> Vec<TopicWeights> {
+    let model = LdaModel::fit(docs, vocab.len(), cfg);
+    let alignment = model.align_topics(vocab, 20);
+    (0..docs.len())
+        .map(|d| {
+            let theta = model.doc_topics(d);
+            let mut w = TopicWeights::zero();
+            for (t, &a) in alignment.iter().enumerate() {
+                if let Some(topic) = a {
+                    w.add(topic, theta[t]);
+                }
+            }
+            w.normalize();
+            w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tweets::TweetGenerator;
+
+    fn corpus() -> (Vec<Vec<WordId>>, Vocabulary, Vec<Topic>) {
+        let vocab = Vocabulary::new(30, 15);
+        let gen = TweetGenerator::new(vocab.clone(), 1.0, 0.2, 8, 12);
+        let mut rng = StdRng::seed_from_u64(7);
+        let themes = [Topic::Technology, Topic::Sports, Topic::Politics];
+        let mut docs = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..60 {
+            let theme = themes[i % themes.len()];
+            let mut profile = TopicWeights::zero();
+            profile.set(theme, 1.0);
+            let words: Vec<WordId> = gen
+                .tweets(&profile, 10, &mut rng)
+                .into_iter()
+                .flat_map(|t| t.words)
+                .collect();
+            docs.push(words);
+            truth.push(theme);
+        }
+        (docs, vocab, truth)
+    }
+
+    fn small_cfg(topics: usize) -> LdaConfig {
+        LdaConfig {
+            topics,
+            iterations: 120,
+            ..LdaConfig::default()
+        }
+    }
+
+    #[test]
+    fn distributions_are_normalised() {
+        let (docs, vocab, _) = corpus();
+        let model = LdaModel::fit(&docs, vocab.len(), &small_cfg(5));
+        for d in 0..docs.len() {
+            let s: f64 = model.doc_topics(d).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "theta sums to {s}");
+        }
+        for t in 0..5 {
+            let s: f64 = model.topic_words(t).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "phi sums to {s}");
+        }
+    }
+
+    #[test]
+    fn latent_topics_recover_word_bands() {
+        let (docs, vocab, _) = corpus();
+        let model = LdaModel::fit(&docs, vocab.len(), &small_cfg(4));
+        let alignment = model.align_topics(&vocab, 15);
+        // At least two of the three planted themes must be recovered
+        // as dominant bands of some latent topic.
+        let mut found = std::collections::HashSet::new();
+        for a in alignment.into_iter().flatten() {
+            found.insert(a);
+        }
+        let planted = [Topic::Technology, Topic::Sports, Topic::Politics];
+        let hits = planted.iter().filter(|t| found.contains(t)).count();
+        assert!(hits >= 2, "only {hits} planted themes recovered: {found:?}");
+    }
+
+    #[test]
+    fn user_profiles_match_their_theme() {
+        let (docs, vocab, truth) = corpus();
+        let profiles = lda_user_profiles(&docs, &vocab, &small_cfg(4));
+        let mut correct = 0;
+        for (p, &theme) in profiles.iter().zip(&truth) {
+            if p.argmax() == Some(theme) {
+                correct += 1;
+            }
+        }
+        // Unsupervised recovery on a clean corpus: most users get
+        // their planted theme back.
+        assert!(
+            correct * 2 > truth.len(),
+            "only {correct}/{} profiles recovered",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (docs, vocab, _) = corpus();
+        let a = LdaModel::fit(&docs, vocab.len(), &small_cfg(3));
+        let b = LdaModel::fit(&docs, vocab.len(), &small_cfg(3));
+        assert_eq!(a.doc_topic, b.doc_topic);
+        assert_eq!(a.topic_word, b.topic_word);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty corpus")]
+    fn empty_corpus_rejected() {
+        LdaModel::fit(&[], 10, &LdaConfig::default());
+    }
+
+    #[test]
+    fn empty_documents_are_tolerated() {
+        let docs = vec![vec![], vec![0, 1, 2]];
+        let model = LdaModel::fit(&docs, 5, &small_cfg(2));
+        let theta = model.doc_topics(0);
+        // Empty doc falls back to the uniform prior.
+        assert!((theta[0] - 0.5).abs() < 1e-9);
+    }
+}

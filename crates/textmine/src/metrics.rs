@@ -1,0 +1,102 @@
+//! Multi-label classification metrics (micro-averaged), used to verify
+//! that the pipeline's classifier reaches the precision the paper
+//! reports for its SVM (≈ 0.90).
+
+use fui_taxonomy::{Topic, TopicSet};
+
+/// Micro-averaged precision/recall/F1 over `(predicted, truth)` label
+/// set pairs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultiLabelScores {
+    /// True positives / predicted positives.
+    pub precision: f64,
+    /// True positives / actual positives.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+/// Computes micro-averaged scores. Pairs with an empty truth set still
+/// count predicted labels as false positives.
+pub fn multi_label_scores(pairs: &[(TopicSet, TopicSet)]) -> MultiLabelScores {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for &(pred, truth) in pairs {
+        for t in Topic::ALL {
+            match (pred.contains(t), truth.contains(t)) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    MultiLabelScores {
+        precision,
+        recall,
+        f1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ts: &[Topic]) -> TopicSet {
+        ts.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let pairs = vec![
+            (set(&[Topic::Technology]), set(&[Topic::Technology])),
+            (set(&[Topic::Social, Topic::Law]), set(&[Topic::Social, Topic::Law])),
+        ];
+        let s = multi_label_scores(&pairs);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn half_precision() {
+        // Predict two labels, one right: P = 1/2, R = 1/1.
+        let pairs = vec![(set(&[Topic::Technology, Topic::Sports]), set(&[Topic::Technology]))];
+        let s = multi_label_scores(&pairs);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert_eq!(s.recall, 1.0);
+        assert!((s.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_labels_hit_recall() {
+        let pairs = vec![(set(&[Topic::Technology]), set(&[Topic::Technology, Topic::Sports]))];
+        let s = multi_label_scores(&pairs);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_everything_is_zero() {
+        let s = multi_label_scores(&[(TopicSet::empty(), TopicSet::empty())]);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! One-vs-rest multi-label naive Bayes text classifier.
+//!
+//! Stands in for the paper's "trained Support Vector Multi-Label Model
+//! using Mulan, with a precision of 0.90" (Section 5.1): a supervised
+//! multi-label categoriser trained on the OpenCalais-seeded subset of
+//! users and applied to everyone else. One independent binary
+//! Bernoulli-multinomial classifier per topic; a document is the bag of
+//! all of a user's tweet words.
+
+use fui_taxonomy::{Topic, TopicSet, TopicWeights, NUM_TOPICS};
+use std::collections::HashMap;
+
+use crate::vocab::WordId;
+
+/// Per-topic binary model: multinomial word likelihoods for the
+/// positive (labeled with the topic) and negative classes.
+#[derive(Clone, Debug)]
+struct BinaryModel {
+    log_prior_pos: f64,
+    log_prior_neg: f64,
+    /// log P(w | pos) − log P(w | neg), dense over the vocabulary.
+    log_ratio: Vec<f64>,
+}
+
+/// Multi-label classifier: 18 independent one-vs-rest naive-Bayes
+/// models.
+#[derive(Clone, Debug)]
+pub struct MultiLabelNaiveBayes {
+    vocab_size: usize,
+    models: Vec<BinaryModel>,
+}
+
+impl MultiLabelNaiveBayes {
+    /// Trains on `(document, labels)` pairs, where a document is a bag
+    /// of word ids over a vocabulary of `vocab_size` words.
+    ///
+    /// Laplace smoothing with `alpha = 1`.
+    ///
+    /// # Panics
+    /// Panics if `examples` is empty.
+    pub fn train(vocab_size: usize, examples: &[(Vec<WordId>, TopicSet)]) -> MultiLabelNaiveBayes {
+        assert!(!examples.is_empty(), "cannot train on zero examples");
+        let n_docs = examples.len() as f64;
+        let mut models = Vec::with_capacity(NUM_TOPICS);
+        for t in Topic::ALL {
+            let mut pos_counts: HashMap<WordId, f64> = HashMap::new();
+            let mut neg_counts: HashMap<WordId, f64> = HashMap::new();
+            let mut pos_total = 0.0f64;
+            let mut neg_total = 0.0f64;
+            let mut pos_docs = 0.0f64;
+            for (words, labels) in examples {
+                let positive = labels.contains(t);
+                if positive {
+                    pos_docs += 1.0;
+                }
+                let (counts, total) = if positive {
+                    (&mut pos_counts, &mut pos_total)
+                } else {
+                    (&mut neg_counts, &mut neg_total)
+                };
+                for &w in words {
+                    *counts.entry(w).or_insert(0.0) += 1.0;
+                    *total += 1.0;
+                }
+            }
+            // Smoothed priors; clamp so a topic absent from the seed
+            // set still yields finite scores.
+            let log_prior_pos = ((pos_docs + 1.0) / (n_docs + 2.0)).ln();
+            let log_prior_neg = ((n_docs - pos_docs + 1.0) / (n_docs + 2.0)).ln();
+            let v = vocab_size as f64;
+            let pos_denom = (pos_total + v).ln();
+            let neg_denom = (neg_total + v).ln();
+            let mut log_ratio = vec![0.0f64; vocab_size];
+            for (w, slot) in log_ratio.iter_mut().enumerate() {
+                let w = w as u32;
+                let pc = pos_counts.get(&w).copied().unwrap_or(0.0);
+                let nc = neg_counts.get(&w).copied().unwrap_or(0.0);
+                *slot = ((pc + 1.0).ln() - pos_denom) - ((nc + 1.0).ln() - neg_denom);
+            }
+            models.push(BinaryModel {
+                log_prior_pos,
+                log_prior_neg,
+                log_ratio,
+            });
+        }
+        MultiLabelNaiveBayes { vocab_size, models }
+    }
+
+    /// Vocabulary size the classifier was trained with.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Per-topic log-odds `log P(pos | doc) − log P(neg | doc)` (up to
+    /// the shared evidence term).
+    pub fn log_odds(&self, words: &[WordId]) -> [f64; NUM_TOPICS] {
+        let mut scores = [0.0f64; NUM_TOPICS];
+        for (i, model) in self.models.iter().enumerate() {
+            let mut s = model.log_prior_pos - model.log_prior_neg;
+            for &w in words {
+                s += model.log_ratio[w as usize];
+            }
+            scores[i] = s;
+        }
+        scores
+    }
+
+    /// Predicts the label set: every topic with positive log-odds. If
+    /// none clears the threshold the single best topic is returned, so
+    /// every user ends up with a publisher profile (the paper's
+    /// pipeline labels the whole graph).
+    pub fn predict(&self, words: &[WordId]) -> TopicSet {
+        let scores = self.log_odds(words);
+        let mut set = TopicSet::empty();
+        for (i, &s) in scores.iter().enumerate() {
+            if s > 0.0 {
+                set.insert(Topic::from_index(i));
+            }
+        }
+        if set.is_empty() {
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("scores are not NaN"))
+                .map(|(i, _)| i)
+                .unwrap_or(Topic::Other.index());
+            set.insert(Topic::from_index(best));
+        }
+        set
+    }
+
+    /// Soft prediction: positive log-odds normalised into a topic
+    /// weight vector (zero vector if no topic is positive — callers
+    /// fall back to [`predict`](Self::predict)).
+    pub fn predict_weights(&self, words: &[WordId]) -> TopicWeights {
+        let scores = self.log_odds(words);
+        let mut w = TopicWeights::zero();
+        for (i, &s) in scores.iter().enumerate() {
+            if s > 0.0 {
+                w.set(Topic::from_index(i), s);
+            }
+        }
+        w.normalize();
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tweets::TweetGenerator;
+    use crate::vocab::Vocabulary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(pairs: &[(Topic, f64)]) -> TopicWeights {
+        let mut w = TopicWeights::zero();
+        for &(t, v) in pairs {
+            w.set(t, v);
+        }
+        w
+    }
+
+    /// Builds (document, labels) pairs from synthetic tweeters.
+    fn corpus(
+        gen: &TweetGenerator,
+        users: &[(TopicWeights, TopicSet)],
+        tweets_each: usize,
+        rng: &mut StdRng,
+    ) -> Vec<(Vec<WordId>, TopicSet)> {
+        users
+            .iter()
+            .map(|(prof, labels)| {
+                let words: Vec<WordId> = gen
+                    .tweets(prof, tweets_each, rng)
+                    .into_iter()
+                    .flat_map(|t| t.words)
+                    .collect();
+                (words, *labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_separable_topics() {
+        let gen = TweetGenerator::new(Vocabulary::new(60, 60), 1.0, 0.3, 8, 12);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut train = Vec::new();
+        for _ in 0..40 {
+            train.push((
+                profile(&[(Topic::Technology, 1.0)]),
+                TopicSet::single(Topic::Technology),
+            ));
+            train.push((
+                profile(&[(Topic::Sports, 1.0)]),
+                TopicSet::single(Topic::Sports),
+            ));
+        }
+        let examples = corpus(&gen, &train, 20, &mut rng);
+        let clf = MultiLabelNaiveBayes::train(gen.vocab().len(), &examples);
+
+        let mut correct = 0;
+        for _ in 0..50 {
+            let doc: Vec<WordId> = gen
+                .tweets(&profile(&[(Topic::Technology, 1.0)]), 20, &mut rng)
+                .into_iter()
+                .flat_map(|t| t.words)
+                .collect();
+            let pred = clf.predict(&doc);
+            if pred.contains(Topic::Technology) && !pred.contains(Topic::Sports) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 45, "only {correct}/50 correct");
+    }
+
+    #[test]
+    fn multi_label_prediction() {
+        let gen = TweetGenerator::new(Vocabulary::new(60, 60), 1.0, 0.2, 10, 14);
+        let mut rng = StdRng::seed_from_u64(12);
+        let both = TopicSet::single(Topic::Health).with(Topic::Law);
+        let mut train = Vec::new();
+        for _ in 0..40 {
+            train.push((
+                profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]),
+                both,
+            ));
+            train.push((
+                profile(&[(Topic::Weather, 1.0)]),
+                TopicSet::single(Topic::Weather),
+            ));
+        }
+        let examples = corpus(&gen, &train, 20, &mut rng);
+        let clf = MultiLabelNaiveBayes::train(gen.vocab().len(), &examples);
+        let doc: Vec<WordId> = gen
+            .tweets(&profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]), 30, &mut rng)
+            .into_iter()
+            .flat_map(|t| t.words)
+            .collect();
+        let pred = clf.predict(&doc);
+        assert!(pred.contains(Topic::Health), "pred = {pred}");
+        assert!(pred.contains(Topic::Law), "pred = {pred}");
+    }
+
+    #[test]
+    fn prediction_never_empty() {
+        let gen = TweetGenerator::new(Vocabulary::new(30, 30), 1.0, 0.3, 5, 9);
+        let mut rng = StdRng::seed_from_u64(13);
+        let train = vec![(
+            profile(&[(Topic::Social, 1.0)]),
+            TopicSet::single(Topic::Social),
+        )];
+        let examples = corpus(&gen, &train, 5, &mut rng);
+        let clf = MultiLabelNaiveBayes::train(gen.vocab().len(), &examples);
+        assert!(!clf.predict(&[]).is_empty());
+    }
+
+    #[test]
+    fn predict_weights_normalised() {
+        let gen = TweetGenerator::new(Vocabulary::new(60, 60), 1.0, 0.2, 10, 14);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut train = Vec::new();
+        for _ in 0..30 {
+            train.push((
+                profile(&[(Topic::Politics, 1.0)]),
+                TopicSet::single(Topic::Politics),
+            ));
+            train.push((
+                profile(&[(Topic::Leisure, 1.0)]),
+                TopicSet::single(Topic::Leisure),
+            ));
+        }
+        let examples = corpus(&gen, &train, 15, &mut rng);
+        let clf = MultiLabelNaiveBayes::train(gen.vocab().len(), &examples);
+        let doc: Vec<WordId> = gen
+            .tweets(&profile(&[(Topic::Politics, 1.0)]), 20, &mut rng)
+            .into_iter()
+            .flat_map(|t| t.words)
+            .collect();
+        let w = clf.predict_weights(&doc);
+        let total = w.total();
+        assert!(total == 0.0 || (total - 1.0).abs() < 1e-9);
+        if total > 0.0 {
+            assert_eq!(w.argmax(), Some(Topic::Politics));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_training_rejected() {
+        MultiLabelNaiveBayes::train(10, &[]);
+    }
+}

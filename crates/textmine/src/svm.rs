@@ -1,0 +1,315 @@
+//! One-vs-rest linear SVM trained with Pegasos (stochastic
+//! sub-gradient descent on the hinge loss) — the classifier family the
+//! paper actually used ("a trained Support Vector Multi-Label Model
+//! using Mulan, with a precision of 0.90").
+//!
+//! Features are L2-normalised bag-of-words counts; one binary
+//! max-margin classifier per topic; a document's label set is every
+//! topic with a positive margin, falling back to the best margin so no
+//! user is left unlabeled (as in the naive-Bayes path).
+
+use fui_taxonomy::{Topic, TopicSet, TopicWeights, NUM_TOPICS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab::WordId;
+
+/// Pegasos hyper-parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvmConfig {
+    /// Regularisation strength λ.
+    pub lambda: f64,
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// RNG seed (example order shuffling).
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        SvmConfig {
+            lambda: 1e-4,
+            epochs: 12,
+            seed: 0x57A4,
+        }
+    }
+}
+
+/// Multi-label linear SVM: 18 one-vs-rest max-margin classifiers.
+#[derive(Clone, Debug)]
+pub struct MultiLabelSvm {
+    vocab_size: usize,
+    /// `weights[t * vocab + w]`.
+    weights: Vec<f64>,
+    /// Per-topic bias.
+    bias: [f64; NUM_TOPICS],
+}
+
+/// A document as sparse L2-normalised features.
+fn features(words: &[WordId]) -> Vec<(u32, f64)> {
+    let mut counts: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for &w in words {
+        *counts.entry(w).or_insert(0.0) += 1.0;
+    }
+    let norm = counts.values().map(|c| c * c).sum::<f64>().sqrt();
+    let mut feats: Vec<(u32, f64)> = counts
+        .into_iter()
+        .map(|(w, c)| (w, if norm > 0.0 { c / norm } else { 0.0 }))
+        .collect();
+    feats.sort_unstable_by_key(|&(w, _)| w);
+    feats
+}
+
+impl MultiLabelSvm {
+    /// Trains on `(document, labels)` pairs over a vocabulary of
+    /// `vocab_size` word ids.
+    ///
+    /// # Panics
+    /// Panics on an empty training set or an out-of-range word id.
+    pub fn train(
+        vocab_size: usize,
+        examples: &[(Vec<WordId>, TopicSet)],
+        cfg: &SvmConfig,
+    ) -> MultiLabelSvm {
+        assert!(!examples.is_empty(), "cannot train on zero examples");
+        let feats: Vec<Vec<(u32, f64)>> = examples
+            .iter()
+            .map(|(words, _)| {
+                for &w in words {
+                    assert!((w as usize) < vocab_size, "word id {w} out of range");
+                }
+                features(words)
+            })
+            .collect();
+        let mut weights = vec![0.0f64; NUM_TOPICS * vocab_size];
+        let mut bias = [0.0f64; NUM_TOPICS];
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+
+        for topic in Topic::ALL {
+            let ti = topic.index();
+            let w_base = ti * vocab_size;
+            let mut t_step = 0usize;
+            // Pegasos: w ← (1 − η λ) w + η y x on margin violation,
+            // η = 1/(λ t).
+            for _ in 0..cfg.epochs {
+                // Deterministic per-epoch shuffle.
+                for i in (1..order.len()).rev() {
+                    order.swap(i, rng.gen_range(0..=i));
+                }
+                for &d in &order {
+                    t_step += 1;
+                    let y = if examples[d].1.contains(topic) { 1.0 } else { -1.0 };
+                    let eta = 1.0 / (cfg.lambda * t_step as f64);
+                    let mut margin = bias[ti];
+                    for &(w, x) in &feats[d] {
+                        margin += weights[w_base + w as usize] * x;
+                    }
+                    // Shrinkage (applied lazily as a scalar would be
+                    // faster; explicit for clarity at this scale).
+                    let shrink = 1.0 - eta * cfg.lambda;
+                    if shrink > 0.0 {
+                        for &(w, _) in &feats[d] {
+                            weights[w_base + w as usize] *= shrink;
+                        }
+                    }
+                    if y * margin < 1.0 {
+                        for &(w, x) in &feats[d] {
+                            weights[w_base + w as usize] += eta * y * x;
+                        }
+                        bias[ti] += eta * y * 0.1; // damped bias update
+                    }
+                }
+            }
+        }
+        MultiLabelSvm {
+            vocab_size,
+            weights,
+            bias,
+        }
+    }
+
+    /// Per-topic margins of a document.
+    pub fn margins(&self, words: &[WordId]) -> [f64; NUM_TOPICS] {
+        let feats = features(words);
+        let mut out = [0.0f64; NUM_TOPICS];
+        for (ti, slot) in out.iter_mut().enumerate() {
+            let base = ti * self.vocab_size;
+            let mut m = self.bias[ti];
+            for &(w, x) in &feats {
+                m += self.weights[base + w as usize] * x;
+            }
+            *slot = m;
+        }
+        out
+    }
+
+    /// Predicted label set: positive-margin topics, falling back to
+    /// the best margin.
+    pub fn predict(&self, words: &[WordId]) -> TopicSet {
+        let margins = self.margins(words);
+        let mut set = TopicSet::empty();
+        for (ti, &m) in margins.iter().enumerate() {
+            if m > 0.0 {
+                set.insert(Topic::from_index(ti));
+            }
+        }
+        if set.is_empty() {
+            let best = margins
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("margins are not NaN"))
+                .map(|(i, _)| i)
+                .unwrap_or(Topic::Other.index());
+            set.insert(Topic::from_index(best));
+        }
+        set
+    }
+
+    /// Soft prediction: positive margins normalised into topic weights
+    /// (zero vector when no margin is positive).
+    pub fn predict_weights(&self, words: &[WordId]) -> TopicWeights {
+        let margins = self.margins(words);
+        let mut w = TopicWeights::zero();
+        for (ti, &m) in margins.iter().enumerate() {
+            if m > 0.0 {
+                w.set(Topic::from_index(ti), m);
+            }
+        }
+        w.normalize();
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tweets::TweetGenerator;
+    use crate::vocab::Vocabulary;
+
+    fn profile(pairs: &[(Topic, f64)]) -> TopicWeights {
+        let mut w = TopicWeights::zero();
+        for &(t, v) in pairs {
+            w.set(t, v);
+        }
+        w
+    }
+
+    fn corpus(
+        gen: &TweetGenerator,
+        users: &[(TopicWeights, TopicSet)],
+        tweets_each: usize,
+        rng: &mut StdRng,
+    ) -> Vec<(Vec<WordId>, TopicSet)> {
+        users
+            .iter()
+            .map(|(prof, labels)| {
+                let words: Vec<WordId> = gen
+                    .tweets(prof, tweets_each, rng)
+                    .into_iter()
+                    .flat_map(|t| t.words)
+                    .collect();
+                (words, *labels)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_clean_topics() {
+        let gen = TweetGenerator::new(Vocabulary::new(60, 60), 1.0, 0.3, 8, 12);
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut train = Vec::new();
+        for _ in 0..40 {
+            train.push((
+                profile(&[(Topic::Technology, 1.0)]),
+                TopicSet::single(Topic::Technology),
+            ));
+            train.push((
+                profile(&[(Topic::Sports, 1.0)]),
+                TopicSet::single(Topic::Sports),
+            ));
+        }
+        let examples = corpus(&gen, &train, 15, &mut rng);
+        let svm = MultiLabelSvm::train(gen.vocab().len(), &examples, &SvmConfig::default());
+        let mut correct = 0;
+        for _ in 0..40 {
+            let doc: Vec<WordId> = gen
+                .tweets(&profile(&[(Topic::Technology, 1.0)]), 15, &mut rng)
+                .into_iter()
+                .flat_map(|t| t.words)
+                .collect();
+            let pred = svm.predict(&doc);
+            if pred.contains(Topic::Technology) && !pred.contains(Topic::Sports) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 35, "only {correct}/40");
+    }
+
+    #[test]
+    fn multi_label_documents_get_both_topics() {
+        let gen = TweetGenerator::new(Vocabulary::new(60, 60), 1.0, 0.2, 10, 14);
+        let mut rng = StdRng::seed_from_u64(22);
+        let both = TopicSet::single(Topic::Health).with(Topic::Law);
+        let mut train = Vec::new();
+        for _ in 0..40 {
+            train.push((profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]), both));
+            train.push((
+                profile(&[(Topic::Weather, 1.0)]),
+                TopicSet::single(Topic::Weather),
+            ));
+        }
+        let examples = corpus(&gen, &train, 15, &mut rng);
+        let svm = MultiLabelSvm::train(gen.vocab().len(), &examples, &SvmConfig::default());
+        let doc: Vec<WordId> = gen
+            .tweets(&profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]), 25, &mut rng)
+            .into_iter()
+            .flat_map(|t| t.words)
+            .collect();
+        let pred = svm.predict(&doc);
+        assert!(pred.contains(Topic::Health), "{pred}");
+        assert!(pred.contains(Topic::Law), "{pred}");
+    }
+
+    #[test]
+    fn prediction_never_empty_and_weights_normalised() {
+        let gen = TweetGenerator::new(Vocabulary::new(30, 30), 1.0, 0.3, 5, 9);
+        let mut rng = StdRng::seed_from_u64(23);
+        let train = vec![(
+            profile(&[(Topic::Social, 1.0)]),
+            TopicSet::single(Topic::Social),
+        )];
+        let examples = corpus(&gen, &train, 5, &mut rng);
+        let svm = MultiLabelSvm::train(gen.vocab().len(), &examples, &SvmConfig::default());
+        assert!(!svm.predict(&[]).is_empty());
+        let w = svm.predict_weights(&examples[0].0);
+        let total = w.total();
+        assert!(total == 0.0 || (total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let gen = TweetGenerator::new(Vocabulary::new(30, 30), 1.0, 0.3, 5, 9);
+        let mut rng = StdRng::seed_from_u64(24);
+        let train = vec![
+            (
+                profile(&[(Topic::Social, 1.0)]),
+                TopicSet::single(Topic::Social),
+            ),
+            (
+                profile(&[(Topic::War, 1.0)]),
+                TopicSet::single(Topic::War),
+            ),
+        ];
+        let examples = corpus(&gen, &train, 8, &mut rng);
+        let a = MultiLabelSvm::train(gen.vocab().len(), &examples, &SvmConfig::default());
+        let b = MultiLabelSvm::train(gen.vocab().len(), &examples, &SvmConfig::default());
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_training_rejected() {
+        MultiLabelSvm::train(10, &[], &SvmConfig::default());
+    }
+}

@@ -1,0 +1,204 @@
+//! Tweet generation from a user's hidden interest mixture.
+//!
+//! A publisher with interest mixture `w` (a [`TopicWeights`]) produces
+//! tweets whose content words are drawn topic-first: pick a topic from
+//! `w`, then a word from that topic's Zipf-ranked band. A configurable
+//! fraction of positions are topic-neutral stop words instead,
+//! reproducing the chatter that makes real topical classification
+//! imperfect.
+
+use fui_taxonomy::{Topic, TopicWeights};
+use rand::Rng;
+
+use crate::vocab::{Vocabulary, WordId};
+use crate::zipf::Zipf;
+
+/// A tweet: a short bag of word ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tweet {
+    /// The words, in emission order.
+    pub words: Vec<WordId>,
+}
+
+impl Tweet {
+    /// Renders the tweet as readable tokens.
+    pub fn render(&self, vocab: &Vocabulary) -> String {
+        self.words
+            .iter()
+            .map(|&w| vocab.word_str(w))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Configurable tweet sampler.
+#[derive(Clone, Debug)]
+pub struct TweetGenerator {
+    vocab: Vocabulary,
+    topic_word_dist: Zipf,
+    shared_word_dist: Zipf,
+    /// Probability that a word position is a stop word.
+    stopword_rate: f64,
+    /// Words per tweet (uniform in this inclusive range).
+    words_min: usize,
+    words_max: usize,
+}
+
+impl TweetGenerator {
+    /// Creates a generator over `vocab` with word-frequency skew
+    /// `word_zipf_s` and the given stop-word rate.
+    ///
+    /// # Panics
+    /// Panics if `stopword_rate` is outside `[0, 1)` or the length
+    /// range is empty/zero.
+    pub fn new(
+        vocab: Vocabulary,
+        word_zipf_s: f64,
+        stopword_rate: f64,
+        words_min: usize,
+        words_max: usize,
+    ) -> TweetGenerator {
+        assert!((0.0..1.0).contains(&stopword_rate), "stopword_rate in [0,1)");
+        assert!(words_min >= 1 && words_min <= words_max, "bad length range");
+        let topic_word_dist = Zipf::new(vocab.words_per_topic() as usize, word_zipf_s);
+        let shared_word_dist = Zipf::new(vocab.shared_words() as usize, word_zipf_s);
+        TweetGenerator {
+            vocab,
+            topic_word_dist,
+            shared_word_dist,
+            stopword_rate,
+            words_min,
+            words_max,
+        }
+    }
+
+    /// A default generator matching the standard vocabulary: Zipf 1.05
+    /// word skew, 45% stop words, 6–14 words per tweet.
+    pub fn standard() -> TweetGenerator {
+        TweetGenerator::new(Vocabulary::standard(), 1.05, 0.45, 6, 14)
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Samples a topic index from a normalised-on-the-fly mixture.
+    fn sample_topic(&self, profile: &TopicWeights, rng: &mut impl Rng) -> Topic {
+        let total = profile.total();
+        if total <= 0.0 {
+            // Profile-less users tweet noise attributed to Other.
+            return Topic::Other;
+        }
+        let mut x = rng.gen::<f64>() * total;
+        for t in Topic::ALL {
+            x -= profile.get(t);
+            if x <= 0.0 {
+                return t;
+            }
+        }
+        Topic::Other
+    }
+
+    /// Samples one tweet from a user's interest mixture.
+    pub fn tweet(&self, profile: &TopicWeights, rng: &mut impl Rng) -> Tweet {
+        let len = rng.gen_range(self.words_min..=self.words_max);
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            if rng.gen::<f64>() < self.stopword_rate {
+                let rank = self.shared_word_dist.sample(rng) as u32;
+                words.push(self.vocab.shared_word(rank));
+            } else {
+                let t = self.sample_topic(profile, rng);
+                let rank = self.topic_word_dist.sample(rng) as u32;
+                words.push(self.vocab.topic_word(t, rank));
+            }
+        }
+        Tweet { words }
+    }
+
+    /// Samples `count` tweets.
+    pub fn tweets(&self, profile: &TopicWeights, count: usize, rng: &mut impl Rng) -> Vec<Tweet> {
+        (0..count).map(|_| self.tweet(profile, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tech_profile() -> TopicWeights {
+        let mut w = TopicWeights::zero();
+        w.set(Topic::Technology, 0.8);
+        w.set(Topic::Business, 0.2);
+        w
+    }
+
+    #[test]
+    fn tweet_lengths_in_range() {
+        let g = TweetGenerator::new(Vocabulary::new(50, 50), 1.0, 0.3, 4, 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let t = g.tweet(&tech_profile(), &mut rng);
+            assert!((4..=9).contains(&t.words.len()));
+        }
+    }
+
+    #[test]
+    fn content_words_reflect_profile() {
+        let g = TweetGenerator::new(Vocabulary::new(50, 50), 1.0, 0.2, 8, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tech = 0usize;
+        let mut other_topics = 0usize;
+        for _ in 0..300 {
+            for &w in &g.tweet(&tech_profile(), &mut rng).words {
+                match g.vocab().word_topic(w) {
+                    Some(Topic::Technology) | Some(Topic::Business) => tech += 1,
+                    Some(_) => other_topics += 1,
+                    None => {}
+                }
+            }
+        }
+        assert_eq!(other_topics, 0, "off-profile topical words emitted");
+        assert!(tech > 0);
+    }
+
+    #[test]
+    fn stopword_rate_is_respected() {
+        let g = TweetGenerator::new(Vocabulary::new(50, 50), 1.0, 0.5, 10, 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stops = 0usize;
+        let mut total = 0usize;
+        for _ in 0..500 {
+            for &w in &g.tweet(&tech_profile(), &mut rng).words {
+                total += 1;
+                if g.vocab().word_topic(w).is_none() {
+                    stops += 1;
+                }
+            }
+        }
+        let rate = stops as f64 / total as f64;
+        assert!((rate - 0.5).abs() < 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn empty_profile_emits_other() {
+        let g = TweetGenerator::new(Vocabulary::new(50, 50), 1.0, 0.0, 5, 5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = g.tweet(&TopicWeights::zero(), &mut rng);
+        for &w in &t.words {
+            assert_eq!(g.vocab().word_topic(w), Some(Topic::Other));
+        }
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let g = TweetGenerator::new(Vocabulary::new(10, 10), 1.0, 0.0, 3, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = g.tweet(&tech_profile(), &mut rng);
+        let s = t.render(g.vocab());
+        assert_eq!(s.split(' ').count(), 3);
+    }
+}

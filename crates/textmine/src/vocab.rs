@@ -1,0 +1,149 @@
+//! Synthetic vocabulary: a band of discriminative words per topic plus
+//! a shared topic-neutral band (stop words, greetings, URLs...).
+//!
+//! Words are dense `u32` ids; [`Vocabulary::word_str`] renders a
+//! readable token (e.g. `technology_017` or `stop_003`) for display and
+//! debugging. Real tweets mix topical words with a large amount of
+//! neutral chatter; the `stopword_rate` of the tweet generator
+//! reproduces that, which is what keeps the classifier's precision
+//! below 1 — in the paper's range (~0.90) rather than trivially perfect.
+
+use fui_taxonomy::{Topic, NUM_TOPICS};
+
+/// Compact word identifier.
+pub type WordId = u32;
+
+/// Layout of the synthetic vocabulary: `NUM_TOPICS` equal topical bands
+/// followed by one shared band.
+#[derive(Clone, Debug)]
+pub struct Vocabulary {
+    words_per_topic: u32,
+    shared_words: u32,
+}
+
+impl Vocabulary {
+    /// Creates a vocabulary with `words_per_topic` discriminative words
+    /// for each topic and `shared_words` topic-neutral words.
+    ///
+    /// # Panics
+    /// Panics if either band is empty.
+    pub fn new(words_per_topic: u32, shared_words: u32) -> Vocabulary {
+        assert!(words_per_topic > 0, "need at least one word per topic");
+        assert!(shared_words > 0, "need at least one shared word");
+        Vocabulary {
+            words_per_topic,
+            shared_words,
+        }
+    }
+
+    /// A mid-sized default: 400 words per topic, 1200 shared.
+    pub fn standard() -> Vocabulary {
+        Vocabulary::new(400, 1200)
+    }
+
+    /// Total number of distinct words.
+    pub fn len(&self) -> usize {
+        NUM_TOPICS * self.words_per_topic as usize + self.shared_words as usize
+    }
+
+    /// Whether the vocabulary is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of discriminative words per topic.
+    pub fn words_per_topic(&self) -> u32 {
+        self.words_per_topic
+    }
+
+    /// Number of shared (topic-neutral) words.
+    pub fn shared_words(&self) -> u32 {
+        self.shared_words
+    }
+
+    /// The `rank`-th word of topic `t` (rank 0 is the most frequent).
+    #[inline]
+    pub fn topic_word(&self, t: Topic, rank: u32) -> WordId {
+        debug_assert!(rank < self.words_per_topic);
+        t.index() as u32 * self.words_per_topic + rank
+    }
+
+    /// The `rank`-th shared word.
+    #[inline]
+    pub fn shared_word(&self, rank: u32) -> WordId {
+        debug_assert!(rank < self.shared_words);
+        NUM_TOPICS as u32 * self.words_per_topic + rank
+    }
+
+    /// The topic a word discriminates for, or `None` for shared words.
+    #[inline]
+    pub fn word_topic(&self, w: WordId) -> Option<Topic> {
+        let band = (w / self.words_per_topic) as usize;
+        if band < NUM_TOPICS {
+            Some(Topic::from_index(band))
+        } else {
+            None
+        }
+    }
+
+    /// Readable token for a word id.
+    pub fn word_str(&self, w: WordId) -> String {
+        match self.word_topic(w) {
+            Some(t) => format!("{}_{:03}", t.name(), w % self.words_per_topic),
+            None => format!(
+                "stop_{:03}",
+                w - NUM_TOPICS as u32 * self.words_per_topic
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_round_trips() {
+        let v = Vocabulary::new(10, 5);
+        assert_eq!(v.len(), NUM_TOPICS * 10 + 5);
+        for t in Topic::ALL {
+            for rank in 0..10 {
+                let w = v.topic_word(t, rank);
+                assert_eq!(v.word_topic(w), Some(t));
+            }
+        }
+        for rank in 0..5 {
+            let w = v.shared_word(rank);
+            assert_eq!(v.word_topic(w), None);
+            assert!((w as usize) < v.len());
+        }
+    }
+
+    #[test]
+    fn word_ids_are_disjoint_across_topics() {
+        let v = Vocabulary::new(7, 3);
+        let mut seen = std::collections::HashSet::new();
+        for t in Topic::ALL {
+            for rank in 0..7 {
+                assert!(seen.insert(v.topic_word(t, rank)));
+            }
+        }
+        for rank in 0..3 {
+            assert!(seen.insert(v.shared_word(rank)));
+        }
+        assert_eq!(seen.len(), v.len());
+    }
+
+    #[test]
+    fn word_strings_are_readable() {
+        let v = Vocabulary::new(10, 5);
+        assert_eq!(v.word_str(v.topic_word(Topic::Technology, 3)), "technology_003");
+        assert_eq!(v.word_str(v.shared_word(0)), "stop_000");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word per topic")]
+    fn empty_topic_band_rejected() {
+        Vocabulary::new(0, 5);
+    }
+}

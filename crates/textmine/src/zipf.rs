@@ -1,0 +1,124 @@
+//! Zipf-distributed sampling over ranked items.
+//!
+//! Word frequencies inside a topic vocabulary and the popularity of
+//! topics themselves are heavily skewed; the paper observes a "biased
+//! distribution similar to the one observed for Web sites in Yahoo!
+//! Directory" (Figure 3). A Zipf law `P(rank = k) ∝ k^(-s)` is the
+//! standard model for both, so the generators share this sampler.
+
+use rand::Rng;
+
+/// Sampler for `P(k) ∝ (k+1)^(-s)` over ranks `k ∈ 0..n`, backed by a
+/// cumulative table and binary search (`O(log n)` per draw).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s ≥ 0`
+    /// (`s = 0` is uniform).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += ((k + 1) as f64).powf(-s);
+            cumulative.push(total);
+        }
+        // Normalise so the last entry is exactly 1.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is over zero ranks (never true by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let prev = if k == 0 { 0.0 } else { self.cumulative[k - 1] };
+        self.cumulative[k] - prev
+    }
+
+    /// Draws a rank in `0..len()`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(10, 1.2);
+        let total: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        let z = Zipf::new(20, 1.0);
+        for k in 1..20 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(5, 0.0);
+        for k in 0..5 {
+            assert!((z.pmf(k) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_respects_skew() {
+        let z = Zipf::new(50, 1.5);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate and the tail should still be hit.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > 4000);
+        assert!(counts.iter().skip(10).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn sample_is_always_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests on the text-mining pipeline: sampler invariants,
+//! classifier sanity and metric bounds (DESIGN.md §7).
+
+use fui_taxonomy::{Topic, TopicSet, TopicWeights, NUM_TOPICS};
+use fui_textmine::metrics::multi_label_scores;
+use fui_textmine::{MultiLabelNaiveBayes, TweetGenerator, Vocabulary, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn zipf_pmf_is_a_decreasing_distribution(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..50, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn vocabulary_bands_partition_the_id_space(
+        per_topic in 1u32..64,
+        shared in 1u32..64,
+    ) {
+        let v = Vocabulary::new(per_topic, shared);
+        let mut seen = vec![false; v.len()];
+        for t in Topic::ALL {
+            for rank in 0..per_topic {
+                let w = v.topic_word(t, rank) as usize;
+                prop_assert!(!seen[w], "duplicate id");
+                seen[w] = true;
+            }
+        }
+        for rank in 0..shared {
+            let w = v.shared_word(rank) as usize;
+            prop_assert!(!seen[w]);
+            seen[w] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn tweets_stay_inside_the_vocabulary(
+        seed in any::<u64>(),
+        stop_rate in 0.0f64..0.9,
+    ) {
+        let gen = TweetGenerator::new(Vocabulary::new(20, 10), 1.0, stop_rate, 3, 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut profile = TopicWeights::zero();
+        profile.set(Topic::Law, 1.0);
+        for _ in 0..20 {
+            for &w in &gen.tweet(&profile, &mut rng).words {
+                prop_assert!((w as usize) < gen.vocab().len());
+                // Content words match the profile.
+                if let Some(t) = gen.vocab().word_topic(w) {
+                    prop_assert_eq!(t, Topic::Law);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_prediction_is_never_empty(
+        seed in any::<u64>(),
+        docs in 1usize..6,
+    ) {
+        let gen = TweetGenerator::new(Vocabulary::new(20, 10), 1.0, 0.3, 3, 8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut profile = TopicWeights::zero();
+        profile.set(Topic::Sports, 1.0);
+        let examples: Vec<(Vec<u32>, TopicSet)> = (0..docs)
+            .map(|_| {
+                let words = gen
+                    .tweets(&profile, 4, &mut rng)
+                    .into_iter()
+                    .flat_map(|t| t.words)
+                    .collect();
+                (words, TopicSet::single(Topic::Sports))
+            })
+            .collect();
+        let clf = MultiLabelNaiveBayes::train(gen.vocab().len(), &examples);
+        prop_assert!(!clf.predict(&[]).is_empty());
+        prop_assert!(!clf.predict(&examples[0].0).is_empty());
+        let w = clf.predict_weights(&examples[0].0);
+        let total = w.total();
+        prop_assert!(total == 0.0 || (total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_bounds_hold(pairs in proptest::collection::vec(
+        (any::<u32>(), any::<u32>()), 1..20
+    )) {
+        let pairs: Vec<(TopicSet, TopicSet)> = pairs
+            .into_iter()
+            .map(|(a, b)| (TopicSet::from_mask(a), TopicSet::from_mask(b)))
+            .collect();
+        let s = multi_label_scores(&pairs);
+        prop_assert!((0.0..=1.0).contains(&s.precision));
+        prop_assert!((0.0..=1.0).contains(&s.recall));
+        prop_assert!((0.0..=1.0).contains(&s.f1));
+        prop_assert!(s.f1 <= s.precision.max(s.recall) + 1e-12);
+    }
+
+    #[test]
+    fn perfect_pairs_score_one(masks in proptest::collection::vec(1u32..(1 << NUM_TOPICS), 1..10)) {
+        let pairs: Vec<(TopicSet, TopicSet)> = masks
+            .into_iter()
+            .map(|m| (TopicSet::from_mask(m), TopicSet::from_mask(m)))
+            .collect();
+        let s = multi_label_scores(&pairs);
+        prop_assert_eq!(s.precision, 1.0);
+        prop_assert_eq!(s.recall, 1.0);
+    }
+}

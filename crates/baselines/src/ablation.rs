@@ -85,7 +85,10 @@ mod tests {
         let na = no_auth.recommend(u, Topic::Technology, 10, opts);
         let ns = no_sim.recommend(u, Topic::Technology, 10, opts);
         let score = |list: &[fui_core::Recommendation], n: NodeId| {
-            list.iter().find(|r| r.node == n).map(|r| r.score).unwrap_or(0.0)
+            list.iter()
+                .find(|r| r.node == n)
+                .map(|r| r.score)
+                .unwrap_or(0.0)
         };
         // Without authority, the on-topic path wins: a > b.
         assert!(score(&na, a) > score(&na, bb), "{na:?}");
@@ -100,11 +103,15 @@ mod tests {
         let sim = SimMatrix::opencalais();
         let params = ScoreParams::default();
         assert_eq!(
-            tr_no_authority(&g, &idx, &sim, params).propagator().variant(),
+            tr_no_authority(&g, &idx, &sim, params)
+                .propagator()
+                .variant(),
             ScoreVariant::NoAuthority
         );
         assert_eq!(
-            tr_no_similarity(&g, &idx, &sim, params).propagator().variant(),
+            tr_no_similarity(&g, &idx, &sim, params)
+                .propagator()
+                .variant(),
             ScoreVariant::NoSimilarity
         );
     }

@@ -110,6 +110,8 @@ impl<'g> KatzScorer<'g> {
                 break;
             }
         }
+        fui_obs::counter("baseline.katz.calls").incr();
+        fui_obs::counter("baseline.katz.levels").add(u64::from(depth));
         acc
     }
 

@@ -48,7 +48,9 @@ impl PageRank {
         let uniform = 1.0 / n as f64;
         let mut rank = vec![uniform; n];
         let mut next = vec![0.0f64; n];
+        let mut iterations = 0u64;
         for _ in 0..cfg.max_iters {
+            iterations += 1;
             next.fill(0.0);
             let mut dangling = 0.0f64;
             for u in graph.nodes() {
@@ -74,6 +76,7 @@ impl PageRank {
                 break;
             }
         }
+        fui_obs::counter("baseline.pagerank.iterations").add(iterations);
         PageRank { ranks: rank }
     }
 

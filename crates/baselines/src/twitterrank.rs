@@ -96,6 +96,7 @@ impl TwitterRank {
         let mut rank = vec![0.0f64; n];
         let mut next = vec![0.0f64; n];
         let mut out_norm = vec![0.0f64; n];
+        let mut iterations = 0u64;
 
         for t in 0..NUM_TOPICS {
             // Teleport distribution E_t: normalised t-column of DT
@@ -127,6 +128,7 @@ impl TwitterRank {
 
             rank.copy_from_slice(&e);
             for _ in 0..cfg.max_iters {
+                iterations += 1;
                 next.fill(0.0);
                 let mut dangling = 0.0f64;
                 for i in 0..n {
@@ -157,6 +159,7 @@ impl TwitterRank {
             }
             ranks[t * n..(t + 1) * n].copy_from_slice(&rank);
         }
+        fui_obs::counter("baseline.twitterrank.iterations").add(iterations);
         TwitterRank { ranks, n }
     }
 

@@ -11,9 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_indexes(c: &mut Criterion) {
-    c.bench_function("simmatrix_build", |b| {
-        b.iter(SimMatrix::opencalais)
-    });
+    c.bench_function("simmatrix_build", |b| b.iter(SimMatrix::opencalais));
     let sim = SimMatrix::opencalais();
     let labels = TopicSet::single(Topic::Health).with(Topic::Politics);
     c.bench_function("simmatrix_max_sim", |b| {

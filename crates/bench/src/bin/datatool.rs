@@ -148,7 +148,10 @@ fn recommend(args: &[String]) {
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
     if user as usize >= graph.num_nodes() {
-        eprintln!("user {user} out of range (graph has {} nodes)", graph.num_nodes());
+        eprintln!(
+            "user {user} out of range (graph has {} nodes)",
+            graph.num_nodes()
+        );
         exit(1)
     }
     let u = NodeId(user);
@@ -161,7 +164,13 @@ fn recommend(args: &[String]) {
     }
     let authority = AuthorityIndex::build(&graph);
     let sim = SimMatrix::opencalais();
-    let tr = TrRecommender::new(&graph, &authority, &sim, ScoreParams::paper(), ScoreVariant::Full);
+    let tr = TrRecommender::new(
+        &graph,
+        &authority,
+        &sim,
+        ScoreParams::paper(),
+        ScoreVariant::Full,
+    );
     let recs = tr.recommend(u, topic, top, RecommendOpts::default());
     if recs.is_empty() {
         println!("no recommendations for {u} on '{topic}' (unreachable or unlabeled region)");

@@ -1,60 +1,19 @@
 //! Experiment driver: regenerates every table and figure of the
 //! paper's evaluation section.
 //!
-//! ```text
-//! cargo run -p fui-bench --release --bin experiments -- <id> [flags]
-//!
-//! ids:    table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!         table3 table5 table6 sweep dynamic distrib trank_dt sig popularity all
-//! flags:  --full            paper-shaped densities (slow)
-//!         --trials K        average the link-prediction figures over K trials
-//!         --smoke           tiny smoke-test scale
-//!         --nodes N         Twitter-like node count
-//!         --tests T         link-prediction test-set size
-//!         --landmarks L     landmarks per strategy
-//!         --queries Q       query nodes for Tables 5/6
-//!         --seed S          master seed
-//!         --out DIR         also write each block to DIR/<id>.txt
-//! ```
+//! Run `experiments --help` (or see [`fui_bench::cli::USAGE`]) for the
+//! id list and flags. With `--manifest PATH` the driver switches the
+//! fui-obs registry to full recording and, after each requested id,
+//! writes a JSON run manifest (`BENCH_<id>.json`) capturing every
+//! counter, gauge, histogram and span timing the run produced.
 
-use std::time::Instant;
+use std::path::Path;
+use std::process::ExitCode;
 
+use fui_bench::cli::{self, CliOptions, CliOutcome};
 use fui_bench::datasets::ExperimentScale;
 use fui_bench::experiments as exp;
-
-fn parse_args() -> (Vec<String>, ExperimentScale, Option<String>) {
-    let mut scale = ExperimentScale::default();
-    let mut ids = Vec::new();
-    let mut out_dir = None;
-    let mut args = std::env::args().skip(1).peekable();
-    let take_usize = |args: &mut std::iter::Peekable<std::iter::Skip<std::env::Args>>,
-                          flag: &str|
-     -> usize {
-        args.next()
-            .unwrap_or_else(|| panic!("{flag} needs a value"))
-            .parse()
-            .unwrap_or_else(|_| panic!("{flag} needs an integer"))
-    };
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--full" => scale = ExperimentScale::full(),
-            "--smoke" => scale = ExperimentScale::smoke(),
-            "--nodes" => scale.twitter_nodes = take_usize(&mut args, "--nodes"),
-            "--tests" => scale.test_size = take_usize(&mut args, "--tests"),
-            "--landmarks" => scale.landmarks = take_usize(&mut args, "--landmarks"),
-            "--queries" => scale.query_nodes = take_usize(&mut args, "--queries"),
-            "--trials" => scale.trials = take_usize(&mut args, "--trials"),
-            "--seed" => scale.seed = take_usize(&mut args, "--seed") as u64,
-            "--out" => out_dir = Some(args.next().expect("--out needs a directory")),
-            other if other.starts_with("--") => panic!("unknown flag {other}"),
-            id => ids.push(id.to_owned()),
-        }
-    }
-    if ids.is_empty() {
-        ids.push("all".to_owned());
-    }
-    (ids, scale, out_dir)
-}
+use fui_obs as obs;
 
 fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
     match id {
@@ -83,17 +42,49 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
         "popularity" => vec![("popularity".into(), exp::popularity::run(scale))],
         "all" => {
             let ids = [
-                "table2", "fig3", "fig4_5", "fig6_7", "fig8", "fig9", "fig10", "table3",
-                "table5_6", "sweep", "dynamic", "distrib", "trank_dt", "sig", "popularity",
+                "table2",
+                "fig3",
+                "fig4_5",
+                "fig6_7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "table3",
+                "table5_6",
+                "sweep",
+                "dynamic",
+                "distrib",
+                "trank_dt",
+                "sig",
+                "popularity",
             ];
             ids.iter().flat_map(|i| run_one(i, scale)).collect()
         }
-        other => panic!("unknown experiment id {other:?} (try `all`)"),
+        // cli::parse validated the id against cli::KNOWN_IDS.
+        other => unreachable!("id {other:?} passed validation but has no runner"),
     }
 }
 
-fn main() {
-    let (ids, scale, out_dir) = parse_args();
+fn manifest_for(id: &str, scale: &ExperimentScale) -> obs::RunManifest {
+    obs::RunManifest::new(id)
+        .param_int("twitter_nodes", scale.twitter_nodes as i64)
+        .param_float("twitter_avg_out", scale.twitter_avg_out)
+        .param_int("dblp_nodes", scale.dblp_nodes as i64)
+        .param_float("dblp_avg_out", scale.dblp_avg_out)
+        .param_int("test_size", scale.test_size as i64)
+        .param_int("landmarks", scale.landmarks as i64)
+        .param_int("query_nodes", scale.query_nodes as i64)
+        .param_int("trials", scale.trials as i64)
+        .param_str("seed", format!("{:#x}", scale.seed))
+}
+
+fn run(opts: &CliOptions) -> ExitCode {
+    let scale = &opts.scale;
+    if opts.manifest.is_some() {
+        // Manifests want span timings and histograms, not just the
+        // cheap counters — force full recording regardless of FUI_OBS.
+        obs::set_level(obs::Level::Full);
+    }
     eprintln!(
         "# scale: twitter {}x{:.0}, dblp {}x{:.0}, T={}, landmarks={}, queries={}, seed={:#x}",
         scale.twitter_nodes,
@@ -105,16 +96,46 @@ fn main() {
         scale.query_nodes,
         scale.seed
     );
-    for id in &ids {
-        for (name, block) in run_one(id, &scale) {
-            let t0 = Instant::now();
+    for id in &opts.ids {
+        if opts.manifest.is_some() {
+            // One manifest per requested id: drop metrics accumulated
+            // by earlier ids so each file describes its own run only.
+            obs::reset();
+        }
+        for (name, block) in run_one(id, scale) {
             println!("{block}");
-            if let Some(dir) = &out_dir {
-                std::fs::create_dir_all(dir).expect("create output dir");
-                std::fs::write(format!("{dir}/{name}.txt"), &block)
-                    .expect("write experiment output");
+            if let Some(dir) = &opts.out_dir {
+                if let Err(e) = std::fs::create_dir_all(dir)
+                    .and_then(|()| std::fs::write(format!("{dir}/{name}.txt"), &block))
+                {
+                    eprintln!("error: cannot write {dir}/{name}.txt: {e}");
+                    return ExitCode::from(1);
+                }
             }
-            let _ = t0;
+        }
+        if let Some(target) = &opts.manifest {
+            match manifest_for(id, scale).write(Path::new(target)) {
+                Ok(path) => eprintln!("# manifest: {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write manifest for {id} to {target}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    match cli::parse(std::env::args().skip(1)) {
+        Ok(CliOutcome::Help) => {
+            println!("{}", cli::USAGE);
+            ExitCode::SUCCESS
+        }
+        Ok(CliOutcome::Run(opts)) => run(&opts),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            ExitCode::from(2)
         }
     }
 }

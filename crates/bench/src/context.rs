@@ -37,12 +37,24 @@ impl Context {
 
     /// A recommender for any score variant.
     pub fn recommender(&self, variant: ScoreVariant) -> TrRecommender<'_> {
-        TrRecommender::new(&self.graph, &self.authority, &self.sim, self.params, variant)
+        TrRecommender::new(
+            &self.graph,
+            &self.authority,
+            &self.sim,
+            self.params,
+            variant,
+        )
     }
 
     /// A bare propagator (for landmark preprocessing and queries).
     pub fn propagator(&self, variant: ScoreVariant) -> Propagator<'_> {
-        Propagator::new(&self.graph, &self.authority, &self.sim, self.params, variant)
+        Propagator::new(
+            &self.graph,
+            &self.authority,
+            &self.sim,
+            self.params,
+            variant,
+        )
     }
 
     /// The standalone Katz baseline at the shared β.

@@ -8,8 +8,6 @@
 //! stale index, policy-refreshed index, full rebuild — and weigh the
 //! refresh cost against a full rebuild.
 
-use std::time::Instant;
-
 use fui_core::{PropagateOpts, ScoreParams, ScoreVariant};
 use fui_eval::kendall_tau_distance;
 use fui_graph::{NodeId, TopicSet};
@@ -32,9 +30,9 @@ pub fn run(scale: &ExperimentScale) -> String {
     let base_ctx = Context::new(d.graph.clone(), ScoreParams::default());
     let base_prop = base_ctx.propagator(ScoreVariant::Full);
     let landmarks = Strategy::InDeg.select(&base_ctx.graph, scale.landmarks, &mut rng);
-    let t0 = Instant::now();
+    let sp_build = fui_obs::Span::enter("dynamic.build");
     let index = LandmarkIndex::build(&base_prop, landmarks.clone(), 100);
-    let build_s = t0.elapsed().as_secs_f64();
+    let build_s = sp_build.finish().as_secs_f64();
 
     // Churn batch: 0.25% of edges unfollowed, an equal number of new
     // follows (a slice of them aimed at landmarks so the policy has
@@ -95,7 +93,11 @@ pub fn run(scale: &ExperimentScale) -> String {
     let exact_tops: Vec<Vec<NodeId>> = queries
         .iter()
         .map(|&u| {
-            let t = new_ctx.graph.node_labels(u).first().unwrap_or(Topic::Technology);
+            let t = new_ctx
+                .graph
+                .node_labels(u)
+                .first()
+                .unwrap_or(Topic::Technology);
             new_prop
                 .propagate(u, &[t], PropagateOpts::default())
                 .top_n_sigma(0, 100)
@@ -108,7 +110,11 @@ pub fn run(scale: &ExperimentScale) -> String {
         let approx = ApproxRecommender::new(&new_prop, idx);
         let mut total = 0.0;
         for (qi, &u) in queries.iter().enumerate() {
-            let t = new_ctx.graph.node_labels(u).first().unwrap_or(Topic::Technology);
+            let t = new_ctx
+                .graph
+                .node_labels(u)
+                .first()
+                .unwrap_or(Topic::Technology);
             let top: Vec<NodeId> = approx
                 .recommend(u, t, 100)
                 .recommendations
@@ -132,20 +138,25 @@ pub fn run(scale: &ExperimentScale) -> String {
         for c in removal_changes.iter().chain(&addition_changes) {
             dynamic.record(c);
         }
-        let t1 = Instant::now();
+        let sp_refresh = fui_obs::Span::enter("dynamic.refresh");
         let refreshed = dynamic.refresh_stale(&new_prop);
-        let refresh_s = t1.elapsed().as_secs_f64();
+        let refresh_s = sp_refresh.finish().as_secs_f64();
         policy_rows.push((threshold, refreshed, avg_tau(dynamic.index()), refresh_s));
         last_len = dynamic.index().len();
     }
 
     // 3. Full rebuild.
-    let t2 = Instant::now();
+    let sp_rebuild = fui_obs::Span::enter("dynamic.rebuild");
     let rebuilt = LandmarkIndex::build(&new_prop, landmarks, 100);
-    let rebuild_s = t2.elapsed().as_secs_f64();
+    let rebuild_s = sp_rebuild.finish().as_secs_f64();
     let tau_rebuilt = avg_tau(&rebuilt);
 
-    let mut t = TextTable::new(vec!["regime", "tau vs exact", "landmarks touched", "cost (s)"]);
+    let mut t = TextTable::new(vec![
+        "regime",
+        "tau vs exact",
+        "landmarks touched",
+        "cost (s)",
+    ]);
     t.row(vec![
         "stale (no maintenance)".to_owned(),
         f3(tau_stale),

@@ -11,7 +11,10 @@ use crate::table::{f3, TextTable};
 /// method).
 pub fn run(scale: &ExperimentScale) -> String {
     let mut t = TextTable::new(vec!["bucket", "Katz", "TwitterRank", "Tr"]);
-    for (which, tag) in [(DatasetChoice::Twitter, "TW"), (DatasetChoice::Dblp, "DBLP")] {
+    for (which, tag) in [
+        (DatasetChoice::Twitter, "TW"),
+        (DatasetChoice::Dblp, "DBLP"),
+    ] {
         let d = scale.build(which);
         for bucket in [PopularityBucket::Bottom10, PopularityBucket::Top10] {
             let results = run_protocol_trials(

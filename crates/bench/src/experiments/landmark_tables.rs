@@ -4,8 +4,6 @@
 //! the exact computation, and ranking quality (Kendall-tau distance to
 //! the exact top-100) for landmarks storing top-10/100/1000.
 
-use std::time::Instant;
-
 use fui_core::{PropagateOpts, ScoreParams, ScoreVariant};
 use fui_eval::kendall_tau_distance;
 use fui_graph::NodeId;
@@ -71,7 +69,7 @@ pub fn measure(scale: &ExperimentScale) -> (Vec<StrategyReport>, f64, f64) {
         .collect();
 
     // Exact baseline: converged propagation per query, top-100 kept.
-    let t0 = Instant::now();
+    let sp_exact = fui_obs::Span::enter("table5.exact");
     let exact_tops: Vec<Vec<NodeId>> = queries
         .iter()
         .map(|&(u, t)| {
@@ -83,26 +81,24 @@ pub fn measure(scale: &ExperimentScale) -> (Vec<StrategyReport>, f64, f64) {
                 .collect()
         })
         .collect();
-    let exact_ms = t0.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+    let exact_ms = sp_exact.finish().as_secs_f64() * 1000.0 / queries.len() as f64;
 
     let stored = [10usize, 100, 1000];
     let mut reports = Vec::new();
     let mut storage_bytes = 0usize;
     let mut storage_landmarks = 0usize;
     for strategy in Strategy::table4_suite(&ctx.graph) {
-        let t_sel = Instant::now();
+        let sp_sel = fui_obs::Span::enter("table5.selection");
         let landmarks = strategy.select(&ctx.graph, scale.landmarks, &mut rng);
-        let select_ms =
-            t_sel.elapsed().as_secs_f64() * 1000.0 / landmarks.len().max(1) as f64;
+        let select_ms = sp_sel.finish().as_secs_f64() * 1000.0 / landmarks.len().max(1) as f64;
 
-        let t_prep = Instant::now();
+        let sp_prep = fui_obs::Span::enter("table5.preprocess");
         let index_full = LandmarkIndex::build(&propagator, landmarks, 1000);
-        let compute_s = t_prep.elapsed().as_secs_f64() / index_full.len().max(1) as f64;
+        let compute_s = sp_prep.finish().as_secs_f64() / index_full.len().max(1) as f64;
         storage_bytes += index_full.size_bytes();
         storage_landmarks += index_full.len();
 
-        let indexes: Vec<LandmarkIndex> =
-            stored.iter().map(|&n| index_full.truncated(n)).collect();
+        let indexes: Vec<LandmarkIndex> = stored.iter().map(|&n| index_full.truncated(n)).collect();
 
         // Quality per stored-list size (queries on the truncated
         // indexes; latency measured on the top-1000 one).
@@ -120,12 +116,12 @@ pub fn measure(scale: &ExperimentScale) -> (Vec<StrategyReport>, f64, f64) {
         }
 
         let approx = ApproxRecommender::new(&propagator, &indexes[2]);
-        let t_q = Instant::now();
+        let sp_q = fui_obs::Span::enter("table5.query");
         let mut found = 0usize;
         for &(u, t) in &queries {
             found += approx.recommend(u, t, 100).landmarks_found;
         }
-        let query_ms = t_q.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        let query_ms = sp_q.finish().as_secs_f64() * 1000.0 / queries.len() as f64;
 
         reports.push(StrategyReport {
             name: strategy.name(),
@@ -133,12 +129,15 @@ pub fn measure(scale: &ExperimentScale) -> (Vec<StrategyReport>, f64, f64) {
             compute_s_per_landmark: compute_s,
             landmarks_found: found as f64 / queries.len() as f64,
             query_ms,
-            gain: if query_ms > 0.0 { exact_ms / query_ms } else { 0.0 },
+            gain: if query_ms > 0.0 {
+                exact_ms / query_ms
+            } else {
+                0.0
+            },
             tau,
         });
     }
-    let kib_per_landmark =
-        storage_bytes as f64 / 1024.0 / storage_landmarks.max(1) as f64;
+    let kib_per_landmark = storage_bytes as f64 / 1024.0 / storage_landmarks.max(1) as f64;
     (reports, exact_ms, kib_per_landmark)
 }
 
@@ -147,9 +146,9 @@ pub fn measure(scale: &ExperimentScale) -> (Vec<StrategyReport>, f64, f64) {
 /// orders of magnitude more expensive than any sampled selection).
 fn exact_centrality_ms_per_landmark(scale: &ExperimentScale) -> f64 {
     let d = scale.build(DatasetChoice::Twitter);
-    let t0 = Instant::now();
+    let sp = fui_obs::Span::enter("table5.central_exact");
     let c = fui_graph::centrality::closeness_exact(&d.graph);
-    let elapsed = t0.elapsed().as_secs_f64() * 1000.0;
+    let elapsed = sp.finish().as_secs_f64() * 1000.0;
     std::hint::black_box(&c);
     elapsed / scale.landmarks.max(1) as f64
 }
@@ -171,7 +170,12 @@ pub fn run(scale: &ExperimentScale) -> String {
         "(as Central)".to_owned(),
     ]);
     let mut t6 = TextTable::new(vec![
-        "Strategy", "#lnd", "time ms (gain)", "L10", "L100", "L1000",
+        "Strategy",
+        "#lnd",
+        "time ms (gain)",
+        "L10",
+        "L100",
+        "L1000",
     ]);
     for r in &reports {
         t6.row(vec![

@@ -51,7 +51,8 @@ pub fn run_protocol_trials(
             selection,
             include_ablations,
             max_n,
-            seed.wrapping_add(trial as u64).wrapping_mul(0x9E37_79B9 | 1),
+            seed.wrapping_add(trial as u64)
+                .wrapping_mul(0x9E37_79B9 | 1),
         );
         if combined.is_empty() {
             combined = run;
@@ -201,7 +202,10 @@ mod tests {
         let results = run_protocol(&d, 10, EdgeSelection::Any, true, 20, 7);
         assert_eq!(results.len(), 5);
         let names: Vec<&str> = results.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["Tr", "Katz", "TwitterRank", "Tr-auth", "Tr-sim"]);
+        assert_eq!(
+            names,
+            vec!["Tr", "Katz", "TwitterRank", "Tr-auth", "Tr-sim"]
+        );
         for (_, c) in &results {
             assert!(c.trials > 0);
             for n in 2..=20 {

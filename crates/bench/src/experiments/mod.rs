@@ -30,5 +30,5 @@ pub mod popularity;
 pub mod sig;
 pub mod sweep;
 pub mod table2;
-pub mod trank_dt;
 pub mod table3;
+pub mod trank_dt;

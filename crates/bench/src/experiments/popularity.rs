@@ -30,9 +30,8 @@ pub fn run(scale: &ExperimentScale) -> String {
             negatives: 1000.min(d.graph.num_nodes().saturating_sub(2)),
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(
-            scale.seed ^ 0x50 ^ u64::from(bucket == PopularityBucket::Top10),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(scale.seed ^ 0x50 ^ u64::from(bucket == PopularityBucket::Top10));
         let tests = select_bucketed_edges(&d.graph, &cfg, bucket, &mut rng);
         let removed: Vec<(NodeId, NodeId)> = tests.iter().map(|e| (e.src, e.dst)).collect();
         let reduced = d.graph.without_edges(&removed);

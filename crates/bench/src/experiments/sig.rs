@@ -38,7 +38,10 @@ pub fn run(scale: &ExperimentScale) -> String {
     let trank = ctx.twitterrank(&d.tweet_counts, &d.publisher_weights);
     let ranks: Vec<(&str, Vec<TargetRank>)> = vec![
         ("Tr", evaluate_detailed(&tr, &tests, &candidates, 10).ranks),
-        ("Katz", evaluate_detailed(&katz, &tests, &candidates, 10).ranks),
+        (
+            "Katz",
+            evaluate_detailed(&katz, &tests, &candidates, 10).ranks,
+        ),
         (
             "TwitterRank",
             evaluate_detailed(&trank, &tests, &candidates, 10).ranks,

@@ -18,7 +18,11 @@ pub fn run(scale: &ExperimentScale) -> String {
     let d = scale.build(DatasetChoice::Twitter);
     let ctx = Context::new(d.graph, ScoreParams::default());
     let radius = spectral_radius(&ctx.graph, 50);
-    let bound = if radius > 0.0 { 1.0 / radius } else { f64::INFINITY };
+    let bound = if radius > 0.0 {
+        1.0 / radius
+    } else {
+        f64::INFINITY
+    };
 
     // Reference ranking at the paper's β.
     let source = ctx

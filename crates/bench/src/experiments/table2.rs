@@ -13,7 +13,10 @@ pub fn run(scale: &ExperimentScale) -> String {
     let mut t = TextTable::new(vec!["Property", "Twitter", "DBLP"]);
     let tw = scale.build(DatasetChoice::Twitter);
     let db = scale.build(DatasetChoice::Dblp);
-    let (st, sd) = (GraphStats::compute(&tw.graph), GraphStats::compute(&db.graph));
+    let (st, sd) = (
+        GraphStats::compute(&tw.graph),
+        GraphStats::compute(&db.graph),
+    );
     t.row(vec![
         "Total number of nodes".to_owned(),
         st.nodes.to_string(),

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod context;
 pub mod datasets;
 pub mod experiments;

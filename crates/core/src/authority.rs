@@ -67,8 +67,7 @@ impl AuthorityIndex {
                     continue;
                 }
                 let local = f64::from(on_t) / total as f64;
-                let global =
-                    f64::from(1 + on_t).ln() / f64::from(1 + max_followers_on[t]).ln();
+                let global = f64::from(1 + on_t).ln() / f64::from(1 + max_followers_on[t]).ln();
                 auth[base + t] = local * global;
             }
         }
@@ -318,12 +317,7 @@ mod tests {
             builder.add_edge(newbie, b, TopicSet::single(Topic::Sports));
             builder.build()
         };
-        idx.apply_edge_change(
-            b,
-            TopicSet::single(Topic::Sports),
-            true,
-            g2.in_degree(b),
-        );
+        idx.apply_edge_change(b, TopicSet::single(Topic::Sports), true, g2.in_degree(b));
         let fresh = AuthorityIndex::build(&g2);
         for t in Topic::ALL {
             assert!(
@@ -346,12 +340,7 @@ mod tests {
             .map(|e| e.node)
             .unwrap();
         let g2 = g.without_edges(&[(follower, b)]);
-        idx.apply_edge_change(
-            b,
-            TopicSet::single(Topic::Business),
-            false,
-            g2.in_degree(b),
-        );
+        idx.apply_edge_change(b, TopicSet::single(Topic::Business), false, g2.in_degree(b));
         // The stale max may overstate the denominator; the periodic
         // refresh fixes it exactly.
         let in_degrees: Vec<usize> = g2.nodes().map(|v| g2.in_degree(v)).collect();

@@ -53,16 +53,8 @@ pub fn enumerate(
         }
         for e in graph.out_edges(u) {
             let d = len + 1;
-            let contribution = walk_edge_contribution(
-                sim,
-                authority,
-                params,
-                e.labels,
-                e.node,
-                t,
-                d,
-                variant,
-            );
+            let contribution =
+                walk_edge_contribution(sim, authority, params, e.labels, e.node, t, d, variant);
             let new_topical = topical + contribution;
             let weight_b = params.beta.powi(d as i32);
             let weight_ab = (params.alpha * params.beta).powi(d as i32);
@@ -139,8 +131,7 @@ mod tests {
                             "topo mismatch at {v}"
                         );
                         assert!(
-                            (oracle.topo_alphabeta[v.index()] - r.topo_alphabeta(v)).abs()
-                                < 1e-12,
+                            (oracle.topo_alphabeta[v.index()] - r.topo_alphabeta(v)).abs() < 1e-12,
                             "topo_ab mismatch at {v}"
                         );
                     }

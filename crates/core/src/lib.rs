@@ -71,4 +71,4 @@ pub mod relevance;
 pub use authority::AuthorityIndex;
 pub use params::{ScoreParams, ScoreVariant};
 pub use propagate::{PropagateOpts, Propagation, Propagator};
-pub use recommend::{Recommendation, RecommendOpts, TrRecommender};
+pub use recommend::{RecommendOpts, Recommendation, TrRecommender};

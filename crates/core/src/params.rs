@@ -151,17 +151,26 @@ mod tests {
             alpha: 1.5,
             ..ScoreParams::default()
         };
-        assert!(matches!(bad_alpha.check_ranges(), Err(ParamError::BadAlpha(_))));
+        assert!(matches!(
+            bad_alpha.check_ranges(),
+            Err(ParamError::BadAlpha(_))
+        ));
         let bad_beta = ScoreParams {
             beta: -0.1,
             ..ScoreParams::default()
         };
-        assert!(matches!(bad_beta.check_ranges(), Err(ParamError::BadBeta(_))));
+        assert!(matches!(
+            bad_beta.check_ranges(),
+            Err(ParamError::BadBeta(_))
+        ));
         let bad_tol = ScoreParams {
             tolerance: 0.0,
             ..ScoreParams::default()
         };
-        assert!(matches!(bad_tol.check_ranges(), Err(ParamError::BadTolerance(_))));
+        assert!(matches!(
+            bad_tol.check_ranges(),
+            Err(ParamError::BadTolerance(_))
+        ));
     }
 
     #[test]

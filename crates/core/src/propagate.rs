@@ -31,12 +31,54 @@
 //! differences.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use fui_graph::{NodeId, SocialGraph};
+use fui_obs as obs;
 use fui_taxonomy::{SimMatrix, Topic, NUM_TOPICS};
 
 use crate::authority::AuthorityIndex;
 use crate::params::{ScoreParams, ScoreVariant};
+
+/// Interned metric handles for the propagation engine. Counts are
+/// accumulated in locals during a run and flushed here once per
+/// `propagate` call, so the per-edge hot loop never touches an atomic.
+struct PropMetrics {
+    calls: obs::Counter,
+    edges_relaxed: obs::Counter,
+    levels: obs::Counter,
+    pruned_at: obs::Counter,
+    stop_converged: obs::Counter,
+    stop_depth_cap: obs::Counter,
+    stop_frontier_empty: obs::Counter,
+    frontier_peak: obs::Gauge,
+    residual: obs::Gauge,
+    frontier_size: obs::Hist,
+}
+
+fn prop_metrics() -> &'static PropMetrics {
+    static METRICS: OnceLock<PropMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PropMetrics {
+        calls: obs::counter("propagate.calls"),
+        edges_relaxed: obs::counter("propagate.edges_relaxed"),
+        levels: obs::counter("propagate.levels"),
+        pruned_at: obs::counter("landmark.pruned_at"),
+        stop_converged: obs::counter("propagate.stop.converged"),
+        stop_depth_cap: obs::counter("propagate.stop.depth_cap"),
+        stop_frontier_empty: obs::counter("propagate.stop.frontier_empty"),
+        frontier_peak: obs::gauge("propagate.frontier_peak"),
+        residual: obs::gauge("propagate.residual"),
+        frontier_size: obs::hist("propagate.frontier_size"),
+    })
+}
+
+/// Why a propagation run stopped (mirrored into stop-reason counters).
+#[derive(Clone, Copy)]
+enum StopReason {
+    Converged,
+    DepthCap,
+    FrontierEmpty,
+}
 
 /// Options of a single propagation run.
 #[derive(Clone, Copy, Default)]
@@ -216,7 +258,12 @@ impl<'g> Propagator<'g> {
 
     /// Runs the iterative computation from `source` for the given
     /// query topics (empty slice is valid and yields a pure Katz run).
-    pub fn propagate(&self, source: NodeId, topics: &[Topic], opts: PropagateOpts<'_>) -> Propagation {
+    pub fn propagate(
+        &self,
+        source: NodeId,
+        topics: &[Topic],
+        opts: PropagateOpts<'_>,
+    ) -> Propagation {
         let n = self.graph.num_nodes();
         assert!(source.index() < n, "source not in graph");
         let tc = if self.variant == ScoreVariant::TopoOnly {
@@ -259,7 +306,18 @@ impl<'g> Propagator<'g> {
         let mut levels = 0u32;
         let mut converged = false;
 
+        // Observability locals, flushed to the registry once at the end.
+        let metrics = prop_metrics();
+        let mut edges_relaxed = 0u64;
+        let mut pruned_at = 0u64;
+        let mut frontier_peak = 0u64;
+        let mut residual = 0.0f64;
+        let stop_reason;
+
         loop {
+            frontier_peak = frontier_peak.max(frontier.len() as u64);
+            metrics.frontier_size.record(frontier.len() as u64);
+
             // Fold the current level into the accumulators.
             let mut level_tb = 0.0f64;
             for &u in &frontier {
@@ -279,15 +337,20 @@ impl<'g> Propagator<'g> {
                 }
             }
             acc_tb_total += level_tb;
+            if acc_tb_total > 0.0 {
+                residual = level_tb / acc_tb_total;
+            }
 
             // Convergence: the level's topological mass (the slowest
             // decaying of the three) is negligible relative to the
             // accumulated mass.
             if levels > 0 && level_tb < self.params.tolerance * acc_tb_total {
                 converged = true;
+                stop_reason = StopReason::Converged;
                 break;
             }
             if levels >= depth_cap {
+                stop_reason = StopReason::DepthCap;
                 break;
             }
 
@@ -298,6 +361,7 @@ impl<'g> Propagator<'g> {
                 if u != source.0 {
                     if let Some(mask) = opts.prune {
                         if mask[ui] {
+                            pruned_at += 1;
                             continue;
                         }
                     }
@@ -306,6 +370,7 @@ impl<'g> Propagator<'g> {
                 let tab_u = cur_tab[ui];
                 let sig_base = ui * tc;
                 for (pos, e) in self.graph.out_edges_indexed(NodeId(u)) {
+                    edges_relaxed += 1;
                     let vi = e.node.index();
                     if !in_next[vi] {
                         in_next[vi] = true;
@@ -360,8 +425,22 @@ impl<'g> Propagator<'g> {
             levels += 1;
             if frontier.is_empty() {
                 converged = true;
+                stop_reason = StopReason::FrontierEmpty;
                 break;
             }
+        }
+
+        // Flush the batched observability locals.
+        metrics.calls.incr();
+        metrics.edges_relaxed.add(edges_relaxed);
+        metrics.levels.add(levels as u64);
+        metrics.pruned_at.add(pruned_at);
+        metrics.frontier_peak.record_max(frontier_peak as f64);
+        metrics.residual.set(residual);
+        match stop_reason {
+            StopReason::Converged => metrics.stop_converged.incr(),
+            StopReason::DepthCap => metrics.stop_depth_cap.incr(),
+            StopReason::FrontierEmpty => metrics.stop_frontier_empty.incr(),
         }
 
         // Pack sigma for the requested topics even under TopoOnly
@@ -525,7 +604,10 @@ mod tests {
             PropagateOpts::default(),
         );
         let v = r.recommendation_vector(NodeId(3));
-        assert_eq!(v.get(Topic::Technology), r.sigma(NodeId(3), Topic::Technology));
+        assert_eq!(
+            v.get(Topic::Technology),
+            r.sigma(NodeId(3), Topic::Technology)
+        );
         assert_eq!(v.get(Topic::Business), r.sigma(NodeId(3), Topic::Business));
         assert_eq!(v.get(Topic::War), 0.0);
         assert!(v.get(Topic::Technology) > 0.0);

@@ -268,9 +268,8 @@ mod tests {
             10,
             opts,
         );
-        let score = |list: &[Recommendation], n: NodeId| {
-            list.iter().find(|r| r.node == n).map(|r| r.score)
-        };
+        let score =
+            |list: &[Recommendation], n: NodeId| list.iter().find(|r| r.node == n).map(|r| r.score);
         // Both lists exist and rank D and E somewhere.
         assert!(score(&tech_only, d).is_some());
         assert!(score(&both, e).is_some());
@@ -309,13 +308,7 @@ mod tests {
             assert!((x.score - y.score).abs() < 1e-15);
         }
         // Empty profile yields no recommendations rather than a panic.
-        let empty = rec.recommend_for_profile(
-            a,
-            &fui_taxonomy::TopicWeights::zero(),
-            3,
-            10,
-            opts,
-        );
+        let empty = rec.recommend_for_profile(a, &fui_taxonomy::TopicWeights::zero(), 3, 10, opts);
         assert!(empty.is_empty());
     }
 
@@ -369,8 +362,13 @@ mod tests {
         let (g, [a, b, c, ..]) = example2();
         let idx = AuthorityIndex::build(&g);
         let sim = SimMatrix::opencalais();
-        let rec =
-            TrRecommender::new(&g, &idx, &sim, ScoreParams::default(), ScoreVariant::TopoOnly);
+        let rec = TrRecommender::new(
+            &g,
+            &idx,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::TopoOnly,
+        );
         let out = rec.recommend(
             a,
             Topic::Technology,

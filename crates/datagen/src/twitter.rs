@@ -130,10 +130,7 @@ pub(crate) fn norm(w: &TopicWeights) -> f64 {
 
 /// Ground-truth edge label: source interests ∩ target topics, falling
 /// back to the target's dominant topic (a follow always has a reason).
-pub(crate) fn edge_truth_label(
-    src: &TopicWeights,
-    dst: &TopicWeights,
-) -> TopicSet {
+pub(crate) fn edge_truth_label(src: &TopicWeights, dst: &TopicWeights) -> TopicSet {
     let inter = truth_support(src).intersection(truth_support(dst));
     if inter.is_empty() {
         dst.argmax().map(TopicSet::single).unwrap_or_default()
@@ -243,9 +240,18 @@ pub fn generate(cfg: &TwitterConfig) -> GeneratedDataset {
                 let a = out_adj[u_idx][rng.gen_range(0..out_adj[u_idx].len())] as usize;
                 let b = out_adj[u_idx][rng.gen_range(0..out_adj[u_idx].len())] as usize;
                 let aff_of = |x: usize| {
-                    affinity(&hidden_profiles[u_idx], &hidden_profiles[x], norms[u_idx], norms[x])
+                    affinity(
+                        &hidden_profiles[u_idx],
+                        &hidden_profiles[x],
+                        norms[u_idx],
+                        norms[x],
+                    )
                 };
-                if aff_of(a) >= aff_of(b) { a } else { b }
+                if aff_of(a) >= aff_of(b) {
+                    a
+                } else {
+                    b
+                }
             };
             if out_adj[w].is_empty() {
                 continue;

@@ -9,9 +9,9 @@ fn arb_twitter_cfg() -> impl Strategy<Value = TwitterConfig> {
     (
         50usize..400,
         3.0f64..15.0,
-        0.0f64..0.9,   // pa_strength
-        0.0f64..0.95,  // homophily
-        0.0f64..0.8,   // triadic
+        0.0f64..0.9,  // pa_strength
+        0.0f64..0.95, // homophily
+        0.0f64..0.8,  // triadic
         any::<u64>(),
     )
         .prop_map(|(nodes, avg, pa, homo, triadic, seed)| TwitterConfig {

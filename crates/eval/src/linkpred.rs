@@ -65,9 +65,7 @@ pub fn select_test_edges(
     let mut eligible: Vec<(NodeId, NodeId)> = graph
         .edges()
         .filter(|&(u, v, labels)| {
-            !labels.is_empty()
-                && graph.out_degree(u) >= cfg.kout
-                && graph.in_degree(v) >= cfg.kin
+            !labels.is_empty() && graph.out_degree(u) >= cfg.kout && graph.in_degree(v) >= cfg.kin
         })
         .filter(|&(u, v, _)| filter(graph, u, v))
         .map(|(u, v, _)| (u, v))

@@ -56,9 +56,7 @@ pub fn kendall_tau_distance(a: &[NodeId], b: &[NodeId]) -> f64 {
             pairs += 1;
             let disagrees = match ((ai, aj), (bi, bj)) {
                 // Both items in both lists.
-                ((Some(&x1), Some(&y1)), (Some(&x2), Some(&y2))) => {
-                    (x1 < y1) != (x2 < y2)
-                }
+                ((Some(&x1), Some(&y1)), (Some(&x2), Some(&y2))) => (x1 < y1) != (x2 < y2),
                 // i in both, j only in a: b treats j as below i.
                 ((Some(&x1), Some(&y1)), (Some(_), None)) => y1 < x1,
                 ((Some(&x1), Some(&y1)), (None, Some(_))) => x1 < y1,

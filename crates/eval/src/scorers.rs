@@ -118,7 +118,13 @@ mod tests {
         let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let p = Propagator::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let p = Propagator::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let index = LandmarkIndex::build(&p, vec![NodeId(1), NodeId(2)], 50);
         let approx = ApproxRecommender::new(&p, &index);
         let u = NodeId(0);

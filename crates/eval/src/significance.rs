@@ -50,7 +50,11 @@ pub fn bootstrap_compare(
     resamples: usize,
     rng: &mut impl Rng,
 ) -> BootstrapComparison {
-    assert_eq!(ranks_a.len(), ranks_b.len(), "paired design needs aligned ranks");
+    assert_eq!(
+        ranks_a.len(),
+        ranks_b.len(),
+        "paired design needs aligned ranks"
+    );
     assert!(!ranks_a.is_empty(), "empty test set");
     assert!(n > 0 && resamples > 0);
     let m = ranks_a.len();
@@ -129,10 +133,12 @@ mod tests {
     fn small_gaps_are_uncertain() {
         // 11 vs 10 hits out of 40: the bootstrap should not call this
         // decisive.
-        let ranks_a: Vec<TargetRank> =
-            (0..40).map(|i| if i < 11 { Some(0) } else { None }).collect();
-        let ranks_b: Vec<TargetRank> =
-            (0..40).map(|i| if i < 10 { Some(0) } else { None }).collect();
+        let ranks_a: Vec<TargetRank> = (0..40)
+            .map(|i| if i < 11 { Some(0) } else { None })
+            .collect();
+        let ranks_b: Vec<TargetRank> = (0..40)
+            .map(|i| if i < 10 { Some(0) } else { None })
+            .collect();
         let mut rng = StdRng::seed_from_u64(4);
         let c = bootstrap_compare(&ranks_a, &ranks_b, 10, 1000, &mut rng);
         assert!(

@@ -37,8 +37,7 @@ pub trait TopRecommender {
     /// Top-`k` recommendations for `u` on `t` among nodes accepted by
     /// `filter` (the query user is always excluded by the caller's
     /// filter composition).
-    fn top_k(&self, u: NodeId, t: Topic, k: usize, filter: &dyn Fn(NodeId) -> bool)
-        -> Vec<NodeId>;
+    fn top_k(&self, u: NodeId, t: Topic, k: usize, filter: &dyn Fn(NodeId) -> bool) -> Vec<NodeId>;
 }
 
 impl TopRecommender for TrRecommender<'_> {
@@ -46,13 +45,7 @@ impl TopRecommender for TrRecommender<'_> {
         self.propagator().variant().name()
     }
 
-    fn top_k(
-        &self,
-        u: NodeId,
-        t: Topic,
-        k: usize,
-        filter: &dyn Fn(NodeId) -> bool,
-    ) -> Vec<NodeId> {
+    fn top_k(&self, u: NodeId, t: Topic, k: usize, filter: &dyn Fn(NodeId) -> bool) -> Vec<NodeId> {
         self.recommend(
             u,
             t,
@@ -96,13 +89,7 @@ impl TopRecommender for TwitterRank {
         "TwitterRank"
     }
 
-    fn top_k(
-        &self,
-        u: NodeId,
-        t: Topic,
-        k: usize,
-        filter: &dyn Fn(NodeId) -> bool,
-    ) -> Vec<NodeId> {
+    fn top_k(&self, u: NodeId, t: Topic, k: usize, filter: &dyn Fn(NodeId) -> bool) -> Vec<NodeId> {
         self.recommend(t, Some(u), usize::MAX)
             .into_iter()
             .map(|(v, _)| v)
@@ -176,11 +163,7 @@ fn rate(cfg: &StudyConfig, profile: &TopicWeights, t: Topic, rng: &mut StdRng) -
     if cfg.ambiguous_topics.contains(t) && rng.gen::<f64>() < 0.8 {
         return 2 + u8::from(rng.gen::<bool>());
     }
-    let dominance = profile
-        .0
-        .iter()
-        .cloned()
-        .fold(0.0f64, f64::max);
+    let dominance = profile.0.iter().cloned().fold(0.0f64, f64::max);
     if dominance < cfg.doubt_threshold {
         // Unclear account: the doubtful 2-or-3 default the paper
         // describes.
@@ -203,7 +186,10 @@ pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
 /// Picks panelists: random query users with enough followees to have a
 /// meaningful neighbourhood.
 fn pick_panel(graph: &SocialGraph, panel: usize, rng: &mut StdRng) -> Vec<NodeId> {
-    let mut eligible: Vec<NodeId> = graph.nodes().filter(|&u| graph.out_degree(u) >= 3).collect();
+    let mut eligible: Vec<NodeId> = graph
+        .nodes()
+        .filter(|&u| graph.out_degree(u) >= 3)
+        .collect();
     use rand::seq::SliceRandom;
     eligible.shuffle(rng);
     eligible.truncate(panel);
@@ -274,8 +260,7 @@ pub fn dblp_study(
 ) -> Vec<DblpStudyRow> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let panel = pick_panel(graph, cfg.panel, &mut rng);
-    let mut totals: Vec<(f64, usize, usize, f64)> =
-        vec![(0.0, 0, 0, 0.0); methods.len()]; // (sum, count, #45, best)
+    let mut totals: Vec<(f64, usize, usize, f64)> = vec![(0.0, 0, 0, 0.0); methods.len()]; // (sum, count, #45, best)
     for &u in &panel {
         let area = hidden_profiles[u.index()].argmax().unwrap_or(Topic::Other);
         // Citation vicinity of the panelist: authors within 2 hops.
@@ -383,7 +368,13 @@ mod tests {
         let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let tr = TrRecommender::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let tr = TrRecommender::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let katz = KatzScorer::new(&d.graph, 0.0005);
         let methods: Vec<&dyn TopRecommender> = vec![&tr, &katz];
         let cfg = StudyConfig {
@@ -399,7 +390,10 @@ mod tests {
         );
         assert_eq!(cells.len(), 4);
         for c in &cells {
-            assert!((1.0..=5.0).contains(&c.mean_mark) || c.ratings == 0, "{c:?}");
+            assert!(
+                (1.0..=5.0).contains(&c.mean_mark) || c.ratings == 0,
+                "{c:?}"
+            );
         }
     }
 
@@ -408,7 +402,13 @@ mod tests {
         let d = label_direct(dblp::generate(&DblpConfig::tiny()));
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let tr = TrRecommender::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let tr = TrRecommender::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let katz = KatzScorer::new(&d.graph, 0.0005);
         let methods: Vec<&dyn TopRecommender> = vec![&tr, &katz];
         let cfg = StudyConfig {
@@ -429,14 +429,32 @@ mod tests {
         let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let tr = TrRecommender::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let tr = TrRecommender::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let methods: Vec<&dyn TopRecommender> = vec![&tr];
         let cfg = StudyConfig {
             panel: 8,
             ..Default::default()
         };
-        let a = twitter_study(&d.graph, &d.hidden_profiles, &methods, &[Topic::Technology], &cfg);
-        let b = twitter_study(&d.graph, &d.hidden_profiles, &methods, &[Topic::Technology], &cfg);
+        let a = twitter_study(
+            &d.graph,
+            &d.hidden_profiles,
+            &methods,
+            &[Topic::Technology],
+            &cfg,
+        );
+        let b = twitter_study(
+            &d.graph,
+            &d.hidden_profiles,
+            &methods,
+            &[Topic::Technology],
+            &cfg,
+        );
         assert_eq!(a[0].mean_mark, b[0].mean_mark);
     }
 }

@@ -86,8 +86,7 @@ impl GraphBuilder {
         let n = self.node_labels.len();
 
         // Merge duplicate (follower, followee) pairs by unioning labels.
-        self.edges
-            .sort_unstable_by_key(|&(u, v, _)| (u.0, v.0));
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u.0, v.0));
         self.edges.dedup_by(|next, prev| {
             if prev.0 == next.0 && prev.1 == next.1 {
                 prev.2 = prev.2.union(next.2);

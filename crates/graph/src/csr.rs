@@ -238,10 +238,8 @@ impl SocialGraph {
     /// paper's future-work scenario where "many following links have a
     /// short lifespan".
     pub fn with_edges(&self, added: &[(NodeId, NodeId, TopicSet)]) -> SocialGraph {
-        let mut builder = crate::GraphBuilder::with_capacity(
-            self.num_nodes(),
-            self.num_edges() + added.len(),
-        );
+        let mut builder =
+            crate::GraphBuilder::with_capacity(self.num_nodes(), self.num_edges() + added.len());
         for u in self.nodes() {
             builder.add_node(self.node_labels(u));
         }
@@ -315,7 +313,11 @@ mod tests {
         let bb = b.add_node(TopicSet::single(Topic::Technology).with(Topic::Business));
         let c = b.add_node(TopicSet::single(Topic::Technology));
         let d = b.add_node(TopicSet::single(Topic::Sports));
-        b.add_edge(a, bb, TopicSet::single(Topic::Technology).with(Topic::Business));
+        b.add_edge(
+            a,
+            bb,
+            TopicSet::single(Topic::Technology).with(Topic::Business),
+        );
         b.add_edge(a, c, TopicSet::single(Topic::Technology));
         b.add_edge(bb, d, TopicSet::single(Topic::Sports));
         b.add_edge(c, d, TopicSet::single(Topic::Sports));

@@ -52,10 +52,7 @@ fn format_topics(set: TopicSet) -> String {
     if set.is_empty() {
         return "-".to_owned();
     }
-    set.iter()
-        .map(|t| t.name())
-        .collect::<Vec<_>>()
-        .join(",")
+    set.iter().map(|t| t.name()).collect::<Vec<_>>().join(",")
 }
 
 fn parse_topics(line_no: usize, field: &str) -> Result<TopicSet, ParseError> {
@@ -193,7 +190,10 @@ mod tests {
 
     #[test]
     fn missing_header_rejected() {
-        assert_eq!(from_text("edge 0 1 -\n").unwrap_err(), ParseError::MissingHeader);
+        assert_eq!(
+            from_text("edge 0 1 -\n").unwrap_err(),
+            ParseError::MissingHeader
+        );
         assert_eq!(from_text("").unwrap_err(), ParseError::MissingHeader);
     }
 

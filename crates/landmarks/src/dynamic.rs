@@ -69,11 +69,8 @@ impl DynamicLandmarks {
         let topo_lookup = (0..index.len())
             .map(|slot| {
                 let entry = index.entry_at(slot);
-                let mut map: HashMap<u32, f64> = entry
-                    .topo
-                    .iter()
-                    .map(|s| (s.node.0, s.topo))
-                    .collect();
+                let mut map: HashMap<u32, f64> =
+                    entry.topo.iter().map(|s| (s.node.0, s.topo)).collect();
                 // Topical lists may cover nodes the topo list misses.
                 for list in &entry.recs {
                     for s in list {
@@ -249,7 +246,10 @@ mod tests {
             labels: tech,
             added: true,
         });
-        assert!(!dynamic.stale_slots().is_empty(), "change near λ must flag it");
+        assert!(
+            !dynamic.stale_slots().is_empty(),
+            "change near λ must flag it"
+        );
         let refreshed = dynamic.refresh_stale(&p2);
         assert_eq!(refreshed, 1);
         assert!(dynamic.stale_slots().is_empty());

@@ -64,7 +64,11 @@ pub struct LandmarkIndex {
 
 impl LandmarkIndex {
     /// Sequentially precomputes the index over the given landmarks.
-    pub fn build(propagator: &Propagator<'_>, landmarks: Vec<NodeId>, top_n: usize) -> LandmarkIndex {
+    pub fn build(
+        propagator: &Propagator<'_>,
+        landmarks: Vec<NodeId>,
+        top_n: usize,
+    ) -> LandmarkIndex {
         let entries = landmarks
             .iter()
             .map(|&l| compute_entry(propagator, l, top_n))
@@ -81,8 +85,7 @@ impl LandmarkIndex {
     ) -> LandmarkIndex {
         let threads = threads.max(1).min(landmarks.len().max(1));
         let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<LandmarkEntry>>> =
-            Mutex::new(vec![None; landmarks.len()]);
+        let results: Mutex<Vec<Option<LandmarkEntry>>> = Mutex::new(vec![None; landmarks.len()]);
         crossbeam::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| loop {
@@ -212,6 +215,7 @@ impl LandmarkIndex {
 /// Runs Algorithm 1 for one landmark: propagate to convergence on all
 /// topics, extract per-topic and topological top-n lists.
 fn compute_entry(propagator: &Propagator<'_>, landmark: NodeId, top_n: usize) -> LandmarkEntry {
+    let _span = fui_obs::span!("landmark.preprocess");
     let r = propagator.propagate(landmark, &Topic::ALL, PropagateOpts::default());
     let mut recs = Vec::with_capacity(NUM_TOPICS);
     for ti in 0..NUM_TOPICS {
@@ -255,7 +259,13 @@ mod tests {
     fn entries_are_sorted_and_bounded() {
         let (d, idx) = fixture();
         let sim = SimMatrix::opencalais();
-        let p = Propagator::new(&d.graph, &idx, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let p = Propagator::new(
+            &d.graph,
+            &idx,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let landmarks = vec![NodeId(0), NodeId(5), NodeId(17)];
         let index = LandmarkIndex::build(&p, landmarks.clone(), 25);
         assert_eq!(index.len(), 3);
@@ -283,7 +293,13 @@ mod tests {
     fn mask_and_slots_align() {
         let (d, idx) = fixture();
         let sim = SimMatrix::opencalais();
-        let p = Propagator::new(&d.graph, &idx, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let p = Propagator::new(
+            &d.graph,
+            &idx,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let landmarks = vec![NodeId(3), NodeId(9)];
         let index = LandmarkIndex::build(&p, landmarks, 10);
         assert!(index.is_landmark(NodeId(3)));
@@ -297,7 +313,13 @@ mod tests {
     fn parallel_build_matches_sequential() {
         let (d, idx) = fixture();
         let sim = SimMatrix::opencalais();
-        let p = Propagator::new(&d.graph, &idx, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let p = Propagator::new(
+            &d.graph,
+            &idx,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let landmarks: Vec<NodeId> = (0..8).map(|i| NodeId(i * 13)).collect();
         let seq = LandmarkIndex::build(&p, landmarks.clone(), 15);
         let par = LandmarkIndex::build_parallel(&p, landmarks.clone(), 15, 4);
@@ -318,7 +340,13 @@ mod tests {
     fn size_accounting_is_positive() {
         let (d, idx) = fixture();
         let sim = SimMatrix::opencalais();
-        let p = Propagator::new(&d.graph, &idx, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let p = Propagator::new(
+            &d.graph,
+            &idx,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let index = LandmarkIndex::build(&p, vec![NodeId(1)], 50);
         assert!(index.size_bytes() > 0);
         assert_eq!(index.top_n(), 50);

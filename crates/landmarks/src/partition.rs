@@ -67,8 +67,9 @@ impl Partitioning {
         let mut sizes = vec![0usize; parts];
         let mut seeds: Vec<NodeId> = graph.nodes().collect();
         seeds.shuffle(rng);
-        let mut queues: Vec<std::collections::VecDeque<NodeId>> =
-            (0..parts).map(|_| std::collections::VecDeque::new()).collect();
+        let mut queues: Vec<std::collections::VecDeque<NodeId>> = (0..parts)
+            .map(|_| std::collections::VecDeque::new())
+            .collect();
         for (p, &s) in seeds.iter().take(parts).enumerate() {
             assignment[s.index()] = p as u32;
             sizes[p] += 1;
@@ -87,16 +88,17 @@ impl Partitioning {
                     continue;
                 };
                 active = true;
-                let claim = |v: NodeId,
-                                 assignment: &mut Vec<u32>,
-                                 sizes: &mut Vec<usize>,
-                                 queue: &mut std::collections::VecDeque<NodeId>| {
-                    if assignment[v.index()] == u32::MAX && sizes[p] < capacity {
-                        assignment[v.index()] = p as u32;
-                        sizes[p] += 1;
-                        queue.push_back(v);
-                    }
-                };
+                let claim =
+                    |v: NodeId,
+                     assignment: &mut Vec<u32>,
+                     sizes: &mut Vec<usize>,
+                     queue: &mut std::collections::VecDeque<NodeId>| {
+                        if assignment[v.index()] == u32::MAX && sizes[p] < capacity {
+                            assignment[v.index()] = p as u32;
+                            sizes[p] += 1;
+                            queue.push_back(v);
+                        }
+                    };
                 for &v in graph.followees(u) {
                     claim(v, &mut assignment, &mut sizes, &mut queues[p]);
                 }
@@ -241,10 +243,7 @@ pub fn simulate_query(
     // when a was expanded and b sits one level deeper (or was already
     // seen — traversal still touched it, so count the crossing).
     for a in vicinity.reached() {
-        if vicinity
-            .distance(a)
-            .map(|d| d < depth)
-            .unwrap_or(false)
+        if vicinity.distance(a).map(|d| d < depth).unwrap_or(false)
             && !(a != u && index.is_landmark(a))
         {
             for &b in graph.followees(a) {
@@ -334,7 +333,13 @@ mod tests {
         let d = dataset();
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let prop_ = Propagator::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let prop_ = Propagator::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let mut rng = StdRng::seed_from_u64(4);
         let parts = Partitioning::connectivity_aware(&d.graph, 4, &mut rng);
         let landmarks =
@@ -368,8 +373,13 @@ mod tests {
         let d = dataset();
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let prop_ =
-            Propagator::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let prop_ = Propagator::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let mut rng = StdRng::seed_from_u64(5);
         let parts = Partitioning::connectivity_aware(&d.graph, 4, &mut rng);
         let p0_members: Vec<NodeId> = d.graph.nodes().filter(|&v| parts.of(v) == 0).collect();
@@ -381,7 +391,12 @@ mod tests {
             .collect();
         assert!(!landmarks.is_empty());
         let index = LandmarkIndex::build(&prop_, landmarks, 20);
-        for u in d.graph.nodes().filter(|&u| d.graph.out_degree(u) >= 3).take(30) {
+        for u in d
+            .graph
+            .nodes()
+            .filter(|&u| d.graph.out_degree(u) >= 3)
+            .take(30)
+        {
             let s = simulate_query(&d.graph, &index, &parts, u, 2);
             if parts.of(u) == 0 {
                 assert_eq!(s.remote_landmarks, 0, "query {u} on the landmark machine");

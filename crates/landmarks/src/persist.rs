@@ -58,6 +58,7 @@ pub fn encode(index: &LandmarkIndex, num_nodes: usize) -> Bytes {
         }
         put_list(&mut buf, &entry.topo);
     }
+    fui_obs::counter("landmark.persist.save_bytes").add(buf.len() as u64);
     buf.freeze()
 }
 
@@ -71,7 +72,12 @@ fn put_list(buf: &mut BytesMut, list: &[ScoredNode]) {
 }
 
 /// Decodes a snapshot back into an index.
+///
+/// Every length prefix is validated against the remaining buffer
+/// before any element is read, so corrupt or truncated snapshots are
+/// reported as a [`DecodeError`] without over-allocating.
 pub fn decode(mut buf: Bytes) -> Result<(LandmarkIndex, usize), DecodeError> {
+    fui_obs::counter("landmark.persist.load_bytes").add(buf.remaining() as u64);
     if buf.remaining() < MAGIC.len() {
         return Err(DecodeError::Truncated);
     }
@@ -115,11 +121,13 @@ fn get_list(buf: &mut Bytes, num_nodes: usize) -> Result<Vec<ScoredNode>, Decode
         return Err(DecodeError::Truncated);
     }
     let len = buf.get_u32_le() as usize;
-    let mut list = Vec::with_capacity(len.min(1 << 20));
+    // Validate the declared length against the bytes actually present
+    // before allocating or reading: each element is 4 + 8 + 8 bytes.
+    if (buf.remaining() as u64) < len as u64 * 20 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut list = Vec::with_capacity(len);
     for _ in 0..len {
-        if buf.remaining() < 4 + 8 + 8 {
-            return Err(DecodeError::Truncated);
-        }
         let node = buf.get_u32_le();
         if node as usize >= num_nodes {
             return Err(DecodeError::NodeOutOfRange(node));
@@ -146,7 +154,13 @@ mod tests {
         let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let p = Propagator::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let p = Propagator::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let landmarks = vec![NodeId(2), NodeId(71), NodeId(200)];
         (LandmarkIndex::build(&p, landmarks, 20), d.graph.num_nodes())
     }
@@ -205,7 +219,13 @@ mod tests {
         let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let p = Propagator::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let p = Propagator::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let index = LandmarkIndex::build(&p, vec![], 10);
         let (back, _) = decode(encode(&index, d.graph.num_nodes())).unwrap();
         assert!(back.is_empty());

@@ -100,6 +100,7 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
 
     /// Top-`n` approximate recommendations for `u` on `t`.
     pub fn recommend(&self, u: NodeId, t: Topic, top_n: usize) -> ApproxResult {
+        let _span = fui_obs::span!("landmark.query");
         let prune_mask = self.prune_at_landmarks.then(|| self.index.mask());
         let r = self.propagator.propagate(
             u,
@@ -123,6 +124,7 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
         }
         // Landmark compositions.
         let mut landmarks_found = 0usize;
+        let mut composed_pairs = 0u64;
         for &l in &r.reached {
             if l == u || !self.index.is_landmark(l) {
                 continue;
@@ -139,6 +141,7 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
                 if s.node == u {
                     continue;
                 }
+                composed_pairs += 1;
                 let add = sigma_ul * s.topo + topo_ab_ul * s.sigma;
                 if add > 0.0 {
                     *scores.entry(s.node.0).or_insert(0.0) += add;
@@ -148,24 +151,25 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
             // for nodes absent from the topical list (their σ(λ,w,t)
             // fell outside the stored top-n; the lower bound keeps the
             // term we do know).
-            let in_topical: std::collections::HashSet<u32> = entry.recs[t.index()]
-                .iter()
-                .map(|s| s.node.0)
-                .collect();
+            let in_topical: std::collections::HashSet<u32> =
+                entry.recs[t.index()].iter().map(|s| s.node.0).collect();
             if sigma_ul > 0.0 {
                 for s in &entry.topo {
                     if s.node == u || in_topical.contains(&s.node.0) {
                         continue;
                     }
+                    composed_pairs += 1;
                     *scores.entry(s.node.0).or_insert(0.0) += sigma_ul * s.topo;
                 }
             }
         }
 
-        let mut recommendations: Vec<(NodeId, f64)> = scores
-            .into_iter()
-            .map(|(v, s)| (NodeId(v), s))
-            .collect();
+        fui_obs::counter("landmark.query.landmarks_met").add(landmarks_found as u64);
+        fui_obs::counter("landmark.composed_pairs").add(composed_pairs);
+        fui_obs::counter("query.candidates").add(scores.len() as u64);
+
+        let mut recommendations: Vec<(NodeId, f64)> =
+            scores.into_iter().map(|(v, s)| (NodeId(v), s)).collect();
         recommendations.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("scores are not NaN")
@@ -235,10 +239,7 @@ mod tests {
         for v in [NodeId(1), NodeId(2), NodeId(3)] {
             let e = exact.sigma(v, Topic::Technology);
             let a = approx_score(v);
-            assert!(
-                (e - a).abs() < 1e-12,
-                "node {v}: exact {e} vs approx {a}"
-            );
+            assert!((e - a).abs() < 1e-12, "node {v}: exact {e} vs approx {a}");
         }
     }
 
@@ -250,7 +251,13 @@ mod tests {
         ));
         let auth = AuthorityIndex::build(&d.graph);
         let sim = SimMatrix::opencalais();
-        let p = Propagator::new(&d.graph, &auth, &sim, ScoreParams::default(), ScoreVariant::Full);
+        let p = Propagator::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
         let landmarks: Vec<NodeId> = (0..20).map(|i| NodeId(i * 17 % 400)).collect();
         let mut uniq = landmarks.clone();
         uniq.sort();
@@ -262,10 +269,7 @@ mod tests {
         let exact = p.propagate(u, &[Topic::Technology], PropagateOpts::default());
         for &(v, s) in &result.recommendations {
             let e = exact.sigma(v, Topic::Technology);
-            assert!(
-                s <= e + 1e-9,
-                "approx {s} exceeds exact {e} at node {v}"
-            );
+            assert!(s <= e + 1e-9, "approx {s} exceeds exact {e} at node {v}");
         }
     }
 

@@ -165,9 +165,7 @@ impl Strategy {
                 all.truncate(count);
                 all
             }
-            Strategy::Follow => {
-                weighted_distinct(graph, count, rng, |g, v| g.in_degree(v) as f64)
-            }
+            Strategy::Follow => weighted_distinct(graph, count, rng, |g, v| g.in_degree(v) as f64),
             Strategy::Publish => {
                 weighted_distinct(graph, count, rng, |g, v| g.out_degree(v) as f64)
             }
@@ -248,7 +246,9 @@ fn weighted_distinct_scores(count: usize, scores: &[f64], rng: &mut impl Rng) ->
     while out.len() < count && guard < max_guard {
         guard += 1;
         let x = rng.gen::<f64>() * total;
-        let idx = cumulative.partition_point(|&c| c <= x).min(scores.len() - 1);
+        let idx = cumulative
+            .partition_point(|&c| c <= x)
+            .min(scores.len() - 1);
         let v = NodeId(idx as u32);
         if !out.contains(&v) {
             out.push(v);
@@ -310,12 +310,7 @@ fn band_uniform(
 }
 
 /// How many random seeds reach each node within `depth` hops.
-fn central_coverage(
-    graph: &SocialGraph,
-    seeds: usize,
-    depth: u32,
-    rng: &mut impl Rng,
-) -> Vec<f64> {
+fn central_coverage(graph: &SocialGraph, seeds: usize, depth: u32, rng: &mut impl Rng) -> Vec<f64> {
     let mut cov = vec![0.0f64; graph.num_nodes()];
     for &s in pick_seeds(graph, seeds, rng).iter() {
         let v = k_vicinity(graph, s, depth);
@@ -329,12 +324,7 @@ fn central_coverage(
 }
 
 /// How many random seeds each node can reach within `depth` hops.
-fn outcen_coverage(
-    graph: &SocialGraph,
-    seeds: usize,
-    depth: u32,
-    rng: &mut impl Rng,
-) -> Vec<f64> {
+fn outcen_coverage(graph: &SocialGraph, seeds: usize, depth: u32, rng: &mut impl Rng) -> Vec<f64> {
     let mut cov = vec![0.0f64; graph.num_nodes()];
     for &s in pick_seeds(graph, seeds, rng).iter() {
         // Nodes that reach s = reverse BFS from s along in-edges.
@@ -390,8 +380,8 @@ mod tests {
         assert_eq!(suite.len(), 11);
         let names: Vec<&str> = suite.iter().map(|s| s.name()).collect();
         for expected in [
-            "Random", "Follow", "Publish", "In-Deg", "Btw-Fol", "Out-Deg", "Btw-Pub",
-            "Central", "Out-Cen", "Combine", "Combine2",
+            "Random", "Follow", "Publish", "In-Deg", "Btw-Fol", "Out-Deg", "Btw-Pub", "Central",
+            "Out-Cen", "Combine", "Combine2",
         ] {
             assert!(names.contains(&expected), "{expected} missing");
         }
@@ -456,7 +446,11 @@ mod tests {
     fn central_prefers_the_well_reached_hub() {
         let g = hubs(40);
         let mut rng = StdRng::seed_from_u64(4);
-        let picked = Strategy::Central { seeds: 20, depth: 2 }.select(&g, 1, &mut rng);
+        let picked = Strategy::Central {
+            seeds: 20,
+            depth: 2,
+        }
+        .select(&g, 1, &mut rng);
         // Node 0 is reachable from every other node in one hop.
         assert_eq!(picked, vec![NodeId(0)]);
     }
@@ -465,7 +459,11 @@ mod tests {
     fn outcen_prefers_the_reaching_hub() {
         let g = hubs(40);
         let mut rng = StdRng::seed_from_u64(4);
-        let picked = Strategy::OutCen { seeds: 20, depth: 2 }.select(&g, 1, &mut rng);
+        let picked = Strategy::OutCen {
+            seeds: 20,
+            depth: 2,
+        }
+        .select(&g, 1, &mut rng);
         // Node 1 reaches every seed in one hop.
         assert_eq!(picked, vec![NodeId(1)]);
     }
@@ -480,7 +478,10 @@ mod tests {
             w_central: 0.5,
         }
         .select(&g, 2, &mut rng);
-        assert!(picked.contains(&NodeId(0)) && picked.contains(&NodeId(1)), "{picked:?}");
+        assert!(
+            picked.contains(&NodeId(0)) && picked.contains(&NodeId(1)),
+            "{picked:?}"
+        );
     }
 
     #[test]

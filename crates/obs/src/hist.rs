@@ -1,0 +1,187 @@
+//! Lock-free log-bucketed histogram.
+//!
+//! Values (nanoseconds, byte counts, frontier sizes — any `u64`) land
+//! in one of 256 buckets: exact below 4, then 4 sub-buckets per
+//! power of two, so the bucket lower bound is within 25 % of any
+//! member. Recording is a single relaxed `fetch_add` plus a CAS loop
+//! for the max — safe from any thread, never blocking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: 4 exact + 4 sub-buckets for each octave
+/// `2^2 ..= 2^63`.
+const BUCKETS: usize = 252;
+
+/// A fixed-size lock-free histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Quantile read-out of one histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Median (bucket lower bound).
+    pub p50: u64,
+    /// 95th percentile (bucket lower bound).
+    pub p95: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+/// Bucket index of a value; monotone in `v`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v < 4 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros() as u64; // >= 2
+        let sub = (v >> (msb - 2)) & 3;
+        ((msb - 1) * 4 + sub) as usize
+    }
+}
+
+/// Lower bound of bucket `i` (its representative value).
+#[inline]
+fn bucket_low(i: usize) -> u64 {
+    if i < 4 {
+        i as u64
+    } else {
+        let msb = (i as u64) / 4 + 1;
+        let sub = (i as u64) % 4;
+        (4 + sub) << (msb - 2)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        // `AtomicU64` is not `Copy`; build the array from a const.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (lock-free, callable from any thread).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (lower bound of the
+    /// containing bucket; 0 on an empty histogram).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the target value, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // The top bucket's lower bound can exceed the true
+                // max only by construction error; cap at max.
+                return bucket_low(i).min(self.max.load(Ordering::Relaxed));
+            }
+        }
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// p50/p95/p99/max summary.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count(),
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every bucket and counter.
+    pub fn clear(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        let mut prev = 0;
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 100, 1000, 1 << 20, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(b >= prev, "bucket order violated at {v}");
+            assert!(bucket_low(b) <= v, "lower bound exceeds value at {v}");
+            prev = b;
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_range() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        // Log-bucket error is ≤ 25 % downward.
+        assert!(s.p50 >= 375 && s.p50 <= 500, "p50 = {}", s.p50);
+        assert!(s.p95 >= 712 && s.p95 <= 950, "p95 = {}", s.p95);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistSummary::default());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let h = Histogram::new();
+        h.record(42);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! JSON run manifests (`BENCH_<id>.json`).
+//!
+//! A manifest is the machine-readable record of one experiment run:
+//! the run id, caller-supplied parameters (scale, seed, flags), every
+//! counter and gauge, every histogram's quantile summary, and the
+//! span tree. The workspace has no serde; the writer here emits a
+//! small, stable JSON subset by hand.
+//!
+//! Schema (all latencies in nanoseconds unless suffixed `_ms`):
+//!
+//! ```json
+//! {
+//!   "id": "table5",
+//!   "params": {"twitter_nodes": 600, "seed": "0xedb72016"},
+//!   "counters": {"propagate.edges_relaxed": 123456},
+//!   "gauges": {"propagate.frontier_peak": 512.0},
+//!   "histograms": {
+//!     "table5.query": {"count": 88, "sum_ns": 1, "p50_ns": 1,
+//!                       "p95_ns": 1, "p99_ns": 1, "max_ns": 1}
+//!   },
+//!   "spans": [
+//!     {"path": "table5.selection", "count": 11,
+//!      "total_ms": 0.42, "max_ms": 0.1}
+//!   ]
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::registry::snapshot;
+
+/// One caller-supplied manifest parameter.
+#[derive(Clone, Debug)]
+enum ParamValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+/// Builder for a run manifest; see the module docs.
+#[derive(Clone, Debug)]
+pub struct RunManifest {
+    id: String,
+    params: Vec<(String, ParamValue)>,
+}
+
+/// Escapes a string for a JSON literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as valid JSON (no NaN/inf literals).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl RunManifest {
+    /// Starts a manifest for the given run id.
+    pub fn new(id: impl Into<String>) -> RunManifest {
+        RunManifest {
+            id: id.into(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Attaches an integer parameter.
+    pub fn param_int(mut self, name: &str, v: i64) -> Self {
+        self.params.push((name.to_owned(), ParamValue::Int(v)));
+        self
+    }
+
+    /// Attaches a float parameter.
+    pub fn param_float(mut self, name: &str, v: f64) -> Self {
+        self.params.push((name.to_owned(), ParamValue::Float(v)));
+        self
+    }
+
+    /// Attaches a string parameter.
+    pub fn param_str(mut self, name: &str, v: impl Into<String>) -> Self {
+        self.params
+            .push((name.to_owned(), ParamValue::Str(v.into())));
+        self
+    }
+
+    /// Renders the manifest against the *current* registry state.
+    pub fn to_json(&self) -> String {
+        let snap = snapshot();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"id\": \"{}\",", esc(&self.id));
+
+        out.push_str("  \"params\": {");
+        for (i, (name, value)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rendered = match value {
+                ParamValue::Int(v) => format!("{v}"),
+                ParamValue::Float(v) => num(*v),
+                ParamValue::Str(v) => format!("\"{}\"", esc(v)),
+            };
+            let _ = write!(out, "\n    \"{}\": {rendered}", esc(name));
+        }
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in snap.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {v}", esc(name));
+        }
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in snap.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", esc(name), num(*v));
+        }
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (name, s) in &snap.hists {
+            if s.count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \
+                 \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                esc(name),
+                s.count,
+                s.sum,
+                s.p50,
+                s.p95,
+                s.p99,
+                s.max
+            );
+        }
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"spans\": [");
+        for (i, s) in snap.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"path\": \"{}\", \"count\": {}, \"total_ms\": {}, \"max_ms\": {}}}",
+                esc(&s.path),
+                s.count,
+                num(s.total_ns as f64 / 1e6),
+                num(s.max_ns as f64 / 1e6)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Resolves the output file: a path ending in `.json` is used as
+    /// is; anything else is treated as a directory that will receive
+    /// `BENCH_<id>.json`.
+    pub fn resolve_path(&self, target: &Path) -> PathBuf {
+        if target.extension().is_some_and(|e| e == "json") {
+            target.to_path_buf()
+        } else {
+            target.join(format!("BENCH_{}.json", self.id))
+        }
+    }
+
+    /// Writes the manifest; returns the path written.
+    pub fn write(&self, target: &Path) -> std::io::Result<PathBuf> {
+        let path = self.resolve_path(target);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_renders_registry_state() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Full);
+        crate::reset();
+        crate::counter("test.manifest.counter").add(7);
+        crate::gauge("test.manifest.gauge").set(1.25);
+        crate::hist("test.manifest.hist").record(1000);
+        {
+            let _sp = crate::span!("test.manifest.span");
+        }
+        let json = RunManifest::new("unit")
+            .param_int("nodes", 600)
+            .param_float("avg_out", 12.0)
+            .param_str("dataset", "twitter")
+            .to_json();
+        assert!(json.contains("\"id\": \"unit\""));
+        assert!(json.contains("\"nodes\": 600"));
+        assert!(json.contains("\"test.manifest.counter\": 7"));
+        assert!(json.contains("\"test.manifest.gauge\": 1.25"));
+        assert!(json.contains("\"test.manifest.hist\""));
+        assert!(json.contains("\"test.manifest.span\""));
+        crate::reset();
+    }
+
+    #[test]
+    fn escaping_is_applied() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(num(f64::NAN), "null");
+    }
+
+    #[test]
+    fn path_resolution() {
+        let m = RunManifest::new("table5");
+        assert_eq!(
+            m.resolve_path(Path::new("results")),
+            Path::new("results/BENCH_table5.json")
+        );
+        assert_eq!(
+            m.resolve_path(Path::new("out/custom.json")),
+            Path::new("out/custom.json")
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! The process-global metrics registry.
+//!
+//! Names are dotted paths (`propagate.edges_relaxed`). Lookup takes a
+//! read lock on a `BTreeMap`; the returned handles are `Copy`
+//! references to leaked atomics, so steady-state updates are a single
+//! relaxed atomic op. Callers on hot paths look a handle up once per
+//! *call* (never per edge) or cache it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+
+use crate::hist::{HistSummary, Histogram};
+
+/// A named monotonically increasing counter.
+#[derive(Clone, Copy, Debug)]
+pub struct Counter(&'static AtomicU64);
+
+impl Counter {
+    /// Adds `n` (no-op below [`crate::Level::Counters`]).
+    #[inline]
+    pub fn add(self, n: u64) {
+        if n != 0 && crate::counters_enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named `f64` gauge (stored as bits in an atomic).
+#[derive(Clone, Copy, Debug)]
+pub struct Gauge(&'static AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge (no-op below [`crate::Level::Counters`]).
+    #[inline]
+    pub fn set(self, v: f64) {
+        if crate::counters_enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger (running maximum).
+    #[inline]
+    pub fn record_max(self, v: f64) {
+        if !crate::counters_enabled() {
+            return;
+        }
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A named histogram handle.
+#[derive(Clone, Copy, Debug)]
+pub struct Hist(&'static Histogram);
+
+impl Hist {
+    /// Records a value (no-op below [`crate::Level::Full`]).
+    #[inline]
+    pub fn record(self, v: u64) {
+        if crate::full_enabled() {
+            self.0.record(v);
+        }
+    }
+
+    /// Records a duration as nanoseconds.
+    #[inline]
+    pub fn record_duration(self, d: std::time::Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Read-out of the underlying histogram.
+    pub fn summary(self) -> HistSummary {
+        self.0.summary()
+    }
+}
+
+/// Aggregated statistics of one span path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStat {
+    /// Slash-separated nesting path, e.g.
+    /// `experiment.table5_6/table5.preprocess`.
+    pub path: String,
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across entries.
+    pub total_ns: u64,
+    /// Longest single entry, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// The global registry of counters, gauges, histograms and span stats.
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, &'static AtomicU64>>,
+    gauges: RwLock<BTreeMap<String, &'static AtomicU64>>,
+    hists: RwLock<BTreeMap<String, &'static Histogram>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+fn global() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| MetricsRegistry {
+        counters: RwLock::new(BTreeMap::new()),
+        gauges: RwLock::new(BTreeMap::new()),
+        hists: RwLock::new(BTreeMap::new()),
+        spans: Mutex::new(BTreeMap::new()),
+    })
+}
+
+/// Looks up (or creates) an atom in one of the registry maps.
+fn intern<T>(
+    map: &RwLock<BTreeMap<String, &'static T>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> &'static T {
+    if let Some(&a) = map.read().expect("registry poisoned").get(name) {
+        return a;
+    }
+    let mut w = map.write().expect("registry poisoned");
+    // Raced insert: check again under the write lock.
+    if let Some(&a) = w.get(name) {
+        return a;
+    }
+    let leaked: &'static T = Box::leak(Box::new(make()));
+    w.insert(name.to_owned(), leaked);
+    leaked
+}
+
+/// The counter registered under `name` (created on first use).
+pub fn counter(name: &str) -> Counter {
+    Counter(intern(&global().counters, name, || AtomicU64::new(0)))
+}
+
+/// The gauge registered under `name` (created on first use).
+pub fn gauge(name: &str) -> Gauge {
+    Gauge(intern(&global().gauges, name, || {
+        AtomicU64::new(0f64.to_bits())
+    }))
+}
+
+/// The histogram registered under `name` (created on first use).
+pub fn hist(name: &str) -> Hist {
+    Hist(intern(&global().hists, name, Histogram::new))
+}
+
+/// Folds one finished span occurrence into the span-stat table.
+pub(crate) fn record_span(path: &str, ns: u64) {
+    let mut spans = global().spans.lock().expect("registry poisoned");
+    let stat = spans.entry(path.to_owned()).or_insert_with(|| SpanStat {
+        path: path.to_owned(),
+        count: 0,
+        total_ns: 0,
+        max_ns: 0,
+    });
+    stat.count += 1;
+    stat.total_ns += ns;
+    stat.max_ns = stat.max_ns.max(ns);
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Counter name → value, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name → summary, name-sorted.
+    pub hists: Vec<(String, HistSummary)>,
+    /// Span stats, path-sorted.
+    pub spans: Vec<SpanStat>,
+}
+
+impl Snapshot {
+    /// Value of a counter in the snapshot (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Summary of a histogram in the snapshot, if present.
+    pub fn hist(&self, name: &str) -> Option<HistSummary> {
+        self.hists.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+}
+
+/// Snapshots the global registry.
+pub fn snapshot() -> Snapshot {
+    let reg = global();
+    Snapshot {
+        counters: reg
+            .counters
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, a)| (n.clone(), a.load(Ordering::Relaxed)))
+            .collect(),
+        gauges: reg
+            .gauges
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, a)| (n.clone(), f64::from_bits(a.load(Ordering::Relaxed))))
+            .collect(),
+        hists: reg
+            .hists
+            .read()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(n, h)| (n.clone(), h.summary()))
+            .collect(),
+        spans: reg
+            .spans
+            .lock()
+            .expect("registry poisoned")
+            .values()
+            .cloned()
+            .collect(),
+    }
+}
+
+/// Zeroes every counter, gauge and histogram and clears the span
+/// stats (handles stay valid). The bench driver calls this between
+/// experiments so each manifest covers one run.
+pub fn reset() {
+    let reg = global();
+    for a in reg.counters.read().expect("registry poisoned").values() {
+        a.store(0, Ordering::Relaxed);
+    }
+    for a in reg.gauges.read().expect("registry poisoned").values() {
+        a.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+    for h in reg.hists.read().expect("registry poisoned").values() {
+        h.clear();
+    }
+    reg.spans.lock().expect("registry poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Counters);
+        let c = counter("test.registry.counter");
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        assert_eq!(snapshot().counter("test.registry.counter"), 6);
+        reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_max_is_monotone() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Counters);
+        let g = gauge("test.registry.gauge");
+        g.set(1.5);
+        g.record_max(0.5);
+        assert_eq!(g.get(), 1.5);
+        g.record_max(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn off_level_records_nothing() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Off);
+        let c = counter("test.registry.off");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        crate::set_level(crate::Level::Counters);
+    }
+
+    #[test]
+    fn same_name_same_atom() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Counters);
+        counter("test.registry.same").add(1);
+        counter("test.registry.same").add(1);
+        assert_eq!(counter("test.registry.same").get(), 2);
+    }
+}

@@ -162,7 +162,8 @@ impl Taxonomy {
             (Topic::Environment, nature),
             (Topic::Other, root),
         ] {
-            b.topic(t, parent).expect("all parents exist, no duplicates");
+            b.topic(t, parent)
+                .expect("all parents exist, no duplicates");
         }
         b.build().expect("all topics bound")
     }

@@ -66,7 +66,10 @@ mod tests {
     fn perfect_prediction() {
         let pairs = vec![
             (set(&[Topic::Technology]), set(&[Topic::Technology])),
-            (set(&[Topic::Social, Topic::Law]), set(&[Topic::Social, Topic::Law])),
+            (
+                set(&[Topic::Social, Topic::Law]),
+                set(&[Topic::Social, Topic::Law]),
+            ),
         ];
         let s = multi_label_scores(&pairs);
         assert_eq!(s.precision, 1.0);
@@ -77,7 +80,10 @@ mod tests {
     #[test]
     fn half_precision() {
         // Predict two labels, one right: P = 1/2, R = 1/1.
-        let pairs = vec![(set(&[Topic::Technology, Topic::Sports]), set(&[Topic::Technology]))];
+        let pairs = vec![(
+            set(&[Topic::Technology, Topic::Sports]),
+            set(&[Topic::Technology]),
+        )];
         let s = multi_label_scores(&pairs);
         assert!((s.precision - 0.5).abs() < 1e-12);
         assert_eq!(s.recall, 1.0);
@@ -86,7 +92,10 @@ mod tests {
 
     #[test]
     fn missed_labels_hit_recall() {
-        let pairs = vec![(set(&[Topic::Technology]), set(&[Topic::Technology, Topic::Sports]))];
+        let pairs = vec![(
+            set(&[Topic::Technology]),
+            set(&[Topic::Technology, Topic::Sports]),
+        )];
         let s = multi_label_scores(&pairs);
         assert_eq!(s.precision, 1.0);
         assert!((s.recall - 0.5).abs() < 1e-12);

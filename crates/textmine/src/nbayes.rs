@@ -221,10 +221,7 @@ mod tests {
         let both = TopicSet::single(Topic::Health).with(Topic::Law);
         let mut train = Vec::new();
         for _ in 0..40 {
-            train.push((
-                profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]),
-                both,
-            ));
+            train.push((profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]), both));
             train.push((
                 profile(&[(Topic::Weather, 1.0)]),
                 TopicSet::single(Topic::Weather),
@@ -233,7 +230,11 @@ mod tests {
         let examples = corpus(&gen, &train, 20, &mut rng);
         let clf = MultiLabelNaiveBayes::train(gen.vocab().len(), &examples);
         let doc: Vec<WordId> = gen
-            .tweets(&profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]), 30, &mut rng)
+            .tweets(
+                &profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]),
+                30,
+                &mut rng,
+            )
             .into_iter()
             .flat_map(|t| t.words)
             .collect();

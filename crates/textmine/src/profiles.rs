@@ -248,13 +248,17 @@ pub fn extract_topics(
 pub fn apply_labels(graph: &mut SocialGraph, out: &PipelineOutput) {
     graph.relabel(
         |u, v, _| {
-            let inter = out.follower_profiles[u.index()]
-                .intersection(out.publisher_profiles[v.index()]);
+            let inter =
+                out.follower_profiles[u.index()].intersection(out.publisher_profiles[v.index()]);
             if inter.is_empty() {
                 out.publisher_weights[v.index()]
                     .argmax()
                     .map(TopicSet::single)
-                    .or_else(|| out.publisher_profiles[v.index()].first().map(TopicSet::single))
+                    .or_else(|| {
+                        out.publisher_profiles[v.index()]
+                            .first()
+                            .map(TopicSet::single)
+                    })
                     .unwrap_or_default()
             } else {
                 inter

@@ -99,7 +99,11 @@ impl MultiLabelSvm {
                 }
                 for &d in &order {
                     t_step += 1;
-                    let y = if examples[d].1.contains(topic) { 1.0 } else { -1.0 };
+                    let y = if examples[d].1.contains(topic) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
                     let eta = 1.0 / (cfg.lambda * t_step as f64);
                     let mut margin = bias[ti];
                     for &(w, x) in &feats[d] {
@@ -262,7 +266,11 @@ mod tests {
         let examples = corpus(&gen, &train, 15, &mut rng);
         let svm = MultiLabelSvm::train(gen.vocab().len(), &examples, &SvmConfig::default());
         let doc: Vec<WordId> = gen
-            .tweets(&profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]), 25, &mut rng)
+            .tweets(
+                &profile(&[(Topic::Health, 0.5), (Topic::Law, 0.5)]),
+                25,
+                &mut rng,
+            )
             .into_iter()
             .flat_map(|t| t.words)
             .collect();
@@ -296,10 +304,7 @@ mod tests {
                 profile(&[(Topic::Social, 1.0)]),
                 TopicSet::single(Topic::Social),
             ),
-            (
-                profile(&[(Topic::War, 1.0)]),
-                TopicSet::single(Topic::War),
-            ),
+            (profile(&[(Topic::War, 1.0)]), TopicSet::single(Topic::War)),
         ];
         let examples = corpus(&gen, &train, 8, &mut rng);
         let a = MultiLabelSvm::train(gen.vocab().len(), &examples, &SvmConfig::default());

@@ -58,7 +58,10 @@ impl TweetGenerator {
         words_min: usize,
         words_max: usize,
     ) -> TweetGenerator {
-        assert!((0.0..1.0).contains(&stopword_rate), "stopword_rate in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&stopword_rate),
+            "stopword_rate in [0,1)"
+        );
         assert!(words_min >= 1 && words_min <= words_max, "bad length range");
         let topic_word_dist = Zipf::new(vocab.words_per_topic() as usize, word_zipf_s);
         let shared_word_dist = Zipf::new(vocab.shared_words() as usize, word_zipf_s);

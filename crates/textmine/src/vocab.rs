@@ -90,10 +90,7 @@ impl Vocabulary {
     pub fn word_str(&self, w: WordId) -> String {
         match self.word_topic(w) {
             Some(t) => format!("{}_{:03}", t.name(), w % self.words_per_topic),
-            None => format!(
-                "stop_{:03}",
-                w - NUM_TOPICS as u32 * self.words_per_topic
-            ),
+            None => format!("stop_{:03}", w - NUM_TOPICS as u32 * self.words_per_topic),
         }
     }
 }
@@ -137,7 +134,10 @@ mod tests {
     #[test]
     fn word_strings_are_readable() {
         let v = Vocabulary::new(10, 5);
-        assert_eq!(v.word_str(v.topic_word(Topic::Technology, 3)), "technology_003");
+        assert_eq!(
+            v.word_str(v.topic_word(Topic::Technology, 3)),
+            "technology_003"
+        );
         assert_eq!(v.word_str(v.shared_word(0)), "stop_000");
     }
 

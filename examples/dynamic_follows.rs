@@ -26,7 +26,13 @@ fn main() {
     let graph = dataset.graph.clone();
     let authority = AuthorityIndex::build(&graph);
     let sim = SimMatrix::opencalais();
-    let propagator = Propagator::new(&graph, &authority, &sim, ScoreParams::paper(), ScoreVariant::Full);
+    let propagator = Propagator::new(
+        &graph,
+        &authority,
+        &sim,
+        ScoreParams::paper(),
+        ScoreVariant::Full,
+    );
 
     let mut rng = StdRng::seed_from_u64(99);
     let landmarks = Strategy::InDeg.select(&graph, 25, &mut rng);
@@ -41,7 +47,11 @@ fn main() {
     let mut edges: Vec<(NodeId, NodeId, TopicSet)> = graph.edges().collect();
     edges.shuffle(&mut rng);
     let unfollows = &edges[..600.min(edges.len() / 4)];
-    println!("simulating churn: {} unfollows + {} follows...", unfollows.len(), unfollows.len());
+    println!(
+        "simulating churn: {} unfollows + {} follows...",
+        unfollows.len(),
+        unfollows.len()
+    );
     let mut removals = Vec::new();
     let mut additions = Vec::new();
     for &(u, v, labels) in unfollows {
@@ -100,7 +110,10 @@ fn main() {
         .nodes()
         .find(|&u| new_graph.out_degree(u) >= 5)
         .expect("active user exists");
-    let topic = new_graph.node_labels(user).first().unwrap_or(Topic::Technology);
+    let topic = new_graph
+        .node_labels(user)
+        .first()
+        .unwrap_or(Topic::Technology);
     println!("\ntop-5 for {user} on '{topic}' after churn:");
     for (v, score) in approx.recommend(user, topic, 5).recommendations {
         println!("  {v:<7} score {score:.3e}");

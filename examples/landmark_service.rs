@@ -15,6 +15,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    // Record span timings too, so the exit summary can report the
+    // service's p95 straight from the fui-obs registry.
+    fui::obs::set_level(fui::obs::Level::Full);
     let mut args = std::env::args().skip(1);
     let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10_000);
     let n_landmarks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
@@ -55,14 +58,22 @@ fn main() {
     std::fs::write(&path, &snapshot).expect("write snapshot");
     let raw = std::fs::read(&path).expect("read snapshot");
     let (index, _) = persist::decode(raw.into()).expect("decode snapshot");
-    println!("  snapshot round-trip: {} bytes at {}", snapshot.len(), path.display());
+    println!(
+        "  snapshot round-trip: {} bytes at {}",
+        snapshot.len(),
+        path.display()
+    );
 
     // Serve queries: approximate vs exact, same users.
     let approx = ApproxRecommender::new(&propagator, &index);
     let queries: Vec<(NodeId, Topic)> = (0..30)
         .map(|_| {
             let u = NodeId(rng.gen_range(0..dataset.graph.num_nodes() as u32));
-            let t = dataset.graph.node_labels(u).first().unwrap_or(Topic::Technology);
+            let t = dataset
+                .graph
+                .node_labels(u)
+                .first()
+                .unwrap_or(Topic::Technology);
             (u, t)
         })
         .collect();
@@ -93,5 +104,17 @@ fn main() {
     println!("\nsample: top-5 for {u} on '{t}':");
     for (v, score) in approx.recommend(u, t, 5).recommendations {
         println!("  {v:<7} score {score:.3e}");
+    }
+
+    // One-line service summary from the observability registry: every
+    // `landmark.query` span lands in the histogram of the same name.
+    let snap = fui::obs::snapshot();
+    if let Some(h) = snap.hist("landmark.query") {
+        println!(
+            "\nobs: served {} queries, p95 {:.3} ms, max {:.3} ms",
+            h.count,
+            h.p95 as f64 / 1e6,
+            h.max as f64 / 1e6
+        );
     }
 }

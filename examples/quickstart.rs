@@ -38,7 +38,11 @@ fn main() {
     b.add_edge(carol, erin, business);
     let graph = b.build();
 
-    println!("graph: {} accounts, {} follows", graph.num_nodes(), graph.num_edges());
+    println!(
+        "graph: {} accounts, {} follows",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     // Index the graph once, then ask for recommendations.
     let authority = AuthorityIndex::build(&graph);

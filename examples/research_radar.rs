@@ -49,7 +49,11 @@ fn main() {
             break u;
         }
     };
-    let area = dataset.graph.node_labels(me).first().unwrap_or(Topic::Technology);
+    let area = dataset
+        .graph
+        .node_labels(me)
+        .first()
+        .unwrap_or(Topic::Technology);
     println!(
         "\nresearcher {me}: {} citations made, area '{area}'",
         dataset.graph.out_degree(me)

@@ -8,12 +8,10 @@
 //! cargo run --release --example topic_models [users]
 //! ```
 
+use fui::datagen::twitter;
 use fui::prelude::*;
 use fui::textmine::metrics::multi_label_scores;
-use fui::textmine::{
-    extract_topics, lda_user_profiles, LdaConfig, SvmConfig, TweetGenerator,
-};
-use fui::datagen::twitter;
+use fui::textmine::{extract_topics, lda_user_profiles, LdaConfig, SvmConfig, TweetGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -94,7 +92,10 @@ fn main() {
     // Show one user through all three lenses.
     let u = NodeId(0);
     println!("\naccount {u}:");
-    println!("  truth        {}", raw.hidden_profiles[u.index()].support(0.15));
+    println!(
+        "  truth        {}",
+        raw.hidden_profiles[u.index()].support(0.15)
+    );
     println!("  naive Bayes  {}", nb.publisher_profiles[u.index()]);
     println!("  linear SVM   {}", svm.publisher_profiles[u.index()]);
     if let Some(top) = lda[u.index()].argmax() {

@@ -17,7 +17,9 @@
 //! * [`landmarks`] — landmark selection, preprocessing and the
 //!   approximate (2–3 orders of magnitude faster) recommender;
 //! * [`eval`] — the link-prediction protocol, ranking metrics and
-//!   simulated user studies.
+//!   simulated user studies;
+//! * [`obs`] — metrics counters, latency histograms, RAII spans and
+//!   JSON run manifests (`FUI_OBS=off|counters|full`).
 //!
 //! # Quickstart
 //!
@@ -51,6 +53,7 @@ pub use fui_datagen as datagen;
 pub use fui_eval as eval;
 pub use fui_graph as graph;
 pub use fui_landmarks as landmarks;
+pub use fui_obs as obs;
 pub use fui_taxonomy as taxonomy;
 pub use fui_textmine as textmine;
 
@@ -58,7 +61,7 @@ pub use fui_textmine as textmine;
 pub mod prelude {
     pub use fui_baselines::{KatzScorer, TwitterRank, TwitterRankConfig};
     pub use fui_core::{
-        AuthorityIndex, PropagateOpts, Propagation, Propagator, Recommendation, RecommendOpts,
+        AuthorityIndex, PropagateOpts, Propagation, Propagator, RecommendOpts, Recommendation,
         ScoreParams, ScoreVariant, TrRecommender,
     };
     pub use fui_datagen::{

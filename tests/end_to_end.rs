@@ -37,7 +37,11 @@ fn full_stack_recommendation_flow() {
         .nodes()
         .find(|&u| d.graph.out_degree(u) >= 5)
         .expect("graph has active users");
-    let topic = d.graph.node_labels(user).first().unwrap_or(Topic::Technology);
+    let topic = d
+        .graph
+        .node_labels(user)
+        .first()
+        .unwrap_or(Topic::Technology);
     let tr = TrRecommender::new(&d.graph, &authority, &sim, params, ScoreVariant::Full);
     let recs = tr.recommend(user, topic, 10, RecommendOpts::default());
     assert!(!recs.is_empty(), "exact recommendation came back empty");
@@ -120,8 +124,8 @@ fn baselines_run_on_the_same_graph() {
         },
     );
     let katz_precise = KatzScorer::new(&d.graph, params.beta).with_limits(1e-12, 30);
-    let scores_b = katz_precise
-        .score_candidates(user, &katz_top.iter().map(|&(v, _)| v).collect::<Vec<_>>());
+    let scores_b =
+        katz_precise.score_candidates(user, &katz_top.iter().map(|&(v, _)| v).collect::<Vec<_>>());
     for (a, b) in scores_a.iter().zip(&scores_b) {
         assert!((a - b).abs() < 1e-9, "{a} vs {b}");
     }

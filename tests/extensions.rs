@@ -52,8 +52,7 @@ fn dynamic_and_partition_apis_compose() {
     // Partition-aware landmark placement feeds the index...
     let parts = Partitioning::connectivity_aware(&d.graph, 4, &mut rng);
     assert!(parts.edge_cut_fraction(&d.graph) < 1.0);
-    let landmarks =
-        place_landmarks_per_partition(&d.graph, &parts, &Strategy::InDeg, 3, &mut rng);
+    let landmarks = place_landmarks_per_partition(&d.graph, &parts, &Strategy::InDeg, 3, &mut rng);
     assert_eq!(landmarks.len(), 12);
     let index = LandmarkIndex::build(&propagator, landmarks, 50);
 
@@ -98,7 +97,13 @@ fn significance_of_tr_over_twitterrank() {
     let sim = SimMatrix::opencalais();
     let candidates = draw_candidates(&reduced, &tests, 300, &mut rng);
 
-    let tr = TrRecommender::new(&reduced, &authority, &sim, ScoreParams::paper(), ScoreVariant::Full);
+    let tr = TrRecommender::new(
+        &reduced,
+        &authority,
+        &sim,
+        ScoreParams::paper(),
+        ScoreVariant::Full,
+    );
     let trank = TwitterRank::compute(
         &reduced,
         &d.tweet_counts,
@@ -121,7 +126,13 @@ fn profile_and_vector_apis() {
     let d = dataset();
     let authority = AuthorityIndex::build(&d.graph);
     let sim = SimMatrix::opencalais();
-    let tr = TrRecommender::new(&d.graph, &authority, &sim, ScoreParams::paper(), ScoreVariant::Full);
+    let tr = TrRecommender::new(
+        &d.graph,
+        &authority,
+        &sim,
+        ScoreParams::paper(),
+        ScoreVariant::Full,
+    );
     let u = d
         .graph
         .nodes()

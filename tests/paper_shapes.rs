@@ -59,12 +59,7 @@ fn tr_beats_katz_beats_twitterrank() {
     assert!(tests.len() >= 30, "not enough eligible edges");
     let c = recall_at_10(&d, tests, 2);
     // The paper's Figure 4 ordering.
-    assert!(
-        c.tr > c.katz,
-        "Tr ({}) should beat Katz ({})",
-        c.tr,
-        c.katz
-    );
+    assert!(c.tr > c.katz, "Tr ({}) should beat Katz ({})", c.tr, c.katz);
     assert!(
         c.tr > c.twitterrank,
         "Tr ({}) should beat TwitterRank ({})",
@@ -101,7 +96,11 @@ fn popular_targets_are_much_easier() {
         top.katz,
         bottom.katz
     );
-    assert!(top.tr > 0.5, "popular targets should be easy, got {}", top.tr);
+    assert!(
+        top.tr > 0.5,
+        "popular targets should be easy, got {}",
+        top.tr
+    );
 }
 
 #[test]

@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the harness surface the workspace benches use —
+//! `Criterion::bench_function`, benchmark groups with `sample_size` /
+//! `bench_with_input`, `BenchmarkId::from_parameter`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — but reports
+//! a simple mean ns/iter instead of criterion's full statistics.
+//!
+//! Mode mirrors upstream: when the binary is invoked with `--bench`
+//! (as `cargo bench` does) each benchmark is timed; otherwise (e.g.
+//! `cargo test`, which runs bench targets for smoke coverage) each
+//! closure runs exactly once so the suite stays fast.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id shown as the parameter value, e.g. `group/42`.
+    pub fn from_parameter<P: Display>(p: P) -> BenchmarkId {
+        BenchmarkId {
+            name: p.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, p: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+/// Passed to benchmark closures; times the measured routine.
+pub struct Bencher {
+    /// Whether to actually measure (false = single smoke run).
+    measure: bool,
+    /// Target number of timed samples.
+    samples: usize,
+    /// Mean duration of one call, filled in by [`Bencher::iter`].
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            black_box(f());
+            return;
+        }
+        // One untimed warmup call, then enough calls to fill the
+        // sample budget (at least one timed call per sample).
+        black_box(f());
+        let mut total = Duration::ZERO;
+        let mut calls = 0u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            total += start.elapsed();
+            calls += 1;
+            if total > Duration::from_millis(500) {
+                break;
+            }
+        }
+        self.mean = total / calls.max(1);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, measure: bool, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        measure,
+        samples,
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    if measure {
+        println!("{label:<50} {:>12.1} ns/iter", b.mean.as_nanos() as f64);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    criterion: &'a Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    /// Sets the measurement time budget (accepted for API
+    /// compatibility; the stub uses a fixed internal budget).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.criterion.measure, self.samples, f);
+        self
+    }
+
+    /// Benchmarks `f` with an input value under a parameterized id.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.name);
+        run_bench(&label, self.criterion.measure, self.samples, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` passes --bench; its absence means test mode.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(id, self.measure, 20, f);
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            criterion: self,
+        }
+    }
+
+    /// Upstream configuration hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure_in_both_modes() {
+        let mut calls = 0u32;
+        run_bench("smoke", false, 5, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        let mut timed = 0u32;
+        run_bench("timed", true, 5, |b| b.iter(|| timed += 1));
+        assert!(timed >= 2, "warmup plus at least one sample");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { measure: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| ran = x == 7)
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -67,6 +67,7 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
 
 fn manifest_for(id: &str, scale: &ExperimentScale) -> obs::RunManifest {
     obs::RunManifest::new(id)
+        .param_int("exec_threads", fui_exec::threads() as i64)
         .param_int("twitter_nodes", scale.twitter_nodes as i64)
         .param_float("twitter_avg_out", scale.twitter_avg_out)
         .param_int("dblp_nodes", scale.dblp_nodes as i64)

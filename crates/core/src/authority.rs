@@ -34,42 +34,76 @@ pub struct AuthorityIndex {
     max_followers_on: [u32; NUM_TOPICS],
 }
 
+/// Node-range granularity of the parallel build passes. Small graphs
+/// fit in one chunk and run inline on the caller's thread; large ones
+/// fan out over the `fui_exec` pool. Either way every row is computed
+/// from its node's local counts alone, so the result is bit-identical
+/// at any thread count.
+const BUILD_CHUNK: usize = 2048;
+
 impl AuthorityIndex {
-    /// Builds the index in a single pass over all in-edges —
-    /// `O(N·T + E·|labels|)`.
+    /// Builds the index — `O(N·T + E·|labels|)` total, with the
+    /// per-node passes (follower counting, the per-topic
+    /// max-normalization scan, authority derivation) chunked over the
+    /// [`fui_exec`] pool. Each chunk owns a disjoint node range and
+    /// chunk results are merged in range order, so the index matches
+    /// the serial build exactly whatever `FUI_THREADS` says.
     pub fn build(graph: &SocialGraph) -> AuthorityIndex {
         let n = graph.num_nodes();
-        let mut followers_on = vec![0u32; n * NUM_TOPICS];
-        for v in graph.nodes() {
-            let base = v.index() * NUM_TOPICS;
-            for e in graph.in_edges(v) {
-                for t in e.labels.iter() {
-                    followers_on[base + t.index()] += 1;
+        // Pass 1: per-node follower counts per topic, and each chunk's
+        // contribution to the per-topic maxima (max is order-free, but
+        // we still fold chunk maxima in range order).
+        let chunks: Vec<(Vec<u32>, [u32; NUM_TOPICS])> =
+            fui_exec::par_ranges(n, BUILD_CHUNK, |r| {
+                let mut followers = vec![0u32; r.len() * NUM_TOPICS];
+                let mut maxima = [0u32; NUM_TOPICS];
+                for v in r.clone() {
+                    let base = (v - r.start) * NUM_TOPICS;
+                    for e in graph.in_edges(NodeId(v as u32)) {
+                        for t in e.labels.iter() {
+                            followers[base + t.index()] += 1;
+                        }
+                    }
+                    for t in 0..NUM_TOPICS {
+                        maxima[t] = maxima[t].max(followers[base + t]);
+                    }
                 }
-            }
-        }
+                (followers, maxima)
+            });
+        let mut followers_on = Vec::with_capacity(n * NUM_TOPICS);
         let mut max_followers_on = [0u32; NUM_TOPICS];
-        for v in 0..n {
+        for (chunk, maxima) in chunks {
+            followers_on.extend_from_slice(&chunk);
             for t in 0..NUM_TOPICS {
-                max_followers_on[t] = max_followers_on[t].max(followers_on[v * NUM_TOPICS + t]);
+                max_followers_on[t] = max_followers_on[t].max(maxima[t]);
             }
         }
-        let mut auth = vec![0.0f64; n * NUM_TOPICS];
-        for v in graph.nodes() {
-            let total = graph.in_degree(v);
-            if total == 0 {
-                continue;
-            }
-            let base = v.index() * NUM_TOPICS;
-            for t in 0..NUM_TOPICS {
-                let on_t = followers_on[base + t];
-                if on_t == 0 {
+        // Pass 2: authority rows against the global maxima; rows are
+        // independent, chunks concatenate in range order.
+        let followers_ref = &followers_on;
+        let auth_chunks: Vec<Vec<f64>> = fui_exec::par_ranges(n, BUILD_CHUNK, |r| {
+            let mut auth = vec![0.0f64; r.len() * NUM_TOPICS];
+            for v in r.clone() {
+                let total = graph.in_degree(NodeId(v as u32));
+                if total == 0 {
                     continue;
                 }
-                let local = f64::from(on_t) / total as f64;
-                let global = f64::from(1 + on_t).ln() / f64::from(1 + max_followers_on[t]).ln();
-                auth[base + t] = local * global;
+                let base = (v - r.start) * NUM_TOPICS;
+                for t in 0..NUM_TOPICS {
+                    let on_t = followers_ref[v * NUM_TOPICS + t];
+                    if on_t == 0 {
+                        continue;
+                    }
+                    let local = f64::from(on_t) / total as f64;
+                    let global = f64::from(1 + on_t).ln() / f64::from(1 + max_followers_on[t]).ln();
+                    auth[base + t] = local * global;
+                }
             }
+            auth
+        });
+        let mut auth = Vec::with_capacity(n * NUM_TOPICS);
+        for chunk in auth_chunks {
+            auth.extend_from_slice(&chunk);
         }
         AuthorityIndex {
             auth,
@@ -161,11 +195,20 @@ impl AuthorityIndex {
     pub fn refresh_maxima(&mut self, in_degrees: &[usize]) {
         assert_eq!(in_degrees.len(), self.num_nodes(), "one in-degree per node");
         let n = self.num_nodes();
+        let followers = &self.followers_on;
+        let chunk_maxima: Vec<[u32; NUM_TOPICS]> = fui_exec::par_ranges(n, BUILD_CHUNK, |r| {
+            let mut m = [0u32; NUM_TOPICS];
+            for v in r {
+                for t in 0..NUM_TOPICS {
+                    m[t] = m[t].max(followers[v * NUM_TOPICS + t]);
+                }
+            }
+            m
+        });
         self.max_followers_on = [0; NUM_TOPICS];
-        for v in 0..n {
-            for t in 0..NUM_TOPICS {
-                self.max_followers_on[t] =
-                    self.max_followers_on[t].max(self.followers_on[v * NUM_TOPICS + t]);
+        for m in chunk_maxima {
+            for (t, &chunk_max) in m.iter().enumerate() {
+                self.max_followers_on[t] = self.max_followers_on[t].max(chunk_max);
             }
         }
         for (v, &in_deg) in in_degrees.iter().enumerate() {
@@ -356,6 +399,60 @@ mod tests {
         }
         // c untouched by the whole affair.
         assert_eq!(idx.followers_on(c, Topic::Business), 4);
+    }
+
+    #[test]
+    fn chunked_build_matches_serial_reference() {
+        // A graph wider than BUILD_CHUNK so the build really crosses
+        // chunk boundaries; the chunked passes must reproduce the
+        // straightforward serial derivation bit-for-bit.
+        let n = BUILD_CHUNK * 2 + 137;
+        let mut g = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| g.add_node(TopicSet::empty())).collect();
+        for i in 0..n {
+            let label = Topic::ALL[i % Topic::ALL.len()];
+            g.add_edge(nodes[i], nodes[(i * 7 + 13) % n], TopicSet::single(label));
+            if i % 3 == 0 {
+                g.add_edge(nodes[i], nodes[(i + n / 2) % n], TopicSet::single(label));
+            }
+        }
+        let g = g.build();
+        let idx = AuthorityIndex::build(&g);
+        // Serial reference, computed the textbook way.
+        let mut followers = vec![0u32; n * NUM_TOPICS];
+        for v in g.nodes() {
+            for e in g.in_edges(v) {
+                for t in e.labels.iter() {
+                    followers[v.index() * NUM_TOPICS + t.index()] += 1;
+                }
+            }
+        }
+        let mut maxima = [0u32; NUM_TOPICS];
+        for v in 0..n {
+            for t in 0..NUM_TOPICS {
+                maxima[t] = maxima[t].max(followers[v * NUM_TOPICS + t]);
+            }
+        }
+        for t in Topic::ALL {
+            assert_eq!(idx.max_followers_on(t), maxima[t.index()]);
+        }
+        for v in g.nodes() {
+            for t in Topic::ALL {
+                let on_t = followers[v.index() * NUM_TOPICS + t.index()];
+                assert_eq!(idx.followers_on(v, t), on_t);
+                let expect = if on_t == 0 || g.in_degree(v) == 0 {
+                    0.0
+                } else {
+                    (f64::from(on_t) / g.in_degree(v) as f64)
+                        * (f64::from(1 + on_t).ln() / f64::from(1 + maxima[t.index()]).ln())
+                };
+                assert_eq!(
+                    idx.auth(v, t).to_bits(),
+                    expect.to_bits(),
+                    "node {v} topic {t}"
+                );
+            }
+        }
     }
 
     #[test]

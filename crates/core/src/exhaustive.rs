@@ -67,6 +67,27 @@ pub fn enumerate(
     out
 }
 
+/// [`enumerate`] for a batch of sources, fanned out one source per
+/// task over the [`fui_exec`] pool — the oracle-side counterpart of
+/// the engine's batched queries. Each source's enumeration is fully
+/// independent, so `out[i]` is bit-identical to
+/// `enumerate(.., sources[i], ..)` at every `FUI_THREADS`.
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_many(
+    graph: &SocialGraph,
+    sim: &SimMatrix,
+    authority: &AuthorityIndex,
+    params: &ScoreParams,
+    sources: &[NodeId],
+    t: Topic,
+    variant: ScoreVariant,
+    max_len: u32,
+) -> Vec<ExhaustiveScores> {
+    fui_exec::par_map(sources, |&s| {
+        enumerate(graph, sim, authority, params, s, t, variant, max_len)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +157,49 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_oracle_equals_per_source_oracle() {
+        let g = messy_graph();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let params = ScoreParams::default();
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let batched = enumerate_many(
+            &g,
+            &sim,
+            &idx,
+            &params,
+            &sources,
+            Topic::Technology,
+            ScoreVariant::Full,
+            4,
+        );
+        assert_eq!(batched.len(), sources.len());
+        for (out, &s) in batched.iter().zip(&sources) {
+            let serial = enumerate(
+                &g,
+                &sim,
+                &idx,
+                &params,
+                s,
+                Topic::Technology,
+                ScoreVariant::Full,
+                4,
+            );
+            for v in g.nodes() {
+                assert_eq!(
+                    out.sigma[v.index()].to_bits(),
+                    serial.sigma[v.index()].to_bits(),
+                    "source {s} node {v}"
+                );
+                assert_eq!(
+                    out.topo_beta[v.index()].to_bits(),
+                    serial.topo_beta[v.index()].to_bits()
+                );
             }
         }
     }

@@ -1,0 +1,286 @@
+//! **fui-exec** — the workspace's deterministic parallel runtime.
+//!
+//! The landmark scheme exists because exact `σ(u,v,t)` is too slow
+//! online; its preprocessing runs one independent bounded propagation
+//! per landmark, which is embarrassingly parallel. This crate is the
+//! one place that workload shape is implemented: a small scoped-thread
+//! work pool (built on the vendored `crossbeam`, no runtime deps)
+//! exposing [`par_map`], [`par_chunks`] and [`par_ranges`].
+//!
+//! # Determinism guarantee
+//!
+//! Every combinator performs an **index-ordered reduction**: the
+//! result vector is assembled in item order, whatever order workers
+//! finished in, and any floating-point reduction the *caller* performs
+//! over that vector therefore visits elements in the same order as the
+//! serial loop. As long as the task closure is itself deterministic,
+//! output is **bit-identical to the serial path for every thread
+//! count** — `FUI_THREADS=1` and `FUI_THREADS=64` produce the same
+//! bytes, which the CI pipeline enforces by diffing run manifests and
+//! persisted landmark indexes across thread counts.
+//!
+//! # Configuration
+//!
+//! The pool width comes from the `FUI_THREADS` environment variable
+//! (clamped to `1..=256`), defaulting to
+//! [`std::thread::available_parallelism`]. A width of 1 — or a call
+//! with fewer items than the claim granularity — runs inline on the
+//! caller's thread with no spawn at all, so the serial path stays the
+//! zero-overhead baseline. The `*_with` variants take an explicit
+//! width for tests and calibration sweeps.
+//!
+//! # Scheduling & observability
+//!
+//! Work is claimed from a shared queue cursor (self-scheduling), so a
+//! worker that draws cheap items keeps claiming instead of idling at a
+//! static partition boundary. Under `fui-obs` the pool records:
+//!
+//! * `exec.threads` (gauge) — widest pool used this run;
+//! * `exec.tasks` (counter) — items executed;
+//! * `exec.queue.claimed` (counter) — successful queue claims;
+//! * `exec.queue.stolen` (counter) — claims outside the claiming
+//!   worker's even-partition share, i.e. work that self-scheduling
+//!   moved between workers relative to a static split;
+//! * `exec.worker` (span) — per-worker busy time, visible in the
+//!   span table of BENCH manifests at `FUI_OBS=full`.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Upper bound on the configured pool width.
+pub const MAX_THREADS: usize = 256;
+
+/// The configured pool width: `FUI_THREADS` if set and parseable,
+/// otherwise [`std::thread::available_parallelism`] (1 if unknown).
+/// Resolved once per process.
+pub fn threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        match std::env::var("FUI_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            Some(n) if n >= 1 => n.min(MAX_THREADS),
+            _ => default_threads(),
+        }
+    })
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// Maps `f` over `items` on the configured pool; `out[i] == f(&items[i])`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(threads(), items, f)
+}
+
+/// [`par_map`] with an explicit pool width.
+pub fn par_map_with<T, R, F>(width: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_tasks(width, items.len(), |i| f(&items[i]))
+}
+
+/// Splits `items` into contiguous chunks of `chunk_size` and maps `f`
+/// over them on the configured pool. `f` receives the chunk's offset
+/// into `items` and the chunk itself; results come back in chunk
+/// order.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    par_chunks_with(threads(), items, chunk_size, f)
+}
+
+/// [`par_chunks`] with an explicit pool width.
+pub fn par_chunks_with<T, R, F>(width: usize, items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    par_ranges_with(width, items.len(), chunk_size, |r| {
+        f(r.start, &items[r.start..r.end])
+    })
+}
+
+/// Index-space variant of [`par_chunks`]: splits `0..len` into
+/// contiguous ranges of `chunk_size` and maps `f` over them, returning
+/// per-range results in range order. The tool for parallel passes over
+/// dense arrays (per-node scans) without materialising an item slice.
+pub fn par_ranges<R, F>(len: usize, chunk_size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    par_ranges_with(threads(), len, chunk_size, f)
+}
+
+/// [`par_ranges`] with an explicit pool width.
+pub fn par_ranges_with<R, F>(width: usize, len: usize, chunk_size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let num_chunks = len.div_ceil(chunk_size);
+    run_tasks(width, num_chunks, |c| {
+        let start = c * chunk_size;
+        f(start..(start + chunk_size).min(len))
+    })
+}
+
+/// The shared engine: executes `num_tasks` closures of a deterministic
+/// task function and returns their results in task-index order.
+///
+/// Tasks are claimed one at a time from an atomic cursor. Each
+/// worker accumulates `(index, result)` pairs locally; after the scope
+/// joins, results are scattered into their slots — the index-ordered
+/// reduction that makes the output independent of scheduling.
+fn run_tasks<R, F>(width: usize, num_tasks: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let width = width.clamp(1, num_tasks.max(1));
+    if width <= 1 {
+        // Serial baseline: no spawn, no claim accounting overhead
+        // beyond one batched counter update.
+        fui_obs::counter("exec.tasks").add(num_tasks as u64);
+        return (0..num_tasks).map(task).collect();
+    }
+    fui_obs::gauge("exec.threads").record_max(width as f64);
+    // A worker's "share" under an even static partition; claims
+    // landing outside it count as steals (work the dynamic queue
+    // rebalanced relative to a static split).
+    let share = num_tasks.div_ceil(width);
+    let cursor = AtomicUsize::new(0);
+    let task = &task;
+    let cursor_ref = &cursor;
+    let buckets: Vec<Vec<(usize, R)>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..width)
+            .map(|w| {
+                scope.spawn(move |_| {
+                    let _sp = fui_obs::span!("exec.worker");
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    let mut stolen = 0u64;
+                    loop {
+                        let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                        if i >= num_tasks {
+                            break;
+                        }
+                        if i / share != w {
+                            stolen += 1;
+                        }
+                        out.push((i, task(i)));
+                    }
+                    fui_obs::counter("exec.tasks").add(out.len() as u64);
+                    fui_obs::counter("exec.queue.claimed").add(out.len() as u64);
+                    fui_obs::counter("exec.queue.stolen").add(stolen);
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fui-exec worker panicked"))
+            .collect()
+    })
+    .expect("fui-exec scope panicked");
+
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(num_tasks).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "task {i} claimed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} never claimed")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for width in [1, 2, 3, 4, 7, 16, 200] {
+            let par = par_map_with(width, &items, |&x| x * x + 1);
+            assert_eq!(par, serial, "width {width}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(8, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_with(8, &[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_once() {
+        let items: Vec<usize> = (0..1000).collect();
+        for (width, chunk) in [(1, 1), (4, 1), (4, 7), (3, 333), (8, 5000)] {
+            let pieces = par_chunks_with(width, &items, chunk, |off, sl| {
+                assert_eq!(sl[0], off, "chunk offset mismatch");
+                sl.to_vec()
+            });
+            let flat: Vec<usize> = pieces.into_iter().flatten().collect();
+            assert_eq!(flat, items, "width {width} chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn par_ranges_partitions_the_index_space() {
+        let ranges = par_ranges_with(4, 10, 3, |r| r);
+        assert_eq!(ranges, vec![0..3, 3..6, 6..9, 9..10]);
+        assert!(par_ranges_with(4, 0, 3, |r| r).is_empty());
+    }
+
+    #[test]
+    fn float_reduction_is_order_stable() {
+        // Summing the per-item results in index order must give the
+        // serial sum bit-for-bit — the determinism contract callers
+        // rely on for σ merges.
+        let items: Vec<f64> = (1..500).map(|i| 1.0 / i as f64).collect();
+        let serial: f64 = items.iter().map(|&x| x.sin()).sum();
+        for width in [2, 5, 13] {
+            let par: f64 = par_map_with(width, &items, |&x| x.sin()).iter().sum();
+            assert_eq!(serial.to_bits(), par.to_bits(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn width_is_clamped_not_trusted() {
+        // More workers than tasks must not deadlock or drop tasks.
+        let out = par_map_with(usize::MAX, &[1u8, 2, 3], |&x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn threads_env_is_a_valid_width() {
+        let t = threads();
+        assert!((1..=MAX_THREADS).contains(&t));
+    }
+}

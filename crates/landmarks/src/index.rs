@@ -8,15 +8,15 @@
 //! Proposition 4 has both terms available.
 //!
 //! Preprocessing is embarrassingly parallel across landmarks;
-//! [`LandmarkIndex::build_parallel`] fans out over crossbeam scoped
-//! threads sharing one read-only [`Propagator`].
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! [`LandmarkIndex::build_parallel`] fans out one propagation per
+//! landmark over the [`fui_exec`] pool, sharing one read-only
+//! [`Propagator`], and merges the entries **in landmark order** — the
+//! pool's index-ordered reduction makes the index bit-identical to
+//! [`LandmarkIndex::build`] at every thread count.
 
 use fui_core::{PropagateOpts, Propagator};
 use fui_graph::NodeId;
 use fui_taxonomy::{Topic, NUM_TOPICS};
-use parking_lot::Mutex;
 
 /// A node stored in a landmark's inverted lists with both composition
 /// ingredients.
@@ -76,35 +76,30 @@ impl LandmarkIndex {
         Self::assemble(propagator.graph().num_nodes(), landmarks, entries, top_n)
     }
 
-    /// Parallel preprocessing over `threads` crossbeam scoped threads.
+    /// Parallel preprocessing over `threads` workers of the
+    /// [`fui_exec`] pool (one propagation per landmark per worker,
+    /// entries merged in landmark order).
     pub fn build_parallel(
         propagator: &Propagator<'_>,
         landmarks: Vec<NodeId>,
         top_n: usize,
         threads: usize,
     ) -> LandmarkIndex {
-        let threads = threads.max(1).min(landmarks.len().max(1));
-        let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<LandmarkEntry>>> = Mutex::new(vec![None; landmarks.len()]);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= landmarks.len() {
-                        break;
-                    }
-                    let entry = compute_entry(propagator, landmarks[i], top_n);
-                    results.lock()[i] = Some(entry);
-                });
-            }
-        })
-        .expect("landmark preprocessing thread panicked");
-        let entries: Vec<LandmarkEntry> = results
-            .into_inner()
-            .into_iter()
-            .map(|e| e.expect("every landmark processed"))
-            .collect();
+        let entries = fui_exec::par_map_with(threads, &landmarks, |&l| {
+            compute_entry(propagator, l, top_n)
+        });
         Self::assemble(propagator.graph().num_nodes(), landmarks, entries, top_n)
+    }
+
+    /// [`build_parallel`](Self::build_parallel) at the pool width
+    /// configured through `FUI_THREADS` — what production callers and
+    /// the bench harness use.
+    pub fn build_auto(
+        propagator: &Propagator<'_>,
+        landmarks: Vec<NodeId>,
+        top_n: usize,
+    ) -> LandmarkIndex {
+        Self::build_parallel(propagator, landmarks, top_n, fui_exec::threads())
     }
 
     pub(crate) fn assemble(

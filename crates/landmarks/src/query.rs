@@ -98,6 +98,16 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
         }
     }
 
+    /// Answers a batch of independent queries, fanned out over the
+    /// [`fui_exec`] pool (`FUI_THREADS` workers). Results come back in
+    /// query order and each equals the corresponding serial
+    /// [`recommend`](Self::recommend) call exactly — queries only read
+    /// the shared propagator and index, so the batch is
+    /// embarrassingly parallel and thread-count invariant.
+    pub fn recommend_batch(&self, queries: &[(NodeId, Topic)], top_n: usize) -> Vec<ApproxResult> {
+        fui_exec::par_map(queries, |&(u, t)| self.recommend(u, t, top_n))
+    }
+
     /// Top-`n` approximate recommendations for `u` on `t`.
     pub fn recommend(&self, u: NodeId, t: Topic, top_n: usize) -> ApproxResult {
         let _span = fui_obs::span!("landmark.query");
@@ -302,6 +312,48 @@ mod tests {
                 "node {v}: {} vs {expect}",
                 lookup(&mixed, v)
             );
+        }
+    }
+
+    #[test]
+    fn batched_queries_equal_serial_queries() {
+        // Runs under FUI_THREADS=1 and FUI_THREADS=4 in CI: the batch
+        // fan-out must reproduce the serial answers exactly either
+        // way.
+        let d = fui_datagen::label_direct(fui_datagen::twitter::generate(
+            &fui_datagen::TwitterConfig::tiny(),
+        ));
+        let auth = AuthorityIndex::build(&d.graph);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(
+            &d.graph,
+            &auth,
+            &sim,
+            ScoreParams::default(),
+            ScoreVariant::Full,
+        );
+        let landmarks: Vec<NodeId> = (0..10).map(|i| NodeId(i * 31 % 400)).collect();
+        let index = LandmarkIndex::build(&p, landmarks, 50);
+        let approx = ApproxRecommender::new(&p, &index);
+        let queries: Vec<(NodeId, Topic)> = (0..12)
+            .map(|i| {
+                (
+                    NodeId(i * 7 % 400),
+                    Topic::ALL[i as usize % Topic::ALL.len()],
+                )
+            })
+            .collect();
+        let batched = approx.recommend_batch(&queries, 25);
+        assert_eq!(batched.len(), queries.len());
+        for (res, &(u, t)) in batched.iter().zip(&queries) {
+            let serial = approx.recommend(u, t, 25);
+            assert_eq!(res.landmarks_found, serial.landmarks_found);
+            assert_eq!(res.explored, serial.explored);
+            assert_eq!(res.recommendations.len(), serial.recommendations.len());
+            for (a, b) in res.recommendations.iter().zip(&serial.recommendations) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "score drift at {u} {t}");
+            }
         }
     }
 

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""CI gate over fui-bench run manifests (BENCH_<id>.json).
+
+Three subcommands, all reading the JSON manifests the `experiments`
+driver writes with `--manifest`:
+
+  check    Diff a fresh manifest against a committed baseline.
+           Fails if any tier-1-tracked counter drifts (these are
+           deterministic: same seed + scale must reproduce them
+           exactly, whatever FUI_THREADS says) or if a tracked span's
+           wall time regresses by more than --time-tolerance percent.
+
+  equal    Assert two fresh manifests (e.g. FUI_THREADS=1 vs
+           FUI_THREADS=4 runs) agree on every tracked counter — the
+           pipeline proof that the parallel runtime is deterministic.
+
+  speedup  Assert the parallel run beats the serial run on a span's
+           wall time by at least --min-speedup (default 1.5x for
+           table5.preprocess at 4 threads).
+
+Exit codes: 0 pass, 1 gate failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+# Deterministic work counters the gate pins exactly. exec.* queue and
+# steal counters are intentionally absent: they describe scheduling,
+# which legitimately varies with thread count.
+TRACKED_COUNTERS = [
+    "propagate.calls",
+    "propagate.edges_relaxed",
+    "propagate.levels",
+    "landmark.pruned_at",
+    "landmark.composed_pairs",
+    "landmark.query.landmarks_met",
+    "query.candidates",
+]
+
+# Spans whose total wall time the regression check watches.
+TRACKED_SPANS = [
+    "table5.preprocess",
+    "table5.query",
+    "table5.exact",
+]
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_gate: cannot read manifest {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def span_total_ms(manifest, path):
+    for span in manifest.get("spans", []):
+        if span.get("path") == path:
+            return float(span.get("total_ms", 0.0))
+    return None
+
+
+def counter(manifest, name):
+    return manifest.get("counters", {}).get(name)
+
+
+def diff_counters(a, b, label_a, label_b):
+    """Returns a list of human-readable drift messages."""
+    failures = []
+    for name in TRACKED_COUNTERS:
+        va, vb = counter(a, name), counter(b, name)
+        if va is None or vb is None:
+            missing = label_a if va is None else label_b
+            failures.append(f"counter {name}: missing from {missing} manifest")
+        elif va != vb:
+            failures.append(f"counter {name}: {label_a}={va} {label_b}={vb}")
+    return failures
+
+
+def cmd_check(args):
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = diff_counters(baseline, fresh, "baseline", "fresh")
+    if not args.no_time:
+        tolerance = 1.0 + args.time_tolerance / 100.0
+        for path in TRACKED_SPANS:
+            base_ms = span_total_ms(baseline, path)
+            fresh_ms = span_total_ms(fresh, path)
+            if base_ms is None or fresh_ms is None:
+                # A missing span is a structural drift for the
+                # baseline, informational for the fresh run at lower
+                # obs levels.
+                if base_ms is not None and fresh_ms is None:
+                    failures.append(f"span {path}: missing from fresh manifest")
+                continue
+            if base_ms > 0 and fresh_ms > base_ms * tolerance:
+                failures.append(
+                    f"span {path}: {fresh_ms:.3f} ms vs baseline "
+                    f"{base_ms:.3f} ms (+{(fresh_ms / base_ms - 1) * 100:.1f}% "
+                    f"> {args.time_tolerance:.0f}% tolerance)"
+                )
+    report("check", failures, f"{args.fresh} vs {args.baseline}")
+
+
+def cmd_equal(args):
+    a, b = load(args.a), load(args.b)
+    failures = diff_counters(a, b, "A", "B")
+    report("equal", failures, f"{args.a} (A) vs {args.b} (B)")
+
+
+def cmd_speedup(args):
+    serial = load(args.serial)
+    parallel = load(args.parallel)
+    serial_ms = span_total_ms(serial, args.span)
+    parallel_ms = span_total_ms(parallel, args.span)
+    failures = []
+    if serial_ms is None or parallel_ms is None:
+        missing = args.serial if serial_ms is None else args.parallel
+        failures.append(f"span {args.span}: missing from {missing}")
+    elif parallel_ms <= 0:
+        failures.append(f"span {args.span}: parallel total is {parallel_ms} ms")
+    else:
+        ratio = serial_ms / parallel_ms
+        detail = (
+            f"span {args.span}: serial {serial_ms:.3f} ms / "
+            f"parallel {parallel_ms:.3f} ms = {ratio:.2f}x"
+        )
+        if ratio < args.min_speedup:
+            failures.append(f"{detail} < required {args.min_speedup:.2f}x")
+        else:
+            print(f"bench_gate speedup OK: {detail}")
+    report("speedup", failures, f"{args.serial} vs {args.parallel}")
+
+
+def report(mode, failures, context):
+    if failures:
+        print(f"bench_gate {mode} FAILED ({context}):", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"bench_gate {mode} OK ({context})")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    check = sub.add_parser("check", help="fresh manifest vs committed baseline")
+    check.add_argument("--fresh", required=True)
+    check.add_argument("--baseline", required=True)
+    check.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=25.0,
+        help="max allowed span wall-time regression, percent (default 25)",
+    )
+    check.add_argument(
+        "--no-time",
+        action="store_true",
+        help="skip the wall-time check (counters only)",
+    )
+    check.set_defaults(func=cmd_check)
+
+    equal = sub.add_parser("equal", help="two manifests agree on tracked counters")
+    equal.add_argument("a")
+    equal.add_argument("b")
+    equal.set_defaults(func=cmd_equal)
+
+    speedup = sub.add_parser("speedup", help="parallel beats serial on a span")
+    speedup.add_argument("--serial", required=True)
+    speedup.add_argument("--parallel", required=True)
+    speedup.add_argument("--span", default="table5.preprocess")
+    speedup.add_argument("--min-speedup", type=float, default=1.5)
+    speedup.set_defaults(func=cmd_speedup)
+
+    args = parser.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,10 @@
 //! * [`eval`] — the link-prediction protocol, ranking metrics and
 //!   simulated user studies;
 //! * [`obs`] — metrics counters, latency histograms, RAII spans and
-//!   JSON run manifests (`FUI_OBS=off|counters|full`).
+//!   JSON run manifests (`FUI_OBS=off|counters|full`);
+//! * [`exec`] — the deterministic scoped-thread work pool
+//!   (`FUI_THREADS`, index-ordered reduction: parallel results are
+//!   bit-identical to the serial path at any thread count).
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use fui_baselines as baselines;
 pub use fui_core as core;
 pub use fui_datagen as datagen;
 pub use fui_eval as eval;
+pub use fui_exec as exec;
 pub use fui_graph as graph;
 pub use fui_landmarks as landmarks;
 pub use fui_obs as obs;

@@ -291,7 +291,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Strategy for vectors (see [`vec`]).
+    /// Strategy for vectors (see [`vec`](fn@vec)).
     pub struct VecStrategy<S> {
         elem: S,
         size: Range<usize>,

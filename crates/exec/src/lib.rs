@@ -99,7 +99,8 @@ where
 /// Splits `items` into contiguous chunks of `chunk_size` and maps `f`
 /// over them on the configured pool. `f` receives the chunk's offset
 /// into `items` and the chunk itself; results come back in chunk
-/// order.
+/// order. Panics if `chunk_size` is zero (see
+/// [`par_ranges_with`]).
 pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -125,6 +126,7 @@ where
 /// contiguous ranges of `chunk_size` and maps `f` over them, returning
 /// per-range results in range order. The tool for parallel passes over
 /// dense arrays (per-node scans) without materialising an item slice.
+/// Panics if `chunk_size` is zero (see [`par_ranges_with`]).
 pub fn par_ranges<R, F>(len: usize, chunk_size: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -134,12 +136,20 @@ where
 }
 
 /// [`par_ranges`] with an explicit pool width.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero — a zero chunk can never cover
+/// `0..len`, so a silent fallback would hide the caller's bug.
 pub fn par_ranges_with<R, F>(width: usize, len: usize, chunk_size: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(Range<usize>) -> R + Sync,
 {
-    let chunk_size = chunk_size.max(1);
+    assert!(
+        chunk_size > 0,
+        "par_ranges chunk_size must be positive (got 0 for len {len})"
+    );
     let num_chunks = len.div_ceil(chunk_size);
     run_tasks(width, num_chunks, |c| {
         let start = c * chunk_size;
@@ -256,6 +266,29 @@ mod tests {
         let ranges = par_ranges_with(4, 10, 3, |r| r);
         assert_eq!(ranges, vec![0..3, 3..6, 6..9, 9..10]);
         assert!(par_ranges_with(4, 0, 3, |r| r).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_is_rejected() {
+        // A zero chunk used to be silently coerced to 1, masking the
+        // caller's bug; it is now an explicit contract violation.
+        let _ = par_ranges_with(4, 10, 0, |r| r);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn zero_chunk_size_is_rejected_through_par_chunks() {
+        let items = [1u8, 2, 3];
+        let _ = par_chunks_with(2, &items, 0, |_, sl| sl.to_vec());
+    }
+
+    #[test]
+    fn width_beyond_chunk_count_still_covers_everything() {
+        let items: Vec<usize> = (0..5).collect();
+        let pieces = par_chunks_with(64, &items, 2, |_, sl| sl.to_vec());
+        let flat: Vec<usize> = pieces.into_iter().flatten().collect();
+        assert_eq!(flat, items);
     }
 
     #[test]

@@ -20,6 +20,17 @@ use crate::index::{LandmarkEntry, LandmarkIndex, ScoredNode};
 
 const MAGIC: &[u8; 8] = b"FUILMK1\n";
 
+/// Largest node count a snapshot may declare (2^27 ≈ 134M nodes,
+/// comfortably above Twitter-scale). The decoder allocates two dense
+/// per-node arrays, so the header value must be bounded *before* it is
+/// trusted — a corrupt `u64` would otherwise request terabytes.
+pub const MAX_NODES: usize = 1 << 27;
+
+/// Smallest possible serialised landmark: a `u32` id plus
+/// `NUM_TOPICS + 1` empty lists of one `u32` length each. Used to
+/// bound the declared landmark count by the bytes actually present.
+const MIN_LANDMARK_BYTES: usize = 4 + (NUM_TOPICS + 1) * 4;
+
 /// Errors surfaced while decoding a snapshot.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
@@ -29,6 +40,12 @@ pub enum DecodeError {
     Truncated,
     /// A stored node id exceeds the declared node count.
     NodeOutOfRange(u32),
+    /// A header field declares a value no well-formed snapshot could
+    /// hold (named field, declared value).
+    ImplausibleHeader(&'static str, u64),
+    /// Bytes remained after the declared structure was fully read —
+    /// the snapshot and its framing disagree.
+    TrailingBytes(usize),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -37,6 +54,12 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "not a landmark index snapshot"),
             DecodeError::Truncated => write!(f, "snapshot truncated"),
             DecodeError::NodeOutOfRange(v) => write!(f, "node id {v} out of range"),
+            DecodeError::ImplausibleHeader(field, v) => {
+                write!(f, "implausible header field {field} = {v}")
+            }
+            DecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the declared structure")
+            }
         }
     }
 }
@@ -89,9 +112,24 @@ pub fn decode(mut buf: Bytes) -> Result<(LandmarkIndex, usize), DecodeError> {
     if buf.remaining() < 24 {
         return Err(DecodeError::Truncated);
     }
-    let num_nodes = buf.get_u64_le() as usize;
-    let top_n = buf.get_u64_le() as usize;
-    let count = buf.get_u64_le() as usize;
+    let num_nodes_raw = buf.get_u64_le();
+    if num_nodes_raw > MAX_NODES as u64 {
+        return Err(DecodeError::ImplausibleHeader("num_nodes", num_nodes_raw));
+    }
+    let num_nodes = num_nodes_raw as usize;
+    let top_n_raw = buf.get_u64_le();
+    if top_n_raw > MAX_NODES as u64 {
+        return Err(DecodeError::ImplausibleHeader("top_n", top_n_raw));
+    }
+    let top_n = top_n_raw as usize;
+    // Bound the landmark count by the bytes actually present before
+    // allocating anything sized by it: each landmark occupies at least
+    // MIN_LANDMARK_BYTES, so a larger count cannot be satisfied.
+    let count_raw = buf.get_u64_le();
+    if count_raw > (buf.remaining() / MIN_LANDMARK_BYTES) as u64 {
+        return Err(DecodeError::Truncated);
+    }
+    let count = count_raw as usize;
     let mut landmarks = Vec::with_capacity(count);
     let mut entries = Vec::with_capacity(count);
     for _ in 0..count {
@@ -109,6 +147,9 @@ pub fn decode(mut buf: Bytes) -> Result<(LandmarkIndex, usize), DecodeError> {
         }
         let topo = get_list(&mut buf, num_nodes)?;
         entries.push(LandmarkEntry { recs, topo });
+    }
+    if buf.remaining() > 0 {
+        return Err(DecodeError::TrailingBytes(buf.remaining()));
     }
     Ok((
         LandmarkIndex::assemble(num_nodes, landmarks, entries, top_n),
@@ -212,6 +253,40 @@ mod tests {
             decode(Bytes::from(raw)),
             Err(DecodeError::NodeOutOfRange(_))
         ));
+    }
+
+    #[test]
+    fn absurd_landmark_count_rejected_without_allocating() {
+        let (index, n) = sample_index();
+        let mut raw = encode(&index, n).to_vec();
+        // num_landmarks lives at bytes 24..32 of the header.
+        raw[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            decode(Bytes::from(raw)).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn absurd_num_nodes_rejected() {
+        let (index, n) = sample_index();
+        let mut raw = encode(&index, n).to_vec();
+        raw[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            decode(Bytes::from(raw)).unwrap_err(),
+            DecodeError::ImplausibleHeader("num_nodes", u64::MAX)
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let (index, n) = sample_index();
+        let mut raw = encode(&index, n).to_vec();
+        raw.extend_from_slice(&[0xAB; 5]);
+        assert_eq!(
+            decode(Bytes::from(raw)).unwrap_err(),
+            DecodeError::TrailingBytes(5)
+        );
     }
 
     #[test]

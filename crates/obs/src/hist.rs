@@ -170,6 +170,81 @@ mod tests {
         assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
     }
 
+    /// Reference quantile with the histogram's own rank semantics:
+    /// 1-based `ceil(q·n)` clamped into range, over the sorted data.
+    fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+        let n = sorted.len() as u64;
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+
+    #[test]
+    fn quantiles_track_a_sorted_reference() {
+        // Skewed pseudo-random data (deterministic LCG; no RNG dep):
+        // the histogram answer must be ≤ the true order statistic and
+        // within the documented 25 % log-bucket error below it.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut values: Vec<u64> = (0..5000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) % 1_000_000 + 1
+            })
+            .collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.50, 0.95, 0.99] {
+            let exact = reference_quantile(&values, q);
+            let approx = h.quantile(q);
+            assert!(approx <= exact, "q{q}: {approx} above true {exact}");
+            assert!(
+                approx as f64 >= exact as f64 * 0.8,
+                "q{q}: {approx} more than 25 % below true {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let h = Histogram::new();
+        h.record(777);
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            let got = h.quantile(q);
+            // 777 sits in a log bucket; the answer is its lower bound,
+            // capped at the exact max.
+            assert!(got <= 777 && got as f64 >= 777.0 * 0.8, "q{q} = {got}");
+        }
+        let s = h.summary();
+        assert_eq!(s.max, 777);
+        assert_eq!(s.p50, s.p99);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_one_value() {
+        let h = Histogram::new();
+        for _ in 0..1234 {
+            h.record(42);
+        }
+        let s = h.summary();
+        // One bucket holds everything: every quantile is that bucket's
+        // lower bound capped at the exact max — identical across q.
+        assert_eq!(s.p50, s.p95);
+        assert_eq!(s.p95, s.p99);
+        assert!(s.p99 <= 42 && s.p99 as f64 >= 42.0 * 0.8);
+        assert_eq!(s.max, 42);
+        // Small exact values are represented exactly.
+        let e = Histogram::new();
+        for _ in 0..10 {
+            e.record(3);
+        }
+        assert_eq!(e.quantile(0.5), 3);
+        assert_eq!(e.quantile(0.99), 3);
+    }
+
     #[test]
     fn empty_histogram_reads_zero() {
         let h = Histogram::new();

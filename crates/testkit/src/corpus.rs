@@ -1,0 +1,214 @@
+//! Named corpus presets.
+//!
+//! Each preset draws a small labeled graph of a characteristic shape.
+//! Instances are deliberately tiny (≤ 12 nodes): the exhaustive oracle
+//! enumerates walks, so the corpus trades scale for full coverage of
+//! the shapes the engine must survive — stars, chains, layered DAGs,
+//! dense near-cliques and unconstrained random digraphs.
+//!
+//! All presets are self-loop-free by construction (the graph builder
+//! rejects self-loops outright). The three acyclic presets additionally
+//! guarantee that node 0 has in-degree zero and every edge goes from a
+//! lower to a higher id — the property the exact-cover landmark
+//! placement of [`crate::oracle::check_three_way`] relies on.
+
+use fui_taxonomy::TopicSet;
+
+use crate::gen::{gen_topicset, GraphCase};
+use crate::rng::SeededRng;
+
+/// A corpus shape to draw instances from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// Node 0 follows every other node directly (acyclic, depth 1).
+    Star,
+    /// A single path `0 → 1 → ⋯ → n-1` (acyclic, maximal depth).
+    Chain,
+    /// Random layered DAG: every edge satisfies `u < v`.
+    Dag,
+    /// Two dense near-clique communities bridged by a few cross edges
+    /// (cyclic, high spectral radius).
+    DenseCommunity,
+    /// Unconstrained random digraph, self-loop-free (cyclic in
+    /// general).
+    Random,
+}
+
+impl Preset {
+    /// All presets, in the order the conformance suite runs them.
+    pub const ALL: [Preset; 5] = [
+        Preset::Star,
+        Preset::Chain,
+        Preset::Dag,
+        Preset::DenseCommunity,
+        Preset::Random,
+    ];
+
+    /// Stable lower-case name used in seed logs and failure messages.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Preset::Star => "star",
+            Preset::Chain => "chain",
+            Preset::Dag => "dag",
+            Preset::DenseCommunity => "dense-community",
+            Preset::Random => "random",
+        }
+    }
+
+    /// Whether instances of this preset are guaranteed acyclic (with
+    /// node 0 of in-degree zero).
+    pub const fn acyclic(self) -> bool {
+        matches!(self, Preset::Star | Preset::Chain | Preset::Dag)
+    }
+}
+
+/// Draws the instance of `preset` for `seed`. Same `(preset, seed)`
+/// pair ⇒ identical instance, the contract the seed log depends on.
+pub fn generate(preset: Preset, seed: u64) -> GraphCase {
+    let mut rng = SeededRng::new(seed);
+    let r = &mut rng;
+    match preset {
+        Preset::Star => {
+            let n = 3 + r.below(8) as usize; // 3..=10
+            let labels = gen_labels(r, n);
+            let edges = (1..n as u32).map(|v| (0, v, gen_topicset(r))).collect();
+            case(preset, seed, n, labels, edges, true)
+        }
+        Preset::Chain => {
+            let n = 2 + r.below(9) as usize; // 2..=10
+            let labels = gen_labels(r, n);
+            let edges = (0..n as u32 - 1)
+                .map(|u| (u, u + 1, gen_topicset(r)))
+                .collect();
+            case(preset, seed, n, labels, edges, true)
+        }
+        Preset::Dag => {
+            let n = 4 + r.below(7) as usize; // 4..=10
+            let labels = gen_labels(r, n);
+            let mut edges = Vec::new();
+            // Spine keeps node 0 connected to the rest; extra forward
+            // edges add diamond-shaped walk families.
+            for v in 1..n as u32 {
+                let u = r.below(u64::from(v)) as u32;
+                edges.push((u, v, gen_topicset(r)));
+            }
+            let extra = r.below(n as u64) as usize;
+            for _ in 0..extra {
+                let u = r.below(n as u64 - 1) as u32;
+                let v = u + 1 + r.below(n as u64 - 1 - u as u64) as u32;
+                edges.push((u, v, gen_topicset(r)));
+            }
+            case(preset, seed, n, labels, edges, true)
+        }
+        Preset::DenseCommunity => {
+            let half = 3 + r.below(2) as usize; // communities of 3..=4
+            let n = half * 2;
+            let labels = gen_labels(r, n);
+            let mut edges = Vec::new();
+            for c in 0..2u32 {
+                let base = c * half as u32;
+                for i in 0..half as u32 {
+                    for j in 0..half as u32 {
+                        if i != j && r.chance(0.8) {
+                            edges.push((base + i, base + j, gen_topicset(r)));
+                        }
+                    }
+                }
+            }
+            // A couple of bridges in each direction.
+            for _ in 0..2 {
+                let a = r.below(half as u64) as u32;
+                let b = half as u32 + r.below(half as u64) as u32;
+                edges.push((a, b, gen_topicset(r)));
+                let c = half as u32 + r.below(half as u64) as u32;
+                let d = r.below(half as u64) as u32;
+                edges.push((c, d, gen_topicset(r)));
+            }
+            case(preset, seed, n, labels, edges, false)
+        }
+        Preset::Random => {
+            let n = 3 + r.below(8) as usize; // 3..=10
+            let labels = gen_labels(r, n);
+            let m = n + r.below(2 * n as u64) as usize;
+            let mut edges = Vec::new();
+            for _ in 0..m {
+                let u = r.below(n as u64) as u32;
+                let mut v = r.below(n as u64) as u32;
+                if v == u {
+                    v = (v + 1) % n as u32; // never a self-loop
+                }
+                edges.push((u, v, gen_topicset(r)));
+            }
+            case(preset, seed, n, labels, edges, false)
+        }
+    }
+}
+
+fn gen_labels(rng: &mut SeededRng, n: usize) -> Vec<TopicSet> {
+    (0..n).map(|_| gen_topicset(rng)).collect()
+}
+
+fn case(
+    preset: Preset,
+    seed: u64,
+    num_nodes: usize,
+    node_labels: Vec<TopicSet>,
+    edges: Vec<(u32, u32, TopicSet)>,
+    acyclic: bool,
+) -> GraphCase {
+    GraphCase {
+        preset: preset.name(),
+        seed,
+        num_nodes,
+        node_labels,
+        edges,
+        acyclic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_and_are_self_loop_free() {
+        for preset in Preset::ALL {
+            for seed in 0..32u64 {
+                let case = generate(preset, seed);
+                assert!(
+                    case.edges.iter().all(|&(u, v, _)| u != v),
+                    "{preset:?} seed {seed} drew a self-loop"
+                );
+                let g = case.graph(); // builder would panic on a loop
+                g.check_consistency().unwrap();
+                assert!(g.num_nodes() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_presets_are_forward_only_with_free_source() {
+        for preset in [Preset::Star, Preset::Chain, Preset::Dag] {
+            for seed in 0..32u64 {
+                let case = generate(preset, seed);
+                assert!(case.acyclic);
+                for &(u, v, _) in &case.edges {
+                    assert!(u < v, "{preset:?} seed {seed}: backward edge {u}->{v}");
+                }
+                let g = case.graph();
+                assert_eq!(g.in_degree(fui_graph::NodeId(0)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for preset in Preset::ALL {
+            let a = generate(preset, 1234);
+            let b = generate(preset, 1234);
+            assert_eq!(a.num_nodes, b.num_nodes);
+            assert_eq!(a.node_labels, b.node_labels);
+            assert_eq!(a.edges, b.edges);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Deterministic byte-corruption helpers for decoder robustness tests.
+//!
+//! Everything here is pure data surgery — no RNG state beyond the
+//! caller's [`crate::SeededRng`] — so a failing corruption is
+//! reproducible from the seed alone. The landmark snapshot fuzz tests
+//! drive these against [`fui_landmarks::persist::decode`], which must
+//! answer every corrupted input with an `Err`, never a panic or an
+//! attacker-sized allocation.
+
+use crate::rng::SeededRng;
+
+/// `max_cuts` truncation points of `data`, evenly spaced and always
+/// including the empty prefix and the one-byte-short prefix (the two
+/// classic decoder killers).
+pub fn truncations(data: &[u8], max_cuts: usize) -> Vec<Vec<u8>> {
+    let mut cuts: Vec<usize> = vec![0];
+    if data.len() > 1 {
+        cuts.push(data.len() - 1);
+    }
+    let step = (data.len() / max_cuts.max(1)).max(1);
+    cuts.extend((step..data.len()).step_by(step));
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.into_iter().map(|c| data[..c].to_vec()).collect()
+}
+
+/// `data` with bit `bit` flipped (`bit` counts from the start,
+/// little-endian within each byte).
+pub fn flip_bit(data: &[u8], bit: usize) -> Vec<u8> {
+    let mut out = data.to_vec();
+    out[bit / 8] ^= 1 << (bit % 8);
+    out
+}
+
+/// `count` seeded single-bit corruptions of `data`.
+pub fn bit_flips(data: &[u8], rng: &mut SeededRng, count: usize) -> Vec<Vec<u8>> {
+    (0..count)
+        .map(|_| flip_bit(data, rng.below(data.len() as u64 * 8) as usize))
+        .collect()
+}
+
+/// `data` with the 8 bytes at `offset` overwritten by `v`
+/// (little-endian) — the tool for planting absurd length/count fields.
+pub fn splice_u64(data: &[u8], offset: usize, v: u64) -> Vec<u8> {
+    let mut out = data.to_vec();
+    out[offset..offset + 8].copy_from_slice(&v.to_le_bytes());
+    out
+}
+
+/// `data` with the 4 bytes at `offset` overwritten by `v`
+/// (little-endian).
+pub fn splice_u32(data: &[u8], offset: usize, v: u32) -> Vec<u8> {
+    let mut out = data.to_vec();
+    out[offset..offset + 4].copy_from_slice(&v.to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncations_cover_the_edges() {
+        let data = [7u8; 100];
+        let cuts = truncations(&data, 10);
+        assert!(cuts.iter().any(|c| c.is_empty()));
+        assert!(cuts.iter().any(|c| c.len() == 99));
+        assert!(cuts.iter().all(|c| c.len() < data.len()));
+        assert!(cuts.len() >= 10);
+    }
+
+    #[test]
+    fn flip_bit_round_trips() {
+        let data = [0u8, 0xFF, 0x5A];
+        for bit in 0..data.len() * 8 {
+            let once = flip_bit(&data, bit);
+            assert_ne!(once, data);
+            assert_eq!(flip_bit(&once, bit), data);
+        }
+    }
+
+    #[test]
+    fn splices_write_little_endian() {
+        let data = [0u8; 16];
+        let out = splice_u64(&data, 4, 0x0102_0304_0506_0708);
+        assert_eq!(out[4], 0x08);
+        assert_eq!(out[11], 0x01);
+        let out = splice_u32(&data, 0, 0xAABB_CCDD);
+        assert_eq!(out[0], 0xDD);
+        assert_eq!(out[3], 0xAA);
+    }
+}

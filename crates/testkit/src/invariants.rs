@@ -1,0 +1,328 @@
+//! Metamorphic invariants — reusable `Result`-returning assertions.
+//!
+//! Each check states a property the scoring pipeline must satisfy
+//! under a *transformation* of the input rather than against a known
+//! answer:
+//!
+//! * σ and the Katz mass are **monotone** in the decay factors α and β
+//!   (every walk contribution is a product of non-negative factors,
+//!   each non-decreasing in the decays);
+//! * adding an edge can only **add walks**, so the Katz score is
+//!   monotone under edge addition;
+//! * node ids are arbitrary — **relabeling the nodes by a permutation
+//!   permutes the scores** and changes nothing else;
+//! * the Wu–Palmer similarity is a proper similarity: `sim(t,t) = 1`,
+//!   symmetric, and within `[0, 1]`;
+//! * the [`fui_exec`] pool is **width-invariant**: the same computation
+//!   at width 1 and width `N` produces bit-identical results.
+
+use fui_core::{AuthorityIndex, PropagateOpts, Propagator, ScoreParams, ScoreVariant};
+use fui_graph::{NodeId, SocialGraph};
+use fui_landmarks::{persist, LandmarkIndex};
+use fui_taxonomy::{SimMatrix, Taxonomy, Topic};
+
+use crate::gen::GraphCase;
+use crate::rng::SeededRng;
+
+/// Comparison depth of the monotonicity checks (both runs truncate at
+/// the same walk length, so no convergence bound is needed).
+const DEPTH: u32 = 3;
+
+/// Slack for comparisons that are mathematically `≥`: a sum computed
+/// twice with different constants may differ in the last ulps.
+const EPS: f64 = 1e-12;
+
+fn run_at(
+    graph: &SocialGraph,
+    auth: &AuthorityIndex,
+    sim: &SimMatrix,
+    params: ScoreParams,
+    source: NodeId,
+    topics: &[Topic],
+) -> fui_core::Propagation {
+    let p = Propagator::new(graph, auth, sim, params, ScoreVariant::Full);
+    p.propagate(
+        source,
+        topics,
+        PropagateOpts {
+            max_depth: Some(DEPTH),
+            ..Default::default()
+        },
+    )
+}
+
+fn fixed_depth_params(alpha: f64, beta: f64) -> ScoreParams {
+    ScoreParams {
+        alpha,
+        beta,
+        tolerance: 1e-300,
+        max_depth: 64,
+    }
+}
+
+/// σ is monotone non-decreasing in α (β and everything else fixed).
+pub fn check_sigma_monotone_alpha(case: &GraphCase) -> Result<(), String> {
+    check_monotone(case, |lo, hi| {
+        (fixed_depth_params(lo, 0.3), fixed_depth_params(hi, 0.3))
+    })
+}
+
+/// σ is monotone non-decreasing in β (α fixed).
+pub fn check_sigma_monotone_beta(case: &GraphCase) -> Result<(), String> {
+    check_monotone(case, |lo, hi| {
+        (fixed_depth_params(0.7, lo), fixed_depth_params(0.7, hi))
+    })
+}
+
+fn check_monotone(
+    case: &GraphCase,
+    params_pair: impl Fn(f64, f64) -> (ScoreParams, ScoreParams),
+) -> Result<(), String> {
+    let graph = case.graph();
+    let auth = AuthorityIndex::build(&graph);
+    let sim = SimMatrix::opencalais();
+    let mut rng = SeededRng::new(case.seed.rotate_left(5));
+    let lo = rng.f64_range(0.1, 0.5);
+    let hi = lo + rng.f64_range(0.1, 0.4);
+    let (p_lo, p_hi) = params_pair(lo, hi);
+    let source = NodeId(rng.below(graph.num_nodes() as u64) as u32);
+    let topics = [Topic::Technology, Topic::Social];
+    let r_lo = run_at(&graph, &auth, &sim, p_lo, source, &topics);
+    let r_hi = run_at(&graph, &auth, &sim, p_hi, source, &topics);
+    for v in graph.nodes() {
+        for &t in &topics {
+            let (a, b) = (r_lo.sigma(v, t), r_hi.sigma(v, t));
+            if b < a - EPS {
+                return Err(format!(
+                    "sigma not monotone at node {v} topic {t}: {a} (decay {lo}) \
+                     > {b} (decay {hi}) ({})",
+                    case.repro()
+                ));
+            }
+        }
+        if r_hi.topo_beta(v) < r_lo.topo_beta(v) - EPS {
+            return Err(format!(
+                "topo_beta not monotone at node {v} ({})",
+                case.repro()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Adding one edge never lowers any node's Katz mass (it only adds
+/// walks), and never lowers σ either — all contributions are
+/// non-negative.
+pub fn check_katz_monotone_edge_addition(case: &GraphCase) -> Result<(), String> {
+    let graph = case.graph();
+    let n = graph.num_nodes();
+    let mut rng = SeededRng::new(case.seed.rotate_left(9));
+    // Find a pair (u, v) with no u→v edge; a complete digraph has no
+    // room to grow, so the property holds vacuously.
+    let mut missing = None;
+    'search: for _ in 0..4 * n * n {
+        let u = NodeId(rng.below(n as u64) as u32);
+        let v = NodeId(rng.below(n as u64) as u32);
+        if u != v && !graph.followees(u).contains(&v) {
+            missing = Some((u, v));
+            break 'search;
+        }
+    }
+    let Some((u, v)) = missing else {
+        return Ok(());
+    };
+    let grown = graph.with_edges(&[(u, v, crate::gen::gen_topicset(&mut rng))]);
+    let params = fixed_depth_params(0.7, 0.3);
+    let source = NodeId(rng.below(n as u64) as u32);
+    let topics = [Topic::Technology];
+    // Authority is rebuilt per graph: the new edge changes follower
+    // counts, which may *lower* σ elsewhere through normalisation —
+    // the pure-topology Katz mass is the quantity with the clean
+    // guarantee, so that is what the invariant pins.
+    let auth_before = AuthorityIndex::build(&graph);
+    let auth_after = AuthorityIndex::build(&grown);
+    let sim = SimMatrix::opencalais();
+    let before = run_at(&graph, &auth_before, &sim, params, source, &topics);
+    let after = run_at(&grown, &auth_after, &sim, params, source, &topics);
+    for w in graph.nodes() {
+        if after.topo_beta(w) < before.topo_beta(w) - EPS {
+            return Err(format!(
+                "katz mass dropped after adding edge {u}->{v}: node {w} \
+                 {} -> {} ({})",
+                before.topo_beta(w),
+                after.topo_beta(w),
+                case.repro()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Relabeling the nodes by a permutation permutes the scores: running
+/// from `π(source)` on the permuted graph yields `σ'(π(v)) = σ(v)` for
+/// every node and topic.
+pub fn check_permutation_invariance(case: &GraphCase) -> Result<(), String> {
+    let mut rng = SeededRng::new(case.seed.rotate_left(13));
+    let n = case.num_nodes;
+    // A seeded Fisher–Yates permutation of the node ids.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.below(i as u64 + 1) as usize);
+    }
+    let mut permuted = case.clone();
+    permuted.node_labels = vec![Default::default(); n];
+    for (v, &l) in case.node_labels.iter().enumerate() {
+        permuted.node_labels[perm[v] as usize] = l;
+    }
+    permuted.edges = case
+        .edges
+        .iter()
+        .map(|&(u, v, l)| (perm[u as usize], perm[v as usize], l))
+        .collect();
+    permuted.acyclic = false; // forward-edge ordering no longer holds
+
+    let params = fixed_depth_params(0.8, 0.25);
+    let sim = SimMatrix::opencalais();
+    let g1 = case.graph();
+    let g2 = permuted.graph();
+    let a1 = AuthorityIndex::build(&g1);
+    let a2 = AuthorityIndex::build(&g2);
+    let source = NodeId(rng.below(n as u64) as u32);
+    let topics = [Topic::Technology, Topic::Business];
+    let r1 = run_at(&g1, &a1, &sim, params, source, &topics);
+    let r2 = run_at(
+        &g2,
+        &a2,
+        &sim,
+        params,
+        NodeId(perm[source.index()]),
+        &topics,
+    );
+    for v in g1.nodes() {
+        let pv = NodeId(perm[v.index()]);
+        for &t in &topics {
+            let (a, b) = (r1.sigma(v, t), r2.sigma(pv, t));
+            if (a - b).abs() > EPS {
+                return Err(format!(
+                    "permutation broke sigma at node {v} (image {pv}) topic {t}: \
+                     {a} vs {b} ({})",
+                    case.repro()
+                ));
+            }
+        }
+        if (r1.topo_beta(v) - r2.topo_beta(pv)).abs() > EPS {
+            return Err(format!(
+                "permutation broke topo_beta at node {v} ({})",
+                case.repro()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The Wu–Palmer similarity is a proper similarity measure:
+/// `sim(t,t) = 1`, symmetric, and within `[0, 1]` — both on the
+/// [`Taxonomy`] directly and through the precomputed [`SimMatrix`].
+pub fn check_similarity_axioms() -> Result<(), String> {
+    let tax = Taxonomy::opencalais();
+    let m = SimMatrix::opencalais();
+    for a in Topic::ALL {
+        let self_sim = tax.wu_palmer(a, a);
+        if (self_sim - 1.0).abs() > EPS {
+            return Err(format!("wu_palmer({a},{a}) = {self_sim}, expected 1"));
+        }
+        if (m.sim(a, a) - 1.0).abs() > EPS {
+            return Err(format!(
+                "sim matrix ({a},{a}) = {}, expected 1",
+                m.sim(a, a)
+            ));
+        }
+        for b in Topic::ALL {
+            let (ab, ba) = (tax.wu_palmer(a, b), tax.wu_palmer(b, a));
+            if (ab - ba).abs() > EPS {
+                return Err(format!(
+                    "wu_palmer asymmetric: ({a},{b})={ab} ({b},{a})={ba}"
+                ));
+            }
+            if !(0.0..=1.0).contains(&ab) {
+                return Err(format!("wu_palmer({a},{b}) = {ab} outside [0,1]"));
+            }
+            if (m.sim(a, b) - m.sim(b, a)).abs() > EPS {
+                return Err(format!("sim matrix asymmetric at ({a},{b})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Width-invariance through the [`fui_exec`] pool: the landmark
+/// preprocessing fanned out at width 1 and width `n` must serialise to
+/// **byte-identical** snapshots, and a plain `par_map` must return
+/// bit-identical floats. (Cross-process `FUI_THREADS=1` vs `N`
+/// equality is enforced by the CI conformance job; this in-process
+/// check covers explicit widths.)
+pub fn check_pool_width_invariance(case: &GraphCase, width: usize) -> Result<(), String> {
+    let graph = case.graph();
+    let n = graph.num_nodes();
+    let auth = AuthorityIndex::build(&graph);
+    let sim = SimMatrix::opencalais();
+    let params = fixed_depth_params(0.8, 0.2);
+    let p = Propagator::new(&graph, &auth, &sim, params, ScoreVariant::Full);
+    let landmarks: Vec<NodeId> = graph.nodes().step_by(2).collect();
+    let serial = LandmarkIndex::build_parallel(&p, landmarks.clone(), n, 1);
+    let wide = LandmarkIndex::build_parallel(&p, landmarks, n, width);
+    let bytes_serial = persist::encode(&serial, n);
+    let bytes_wide = persist::encode(&wide, n);
+    if bytes_serial.as_ref() != bytes_wide.as_ref() {
+        return Err(format!(
+            "landmark build diverges between width 1 and width {width} \
+             ({})",
+            case.repro()
+        ));
+    }
+    let sources: Vec<NodeId> = graph.nodes().collect();
+    let sig = |width| {
+        fui_exec::par_map_with(width, &sources, |&s| {
+            let r = p.propagate(s, &[Topic::Technology], PropagateOpts::default());
+            (0..n as u32)
+                .map(|v| r.sigma(NodeId(v), Topic::Technology).to_bits())
+                .collect::<Vec<u64>>()
+        })
+    };
+    if sig(1) != sig(width) {
+        return Err(format!(
+            "par_map sigma bits diverge between width 1 and {width} ({})",
+            case.repro()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{self, Preset};
+
+    #[test]
+    fn invariants_hold_on_a_seed_sweep() {
+        for preset in Preset::ALL {
+            for seed in 0..6u64 {
+                let case = corpus::generate(preset, seed);
+                for (name, r) in [
+                    ("alpha", check_sigma_monotone_alpha(&case)),
+                    ("beta", check_sigma_monotone_beta(&case)),
+                    ("katz-edge", check_katz_monotone_edge_addition(&case)),
+                    ("permutation", check_permutation_invariance(&case)),
+                    ("pool", check_pool_width_invariance(&case, 4)),
+                ] {
+                    r.unwrap_or_else(|e| panic!("{name} on {preset:?}/{seed}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_axioms_hold() {
+        check_similarity_axioms().unwrap();
+    }
+}

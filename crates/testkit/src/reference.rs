@@ -1,0 +1,219 @@
+//! Independent re-derivation of the authority normalizer, with
+//! deliberate mutations — the harness's teeth.
+//!
+//! A differential oracle is only trustworthy if it *would* catch a
+//! bug. This module re-derives the Section 3.2 authority score
+//!
+//! ```text
+//! auth(u, t) = |Γu(t)| / |Γu| · log(1 + |Γu(t)|) / log(1 + max_v |Γv(t)|)
+//! ```
+//!
+//! straight from the in-edges, and can inject a classic off-by-one
+//! into that copy ([`Mutation`]). [`check_authority`] compares the
+//! copy against the production [`AuthorityIndex`]; the conformance
+//! suite asserts the unmutated copy agrees everywhere **and** that
+//! every mutation is caught on every instance that has any authority
+//! mass at all — a mutation surviving would mean the oracle is blind
+//! to exactly the class of bug it exists to catch.
+
+use fui_core::AuthorityIndex;
+use fui_graph::SocialGraph;
+use fui_taxonomy::{Topic, NUM_TOPICS};
+
+/// A deliberate bug injected into the reference normalizer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Faithful re-derivation; must match the production index.
+    None,
+    /// `log(2 + max)` instead of `log(1 + max)` in the global
+    /// denominator — deflates every non-zero score.
+    GlobalDenominatorOffByOne,
+    /// `|Γu(t)| + 1` in the local numerator — inflates specialisation.
+    LocalNumeratorOffByOne,
+    /// Drops the per-topic maximum of the last node — wrong whenever
+    /// the last node holds a topic's maximum.
+    MaxScanSkipsLastNode,
+}
+
+impl Mutation {
+    /// The injectable bugs (everything but [`Mutation::None`]).
+    pub const BUGS: [Mutation; 3] = [
+        Mutation::GlobalDenominatorOffByOne,
+        Mutation::LocalNumeratorOffByOne,
+        Mutation::MaxScanSkipsLastNode,
+    ];
+}
+
+/// Re-derives the full authority table (`out[v * NUM_TOPICS + t]`),
+/// optionally with a [`Mutation`] applied.
+pub fn reference_authority(graph: &SocialGraph, mutation: Mutation) -> Vec<f64> {
+    let n = graph.num_nodes();
+    let mut followers = vec![0u32; n * NUM_TOPICS];
+    for v in graph.nodes() {
+        for e in graph.in_edges(v) {
+            for t in e.labels.iter() {
+                followers[v.index() * NUM_TOPICS + t.index()] += 1;
+            }
+        }
+    }
+    let max_scan_end = if mutation == Mutation::MaxScanSkipsLastNode {
+        n.saturating_sub(1)
+    } else {
+        n
+    };
+    let mut maxima = [0u32; NUM_TOPICS];
+    for v in 0..max_scan_end {
+        for t in 0..NUM_TOPICS {
+            maxima[t] = maxima[t].max(followers[v * NUM_TOPICS + t]);
+        }
+    }
+    let mut auth = vec![0.0f64; n * NUM_TOPICS];
+    for v in graph.nodes() {
+        let total = graph.in_degree(v);
+        if total == 0 {
+            continue;
+        }
+        for t in 0..NUM_TOPICS {
+            let on_t = followers[v.index() * NUM_TOPICS + t];
+            if on_t == 0 {
+                continue;
+            }
+            let local_numerator = match mutation {
+                Mutation::LocalNumeratorOffByOne => on_t + 1,
+                _ => on_t,
+            };
+            let global_base = match mutation {
+                Mutation::GlobalDenominatorOffByOne => 2 + maxima[t],
+                _ => 1 + maxima[t],
+            };
+            let local = f64::from(local_numerator) / total as f64;
+            let global = f64::from(1 + on_t).ln() / f64::from(global_base).ln();
+            auth[v.index() * NUM_TOPICS + t] = local * global;
+        }
+    }
+    auth
+}
+
+/// Compares the (possibly mutated) reference table against the
+/// production [`AuthorityIndex`]; `Err` carries the first divergence.
+pub fn check_authority(graph: &SocialGraph, mutation: Mutation) -> Result<(), String> {
+    let index = AuthorityIndex::build(graph);
+    let reference = reference_authority(graph, mutation);
+    for v in graph.nodes() {
+        for t in Topic::ALL {
+            let got = index.auth(v, t);
+            let expect = reference[v.index() * NUM_TOPICS + t.index()];
+            if (got - expect).abs() > 1e-12 {
+                return Err(format!(
+                    "authority mismatch at node {v} topic {t}: \
+                     index={got} reference({mutation:?})={expect}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Whether the graph has any authority mass at all — a mutation can
+/// only be observable where some score is non-zero.
+pub fn has_authority_mass(graph: &SocialGraph) -> bool {
+    let index = AuthorityIndex::build(graph);
+    graph
+        .nodes()
+        .any(|v| Topic::ALL.iter().any(|&t| index.auth(v, t) > 0.0))
+}
+
+/// The mutation sanity check: the faithful copy must agree and every
+/// observable injected bug must be caught.
+pub fn check_mutations_are_caught(graph: &SocialGraph) -> Result<(), String> {
+    check_authority(graph, Mutation::None)
+        .map_err(|e| format!("faithful reference diverges from the index: {e}"))?;
+    if !has_authority_mass(graph) {
+        return Ok(()); // nothing any mutation could perturb
+    }
+    for bug in Mutation::BUGS {
+        if !mutation_is_observable(graph, bug) {
+            continue;
+        }
+        if check_authority(graph, bug).is_ok() {
+            return Err(format!(
+                "oracle is blind: injected {bug:?} but the comparison still \
+                 passed"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Whether `bug` actually changes the reference table on this graph
+/// (e.g. [`Mutation::MaxScanSkipsLastNode`] is a no-op when the last
+/// node holds no per-topic maximum).
+fn mutation_is_observable(graph: &SocialGraph, bug: Mutation) -> bool {
+    let clean = reference_authority(graph, Mutation::None);
+    let mutated = reference_authority(graph, bug);
+    clean
+        .iter()
+        .zip(&mutated)
+        .any(|(a, b)| (a - b).abs() > 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{self, Preset};
+    use fui_graph::{GraphBuilder, NodeId};
+    use fui_taxonomy::TopicSet;
+
+    #[test]
+    fn faithful_copy_matches_on_all_presets() {
+        for preset in Preset::ALL {
+            for seed in 0..16u64 {
+                let g = corpus::generate(preset, seed).graph();
+                check_authority(&g, Mutation::None)
+                    .unwrap_or_else(|e| panic!("{preset:?}/{seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn global_off_by_one_is_always_caught_with_mass() {
+        // log(2+max) != log(1+max) for every max >= 1, so any non-zero
+        // score moves.
+        for preset in Preset::ALL {
+            for seed in 0..16u64 {
+                let g = corpus::generate(preset, seed).graph();
+                if !has_authority_mass(&g) {
+                    continue;
+                }
+                assert!(
+                    check_authority(&g, Mutation::GlobalDenominatorOffByOne).is_err(),
+                    "{preset:?}/{seed}: global off-by-one slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_harness_has_teeth() {
+        for preset in Preset::ALL {
+            for seed in 0..8u64 {
+                let g = corpus::generate(preset, seed).graph();
+                check_mutations_are_caught(&g).unwrap_or_else(|e| panic!("{preset:?}/{seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn max_scan_mutation_observable_when_last_node_is_the_max() {
+        // Node 2 (the last) is the unique technology maximum.
+        let mut b = GraphBuilder::new();
+        let n: Vec<NodeId> = (0..3).map(|_| b.add_node(TopicSet::empty())).collect();
+        let tech = TopicSet::single(Topic::Technology);
+        b.add_edge(n[0], n[2], tech);
+        b.add_edge(n[1], n[2], tech);
+        b.add_edge(n[0], n[1], tech);
+        let g = b.build();
+        assert!(mutation_is_observable(&g, Mutation::MaxScanSkipsLastNode));
+        assert!(check_authority(&g, Mutation::MaxScanSkipsLastNode).is_err());
+    }
+}

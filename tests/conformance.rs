@@ -1,0 +1,126 @@
+//! Seeded differential conformance suite.
+//!
+//! Drives `fui-testkit`'s oracle over every corpus preset: each case
+//! computes σ exhaustively, via the propagation engine, and (on
+//! acyclic instances) via an exact-cover landmark placement, and the
+//! three must agree to 1e-9 with identical top-k orderings.
+//!
+//! Every case seed derives from one run seed, overridable with
+//! `FUI_TESTKIT_SEED` (decimal or `0x`-hex). Outcomes are logged to a
+//! `BENCH_conformance*.json` manifest under `target/conformance/`
+//! *before* any assertion fires, so a red run always ships the exact
+//! seeds needed to replay it:
+//!
+//! ```text
+//! FUI_TESTKIT_SEED=0x1234 cargo test --test conformance
+//! ```
+
+use std::path::PathBuf;
+
+use fui_testkit::corpus::{self, Preset};
+use fui_testkit::rng::derive_seed;
+use fui_testkit::{gen, invariants, oracle, reference, SeedLog};
+
+/// Default run seed; CI overrides via `FUI_TESTKIT_SEED` when hunting.
+const DEFAULT_RUN_SEED: u64 = 0xF01D_1FFE_DB20_1600;
+
+/// Differential cases per preset; 5 presets × 48 = 240 total cases,
+/// above the 200-case floor the suite promises.
+const CASES_PER_PRESET: u64 = 48;
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from("target").join("conformance")
+}
+
+/// Runs `check` over `cases_per_preset` seeded cases per preset,
+/// minimizing any failure and writing the seed-log manifest before
+/// panicking.
+fn run_suite(
+    suite: &str,
+    cases_per_preset: u64,
+    check: impl Fn(&gen::GraphCase) -> Result<(), String>,
+) -> usize {
+    let run_seed = fui_testkit::seedlog::run_seed_from_env(DEFAULT_RUN_SEED);
+    let mut log = SeedLog::new(suite, run_seed);
+    for (stream, &preset) in Preset::ALL.iter().enumerate() {
+        for i in 0..cases_per_preset {
+            let seed = derive_seed(run_seed, stream as u64, i);
+            let case = corpus::generate(preset, seed);
+            let mut result = check(&case);
+            if let Err(full) = &result {
+                // Shrink to the smallest failing instance; report both
+                // the original and the minimized divergence.
+                let (small, small_err) = gen::minimize(&case, &check);
+                result = Err(format!(
+                    "{full}\nminimized to {} nodes / {} edges ({}): {small_err}",
+                    small.num_nodes,
+                    small.edges.len(),
+                    small.repro(),
+                ));
+            }
+            log.record(&case, &result);
+        }
+    }
+    let path = log
+        .write_manifest(&manifest_dir())
+        .expect("write conformance manifest");
+    let failures = log.failures();
+    assert!(
+        failures.is_empty(),
+        "{suite}: {}/{} cases diverged (run_seed={run_seed:#018x}, \
+         replay keys: {}; manifest: {}):\n{}",
+        failures.len(),
+        log.len(),
+        log.failing_keys(),
+        path.display(),
+        failures[0].error.as_deref().unwrap_or(""),
+    );
+    log.len()
+}
+
+/// The tentpole: 240 seeded three-way differential cases.
+#[test]
+fn differential_oracle_240_cases() {
+    let cases = run_suite("conformance", CASES_PER_PRESET, oracle::run_case_checks);
+    assert!(cases >= 200, "suite shrank below the 200-case floor");
+}
+
+/// Metamorphic invariants on a second, independent sweep: σ monotone
+/// in α and β, Katz monotone under edge addition, permutation
+/// invariance of node relabeling.
+#[test]
+fn metamorphic_invariants() {
+    run_suite("conformance_invariants", CASES_PER_PRESET, |case| {
+        invariants::check_sigma_monotone_alpha(case)?;
+        invariants::check_sigma_monotone_beta(case)?;
+        invariants::check_katz_monotone_edge_addition(case)?;
+        invariants::check_permutation_invariance(case)
+    });
+}
+
+/// Taxonomy axioms: `sim(t,t) = 1`, Wu–Palmer symmetry, range [0,1].
+#[test]
+fn similarity_axioms() {
+    invariants::check_similarity_axioms().unwrap();
+}
+
+/// Serial vs parallel landmark preprocessing must byte-match, and
+/// `par_map` σ computations must be bit-identical across widths.
+/// (The CI conformance job additionally runs the whole suite under
+/// `FUI_THREADS=1` and `FUI_THREADS=4`.)
+#[test]
+fn pool_width_invariance() {
+    run_suite("conformance_width", 12, |case| {
+        invariants::check_pool_width_invariance(case, 4)
+    });
+}
+
+/// Mutation sanity: a deliberate off-by-one injected into a copy of
+/// the authority normalizer must be *caught* by the oracle on every
+/// instance where it is observable — proof the harness has teeth.
+#[test]
+fn mutation_check_has_teeth() {
+    run_suite("conformance_mutation", 24, |case| {
+        reference::check_mutations_are_caught(&case.graph())
+    });
+}

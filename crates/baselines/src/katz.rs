@@ -122,22 +122,19 @@ impl<'g> KatzScorer<'g> {
         candidates.iter().map(|&v| all[v.index()]).collect()
     }
 
-    /// Top-`n` accounts by Katz score, excluding the source.
+    /// Top-`n` accounts by Katz score, excluding the source. The
+    /// *scoring* stays independent of `fui-core`; only the final
+    /// partial selection reuses the shared top-k helper (whose output
+    /// order is pinned to sort-then-truncate by its own tests).
     pub fn recommend(&self, source: NodeId, n: usize) -> Vec<(NodeId, f64)> {
         let all = self.scores_from(source);
-        let mut v: Vec<(NodeId, f64)> = all
-            .iter()
-            .enumerate()
-            .filter(|&(i, &s)| s > 0.0 && i != source.index())
-            .map(|(i, &s)| (NodeId(i as u32), s))
-            .collect();
-        v.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("scores are not NaN")
-                .then(a.0 .0.cmp(&b.0 .0))
-        });
-        v.truncate(n);
-        v
+        fui_core::topk::select_top_k(
+            n,
+            all.iter()
+                .enumerate()
+                .filter(|&(i, &s)| s > 0.0 && i != source.index())
+                .map(|(i, &s)| (NodeId(i as u32), s)),
+        )
     }
 }
 

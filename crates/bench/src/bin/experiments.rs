@@ -40,6 +40,9 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
         "trank_dt" => vec![("trank_dt".into(), exp::trank_dt::run(scale))],
         "sig" => vec![("sig".into(), exp::sig::run(scale))],
         "popularity" => vec![("popularity".into(), exp::popularity::run(scale))],
+        "propagate_micro" => {
+            vec![("propagate_micro".into(), exp::propagate_micro::run(scale))]
+        }
         "all" => {
             let ids = [
                 "table2",
@@ -57,6 +60,7 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
                 "trank_dt",
                 "sig",
                 "popularity",
+                "propagate_micro",
             ];
             ids.iter().flat_map(|i| run_one(i, scale)).collect()
         }

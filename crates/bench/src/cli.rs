@@ -27,6 +27,7 @@ pub const KNOWN_IDS: &[&str] = &[
     "trank_dt",
     "sig",
     "popularity",
+    "propagate_micro",
     "all",
 ];
 
@@ -36,7 +37,7 @@ usage: experiments [<id>...] [flags]
 
 ids:    table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
         table3 table5 table6 sweep dynamic distrib trank_dt sig
-        popularity all          (default: all)
+        popularity propagate_micro all          (default: all)
 
 flags:  --full            paper-shaped densities (slow)
         --smoke           tiny smoke-test scale

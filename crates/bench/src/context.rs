@@ -1,8 +1,10 @@
 //! Shared scoring context: a (reduced) graph plus the indexes every
 //! method needs, so experiments construct scorers with one-liners.
 
+use std::sync::Arc;
+
 use fui_baselines::{KatzScorer, TwitterRank, TwitterRankConfig};
-use fui_core::{AuthorityIndex, Propagator, ScoreParams, ScoreVariant, TrRecommender};
+use fui_core::{AuthorityIndex, Propagator, ScoreParams, ScoreVariant, SimRowCache, TrRecommender};
 use fui_graph::SocialGraph;
 use fui_taxonomy::SimMatrix;
 
@@ -16,18 +18,32 @@ pub struct Context {
     pub sim: SimMatrix,
     /// Score parameters (paper defaults unless overridden).
     pub params: ScoreParams,
+    /// Per-edge similarity rows, scanned once and shared by every
+    /// scorer this context hands out (all variants of one graph use
+    /// the same rows — the Figure-4 sweeps build four recommenders
+    /// without re-scanning the edge labels).
+    sim_rows: Arc<SimRowCache>,
 }
 
 impl Context {
-    /// Builds the context (authority index construction included).
+    /// Builds the context (authority index and similarity-row cache
+    /// construction included).
     pub fn new(graph: SocialGraph, params: ScoreParams) -> Context {
         let authority = AuthorityIndex::build(&graph);
+        let sim = SimMatrix::opencalais();
+        let sim_rows = Arc::new(SimRowCache::build(&graph, &sim));
         Context {
             graph,
             authority,
-            sim: SimMatrix::opencalais(),
+            sim,
             params,
+            sim_rows,
         }
+    }
+
+    /// The shared similarity-row cache.
+    pub fn sim_rows(&self) -> &Arc<SimRowCache> {
+        &self.sim_rows
     }
 
     /// The full Tr recommender.
@@ -35,23 +51,25 @@ impl Context {
         self.recommender(ScoreVariant::Full)
     }
 
-    /// A recommender for any score variant.
+    /// A recommender for any score variant (shares the context's
+    /// similarity-row cache).
     pub fn recommender(&self, variant: ScoreVariant) -> TrRecommender<'_> {
-        TrRecommender::new(
+        TrRecommender::with_sim_cache(
             &self.graph,
             &self.authority,
-            &self.sim,
+            Arc::clone(&self.sim_rows),
             self.params,
             variant,
         )
     }
 
-    /// A bare propagator (for landmark preprocessing and queries).
+    /// A bare propagator (for landmark preprocessing and queries);
+    /// shares the context's similarity-row cache.
     pub fn propagator(&self, variant: ScoreVariant) -> Propagator<'_> {
-        Propagator::new(
+        Propagator::with_sim_cache(
             &self.graph,
             &self.authority,
-            &self.sim,
+            Arc::clone(&self.sim_rows),
             self.params,
             variant,
         )
@@ -93,5 +111,21 @@ mod tests {
         let _katz = ctx.katz();
         let _trank = ctx.twitterrank(&counts, &weights);
         let _na = ctx.recommender(ScoreVariant::NoAuthority);
+    }
+
+    #[test]
+    fn scorers_share_one_sim_row_cache() {
+        let d = label_direct(twitter::generate(&TwitterConfig::tiny()));
+        let ctx = Context::new(d.graph, ScoreParams::default());
+        let full = ctx.propagator(ScoreVariant::Full);
+        let ablated = ctx.propagator(ScoreVariant::NoAuthority);
+        assert!(Arc::ptr_eq(full.sim_cache(), ctx.sim_rows()));
+        assert!(Arc::ptr_eq(ablated.sim_cache(), ctx.sim_rows()));
+        assert!(Arc::ptr_eq(
+            ctx.recommender(ScoreVariant::NoSimilarity)
+                .propagator()
+                .sim_cache(),
+            ctx.sim_rows()
+        ));
     }
 }

@@ -17,6 +17,7 @@
 //! | [`trank_dt::run`] | extra — TwitterRank DT-source ablation (classifier vs LDA vs ground truth) |
 //! | [`sig::run`] | extra — paired-bootstrap significance of the Figure-4 orderings |
 //! | [`popularity::run`] | extra — PageRank vs TwitterRank vs Tr popularity decomposition |
+//! | [`propagate_micro::run`] | extra — zero-allocation propagation micro-cell gated by CI (`bench_gate.py micro`) |
 
 pub mod distrib;
 pub mod dynamic;
@@ -27,6 +28,7 @@ pub mod fig9;
 pub mod landmark_tables;
 pub mod linkpred;
 pub mod popularity;
+pub mod propagate_micro;
 pub mod sig;
 pub mod sweep;
 pub mod table2;

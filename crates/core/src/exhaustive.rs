@@ -23,10 +23,54 @@ pub struct ExhaustiveScores {
     pub topo_alphabeta: Vec<f64>,
 }
 
+/// Reusable DFS scratch of the enumerator — the walk stack, kept warm
+/// across sources in batched oracle runs.
+#[derive(Clone, Debug, Default)]
+pub struct EnumScratch {
+    stack: Vec<(NodeId, u32, f64)>,
+}
+
+impl EnumScratch {
+    /// An empty scratch; the stack grows to the deepest walk explored.
+    pub fn new() -> EnumScratch {
+        EnumScratch::default()
+    }
+}
+
 /// Enumerates all walks from `source` of length `1..=max_len` and sums
 /// their Definition-1 contributions per end node.
 #[allow(clippy::too_many_arguments)]
 pub fn enumerate(
+    graph: &SocialGraph,
+    sim: &SimMatrix,
+    authority: &AuthorityIndex,
+    params: &ScoreParams,
+    source: NodeId,
+    t: Topic,
+    variant: ScoreVariant,
+    max_len: u32,
+) -> ExhaustiveScores {
+    let mut scratch = EnumScratch::new();
+    enumerate_into(
+        &mut scratch,
+        graph,
+        sim,
+        authority,
+        params,
+        source,
+        t,
+        variant,
+        max_len,
+    )
+}
+
+/// [`enumerate`] with a caller-owned [`EnumScratch`]. The per-node
+/// score vectors are the function's output and are still allocated, but
+/// the DFS stack — the only other allocation, and the hot one on deep
+/// enumerations — is reused. Results are identical to [`enumerate`].
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_into(
+    scratch: &mut EnumScratch,
     graph: &SocialGraph,
     sim: &SimMatrix,
     authority: &AuthorityIndex,
@@ -46,7 +90,9 @@ pub fn enumerate(
     out.topo_alphabeta[source.index()] = 1.0;
     // DFS over walks carrying (current node, length, running topical
     // sum Σ α^d·sim·auth).
-    let mut stack: Vec<(NodeId, u32, f64)> = vec![(source, 0, 0.0)];
+    let stack = &mut scratch.stack;
+    stack.clear();
+    stack.push((source, 0, 0.0));
     while let Some((u, len, topical)) = stack.pop() {
         if len == max_len {
             continue;
@@ -71,7 +117,9 @@ pub fn enumerate(
 /// task over the [`fui_exec`] pool — the oracle-side counterpart of
 /// the engine's batched queries. Each source's enumeration is fully
 /// independent, so `out[i]` is bit-identical to
-/// `enumerate(.., sources[i], ..)` at every `FUI_THREADS`.
+/// `enumerate(.., sources[i], ..)` at every `FUI_THREADS`. The DFS
+/// scratch is pooled per worker (`fui_exec::WorkerLocal`), not
+/// allocated per source.
 #[allow(clippy::too_many_arguments)]
 pub fn enumerate_many(
     graph: &SocialGraph,
@@ -83,8 +131,12 @@ pub fn enumerate_many(
     variant: ScoreVariant,
     max_len: u32,
 ) -> Vec<ExhaustiveScores> {
+    let scratch: fui_exec::WorkerLocal<EnumScratch> = fui_exec::WorkerLocal::new();
     fui_exec::par_map(sources, |&s| {
-        enumerate(graph, sim, authority, params, s, t, variant, max_len)
+        let mut sc = scratch.get_or(EnumScratch::new);
+        enumerate_into(
+            &mut sc, graph, sim, authority, params, s, t, variant, max_len,
+        )
     })
 }
 

@@ -67,8 +67,9 @@ pub mod path;
 pub mod propagate;
 pub mod recommend;
 pub mod relevance;
+pub mod topk;
 
 pub use authority::AuthorityIndex;
 pub use params::{ScoreParams, ScoreVariant};
-pub use propagate::{PropagateOpts, Propagation, Propagator};
+pub use propagate::{PropRun, PropWorkspace, PropagateOpts, Propagation, Propagator, SimRowCache};
 pub use recommend::{RecommendOpts, Recommendation, TrRecommender};

@@ -29,9 +29,33 @@
 //! with the corresponding factor replaced by 1 (or dropped), so the
 //! Figure 4 comparisons measure scoring semantics, not implementation
 //! differences.
+//!
+//! # The zero-allocation path
+//!
+//! A propagation touches six O(n) level/accumulator buffers plus an
+//! O(n·|topics|) sigma buffer. Allocating and zeroing them per call
+//! dominates query latency at scale, so the hot entry point is
+//! [`Propagator::propagate_into`], which runs inside a caller-owned
+//! [`PropWorkspace`]:
+//!
+//! * `seen` / `in_next` membership is **epoch-stamped** — a `u32`
+//!   generation per slot compared against the workspace's current
+//!   epoch — so starting a run is O(1) instead of an O(n) `memset`;
+//! * float buffers are **sparsely cleared**: only the slots the
+//!   *previous* run actually touched (its reached set) are zeroed at
+//!   the start of the next run;
+//! * frontier vectors, the reached list and the per-run topic tables
+//!   are reused in place.
+//!
+//! A workspace-reused run is bit-identical to a fresh-buffer run (the
+//! conformance suite pins this across the corpus presets); the classic
+//! [`Propagator::propagate`] signature survives as a thin wrapper that
+//! spins up a one-shot workspace. Batched callers hold one workspace
+//! per [`fui_exec`] worker (`fui_exec::WorkerLocal`), collapsing
+//! `propagate.workspace.allocs` to the worker count.
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use fui_graph::{NodeId, SocialGraph};
 use fui_obs as obs;
@@ -39,10 +63,11 @@ use fui_taxonomy::{SimMatrix, Topic, NUM_TOPICS};
 
 use crate::authority::AuthorityIndex;
 use crate::params::{ScoreParams, ScoreVariant};
+use crate::topk;
 
 /// Interned metric handles for the propagation engine. Counts are
 /// accumulated in locals during a run and flushed here once per
-/// `propagate` call, so the per-edge hot loop never touches an atomic.
+/// propagation, so the per-edge hot loop never touches an atomic.
 struct PropMetrics {
     calls: obs::Counter,
     edges_relaxed: obs::Counter,
@@ -51,6 +76,10 @@ struct PropMetrics {
     stop_converged: obs::Counter,
     stop_depth_cap: obs::Counter,
     stop_frontier_empty: obs::Counter,
+    workspace_reuses: obs::Counter,
+    workspace_allocs: obs::Counter,
+    sparse_cleared: obs::Counter,
+    simrows_built: obs::Counter,
     frontier_peak: obs::Gauge,
     residual: obs::Gauge,
     frontier_size: obs::Hist,
@@ -66,6 +95,10 @@ fn prop_metrics() -> &'static PropMetrics {
         stop_converged: obs::counter("propagate.stop.converged"),
         stop_depth_cap: obs::counter("propagate.stop.depth_cap"),
         stop_frontier_empty: obs::counter("propagate.stop.frontier_empty"),
+        workspace_reuses: obs::counter("propagate.workspace.reuses"),
+        workspace_allocs: obs::counter("propagate.workspace.allocs"),
+        sparse_cleared: obs::counter("propagate.sparse_cleared"),
+        simrows_built: obs::counter("propagate.simrows.built"),
         frontier_peak: obs::gauge("propagate.frontier_peak"),
         residual: obs::gauge("propagate.residual"),
         frontier_size: obs::hist("propagate.frontier_size"),
@@ -91,11 +124,318 @@ pub struct PropagateOpts<'a> {
     pub prune: Option<&'a [bool]>,
 }
 
+/// Sentinel in the topic→column table: topic not queried.
+const COL_UNQUERIED: u32 = u32::MAX;
+
+/// Builds the topic→sigma-column table for a run: each queried topic
+/// maps to the column of its *first* occurrence (matching the linear
+/// scan it replaces); unqueried topics map to [`COL_UNQUERIED`].
+fn build_topic_cols(topics: &[Topic]) -> [u32; NUM_TOPICS] {
+    let mut cols = [COL_UNQUERIED; NUM_TOPICS];
+    for (ti, t) in topics.iter().enumerate() {
+        let slot = &mut cols[t.index()];
+        if *slot == COL_UNQUERIED {
+            *slot = ti as u32;
+        }
+    }
+    cols
+}
+
+/// Shared top-n readout over a reached set (score desc, ties by id,
+/// source excluded, zero scores dropped) — partial heap selection, not
+/// a full sort.
+fn top_n_over(
+    reached: &[NodeId],
+    source: NodeId,
+    n: usize,
+    score: impl Fn(NodeId) -> f64,
+) -> Vec<(NodeId, f64)> {
+    topk::select_top_k(
+        n,
+        reached
+            .iter()
+            .copied()
+            .filter(|&v| v != source)
+            .map(|v| (v, score(v)))
+            .filter(|&(_, s)| s > 0.0),
+    )
+}
+
+/// Reusable scratch arena for propagation runs.
+///
+/// Holds every buffer a run needs — level buffers, accumulators,
+/// frontier vectors, the reached list and the per-run topic tables —
+/// sized lazily to the graphs it serves and reused across runs.
+/// Membership sets are epoch-stamped (`u32` generation per slot) and
+/// float buffers are sparsely cleared, so starting a run costs
+/// O(previous reached set), not O(n).
+///
+/// A workspace is cheap to create empty and grows to its largest run;
+/// batched callers keep one per [`fui_exec`] worker. Reusing one
+/// workspace across runs of *different* graphs or topic sets is
+/// supported and bit-exact (buffers are cleared and re-laid-out as
+/// needed).
+#[derive(Clone, Debug, Default)]
+pub struct PropWorkspace {
+    /// Epoch of the current run; `seen[v] == run_epoch` ⇔ reached.
+    run_epoch: u32,
+    /// Epoch of the current level; `in_next[v] == level_epoch` ⇔
+    /// already queued for the next frontier.
+    level_epoch: u32,
+    seen: Vec<u32>,
+    in_next: Vec<u32>,
+    // Accumulators over all levels.
+    acc_sigma: Vec<f64>,
+    acc_tb: Vec<f64>,
+    acc_tab: Vec<f64>,
+    // Level buffers (current / next), sparse via frontier lists.
+    cur_sig: Vec<f64>,
+    next_sig: Vec<f64>,
+    cur_tb: Vec<f64>,
+    next_tb: Vec<f64>,
+    cur_tab: Vec<f64>,
+    next_tab: Vec<f64>,
+    frontier: Vec<u32>,
+    next_frontier: Vec<u32>,
+    reached: Vec<NodeId>,
+    // Per-run topic tables.
+    topics: Vec<Topic>,
+    topic_idx: Vec<usize>,
+    topic_cols: [u32; NUM_TOPICS],
+    // Layout of the last run (for sparse clearing and readouts).
+    n: usize,
+    tc: usize,
+    /// Whether the buffers hold a finished run's results.
+    dirty: bool,
+    source: NodeId,
+    levels: u32,
+    converged: bool,
+}
+
+impl PropWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> PropWorkspace {
+        PropWorkspace {
+            topic_cols: [COL_UNQUERIED; NUM_TOPICS],
+            ..Default::default()
+        }
+    }
+
+    /// Prepares the workspace for a run over `n` nodes and `tc` sigma
+    /// columns: sparsely clears the previous run's slots, grows buffers
+    /// if needed, advances the run epoch and installs the topic tables.
+    fn begin_run(&mut self, n: usize, tc: usize, topics: &[Topic], metrics: &PropMetrics) {
+        // Sparse clear: only slots the previous run dirtied. The level
+        // `next_*` buffers are all-zero at the end of every run (each
+        // level's writes are either consumed by the swap or never made),
+        // and `cur_*` is dirty only at the final frontier, a subset of
+        // the reached set.
+        if self.dirty {
+            let prev_tc = self.tc;
+            for &v in &self.reached {
+                let vi = v.index();
+                self.acc_tb[vi] = 0.0;
+                self.acc_tab[vi] = 0.0;
+                self.cur_tb[vi] = 0.0;
+                self.cur_tab[vi] = 0.0;
+                if prev_tc > 0 {
+                    let base = vi * prev_tc;
+                    for s in &mut self.acc_sigma[base..base + prev_tc] {
+                        *s = 0.0;
+                    }
+                    for s in &mut self.cur_sig[base..base + prev_tc] {
+                        *s = 0.0;
+                    }
+                }
+            }
+            metrics.sparse_cleared.add(self.reached.len() as u64);
+            self.reached.clear();
+        }
+        self.frontier.clear();
+        self.next_frontier.clear();
+
+        let grew = self.seen.len() < n || self.acc_sigma.len() < n * tc;
+        if grew {
+            metrics.workspace_allocs.incr();
+        } else {
+            metrics.workspace_reuses.incr();
+        }
+        if self.seen.len() < n {
+            self.seen.resize(n, 0);
+            self.in_next.resize(n, 0);
+            self.acc_tb.resize(n, 0.0);
+            self.acc_tab.resize(n, 0.0);
+            self.cur_tb.resize(n, 0.0);
+            self.next_tb.resize(n, 0.0);
+            self.cur_tab.resize(n, 0.0);
+            self.next_tab.resize(n, 0.0);
+        }
+        if self.acc_sigma.len() < n * tc {
+            self.acc_sigma.resize(n * tc, 0.0);
+            self.cur_sig.resize(n * tc, 0.0);
+            self.next_sig.resize(n * tc, 0.0);
+        }
+
+        // O(1) membership reset: bump the generation. On the (rare)
+        // wrap back to 0 the stamps are rewound so no stale slot can
+        // collide with the fresh epoch.
+        self.run_epoch = self.run_epoch.wrapping_add(1);
+        if self.run_epoch == 0 {
+            self.seen.iter_mut().for_each(|s| *s = 0);
+            self.run_epoch = 1;
+        }
+
+        self.topics.clear();
+        self.topics.extend_from_slice(topics);
+        self.topic_cols = build_topic_cols(topics);
+        self.topic_idx.clear();
+        self.topic_idx.extend(topics.iter().map(|t| t.index()));
+        self.n = n;
+        self.tc = tc;
+        self.dirty = true;
+    }
+
+    /// Advances the per-level membership epoch (wrap-safe).
+    fn next_level_epoch(&mut self) -> u32 {
+        self.level_epoch = self.level_epoch.wrapping_add(1);
+        if self.level_epoch == 0 {
+            self.in_next.iter_mut().for_each(|s| *s = 0);
+            self.level_epoch = 1;
+        }
+        self.level_epoch
+    }
+
+    /// Converts the last run into an owned [`Propagation`], consuming
+    /// the workspace (buffers are moved out, not copied). Intended for
+    /// one-shot workspaces; reuse paths read through [`PropRun`]
+    /// instead.
+    pub fn into_propagation(mut self) -> Propagation {
+        let (n, tc) = (self.n, self.tc);
+        let sigma = if tc > 0 {
+            let mut s = std::mem::take(&mut self.acc_sigma);
+            s.truncate(n * tc);
+            s
+        } else {
+            // Uniform result shape even under TopoOnly: zeros for
+            // every requested topic.
+            vec![0.0; n * self.topics.len()]
+        };
+        let mut topo_beta = std::mem::take(&mut self.acc_tb);
+        topo_beta.truncate(n);
+        let mut topo_alphabeta = std::mem::take(&mut self.acc_tab);
+        topo_alphabeta.truncate(n);
+        Propagation {
+            topics: std::mem::take(&mut self.topics),
+            topic_cols: self.topic_cols,
+            sigma,
+            topo_beta,
+            topo_alphabeta,
+            reached: std::mem::take(&mut self.reached),
+            source: self.source,
+            levels: self.levels,
+            converged: self.converged,
+        }
+    }
+}
+
+/// Read-only view of the run a [`PropWorkspace`] holds — the
+/// zero-allocation counterpart of [`Propagation`], borrowing the
+/// workspace buffers instead of owning copies.
+pub struct PropRun<'a> {
+    ws: &'a PropWorkspace,
+}
+
+impl PropRun<'_> {
+    /// The query topics, in sigma column order.
+    pub fn topics(&self) -> &[Topic] {
+        &self.ws.topics
+    }
+
+    /// Nodes with any accumulated mass, source first, in first-reached
+    /// order.
+    pub fn reached(&self) -> &[NodeId] {
+        &self.ws.reached
+    }
+
+    /// Source node of the run.
+    pub fn source(&self) -> NodeId {
+        self.ws.source
+    }
+
+    /// Number of levels propagated.
+    pub fn levels(&self) -> u32 {
+        self.ws.levels
+    }
+
+    /// Whether the tolerance criterion was met.
+    pub fn converged(&self) -> bool {
+        self.ws.converged
+    }
+
+    /// `σ(source, v, topics[ti])`.
+    #[inline]
+    pub fn sigma_at(&self, v: NodeId, ti: usize) -> f64 {
+        debug_assert!(ti < self.ws.topics.len(), "topic column out of range");
+        if self.ws.tc == 0 {
+            return 0.0;
+        }
+        self.ws.acc_sigma[v.index() * self.ws.tc + ti]
+    }
+
+    /// `σ(source, v, t)`; 0 for a topic that was not queried.
+    #[inline]
+    pub fn sigma(&self, v: NodeId, t: Topic) -> f64 {
+        match self.ws.topic_cols[t.index()] {
+            COL_UNQUERIED => 0.0,
+            ti => self.sigma_at(v, ti as usize),
+        }
+    }
+
+    /// `topo_β(source, v)` (the source's own entry includes the empty
+    /// walk's 1).
+    #[inline]
+    pub fn topo_beta(&self, v: NodeId) -> f64 {
+        self.ws.acc_tb[v.index()]
+    }
+
+    /// `topo_αβ(source, v)`.
+    #[inline]
+    pub fn topo_alphabeta(&self, v: NodeId) -> f64 {
+        self.ws.acc_tab[v.index()]
+    }
+
+    /// The recommendation vector `R_{u,v}` of Table 1 (unqueried
+    /// topics read 0).
+    pub fn recommendation_vector(&self, v: NodeId) -> fui_taxonomy::TopicWeights {
+        let mut w = fui_taxonomy::TopicWeights::zero();
+        for (ti, &t) in self.ws.topics.iter().enumerate() {
+            w.set(t, self.sigma_at(v, ti));
+        }
+        w
+    }
+
+    /// Top-`n` nodes by `σ(·, topics[ti])`, excluding the source,
+    /// highest first (ties by node id).
+    pub fn top_n_sigma(&self, ti: usize, n: usize) -> Vec<(NodeId, f64)> {
+        top_n_over(&self.ws.reached, self.ws.source, n, |v| {
+            self.sigma_at(v, ti)
+        })
+    }
+
+    /// Top-`n` nodes by `topo_β`, excluding the source.
+    pub fn top_n_topo(&self, n: usize) -> Vec<(NodeId, f64)> {
+        top_n_over(&self.ws.reached, self.ws.source, n, |v| self.topo_beta(v))
+    }
+}
+
 /// Result of a propagation: accumulated scores over every reached node.
 #[derive(Clone, Debug)]
 pub struct Propagation {
     /// The query topics, in the order `sigma` is laid out.
     pub topics: Vec<Topic>,
+    /// Topic→sigma-column lookup (first occurrence wins), so per-node
+    /// readouts by [`Topic`] cost O(1) instead of a linear scan.
+    topic_cols: [u32; NUM_TOPICS],
     /// `σ(source, v, t)` — flat `[v * topics.len() + ti]`.
     sigma: Vec<f64>,
     /// `topo_β(source, v)` (Katz mass, empty walk included at the
@@ -123,10 +463,11 @@ impl Propagation {
     }
 
     /// `σ(source, v, t)`; 0 for a topic that was not queried.
+    #[inline]
     pub fn sigma(&self, v: NodeId, t: Topic) -> f64 {
-        match self.topics.iter().position(|&q| q == t) {
-            Some(ti) => self.sigma_at(v, ti),
-            None => 0.0,
+        match self.topic_cols[t.index()] {
+            COL_UNQUERIED => 0.0,
+            ti => self.sigma_at(v, ti as usize),
         }
     }
 
@@ -157,60 +498,33 @@ impl Propagation {
     /// Top-`n` nodes by `σ(·, topics[ti])`, excluding the source,
     /// highest first (ties by node id).
     pub fn top_n_sigma(&self, ti: usize, n: usize) -> Vec<(NodeId, f64)> {
-        self.top_n_by(n, |v| self.sigma_at(v, ti))
+        top_n_over(&self.reached, self.source, n, |v| self.sigma_at(v, ti))
     }
 
     /// Top-`n` nodes by `topo_β`, excluding the source.
     pub fn top_n_topo(&self, n: usize) -> Vec<(NodeId, f64)> {
-        self.top_n_by(n, |v| self.topo_beta(v))
-    }
-
-    fn top_n_by(&self, n: usize, score: impl Fn(NodeId) -> f64) -> Vec<(NodeId, f64)> {
-        let mut v: Vec<(NodeId, f64)> = self
-            .reached
-            .iter()
-            .copied()
-            .filter(|&v| v != self.source)
-            .map(|v| (v, score(v)))
-            .filter(|&(_, s)| s > 0.0)
-            .collect();
-        v.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("scores are not NaN")
-                .then(a.0 .0.cmp(&b.0 .0))
-        });
-        v.truncate(n);
-        v
+        top_n_over(&self.reached, self.source, n, |v| self.topo_beta(v))
     }
 }
 
-/// Shared per-graph scoring state: the similarity-row cache (one row of
-/// `maxsim(labels, ·)` per distinct edge label set, resolved per edge
-/// position once) and the authority index.
-pub struct Propagator<'g> {
-    graph: &'g SocialGraph,
-    authority: &'g AuthorityIndex,
-    params: ScoreParams,
-    variant: ScoreVariant,
+/// Per-graph cache of `maxsim` similarity rows: one row per distinct
+/// edge label set, resolved to a row index per global out-edge CSR
+/// position. The rows depend only on the graph's edge labels and the
+/// similarity matrix — not on score parameters or variant — so one
+/// cache serves the full scorer *and* every ablation variant built
+/// over the same graph (`Tr−auth`, `Tr−sim`, Katz), sparing Figure-4
+/// sweeps the identical recomputation per variant.
+pub struct SimRowCache {
     /// `maxsim` rows, one per distinct edge label mask.
     sim_rows: Vec<[f64; NUM_TOPICS]>,
     /// Row index per global out-edge CSR position.
     edge_row: Vec<u32>,
-    /// All-ones row used to neutralise a factor under ablations.
-    ones: [f64; NUM_TOPICS],
 }
 
-impl<'g> Propagator<'g> {
-    /// Builds a propagator; scans the graph once to cache per-label-set
-    /// similarity rows.
-    pub fn new(
-        graph: &'g SocialGraph,
-        authority: &'g AuthorityIndex,
-        sim: &SimMatrix,
-        params: ScoreParams,
-        variant: ScoreVariant,
-    ) -> Propagator<'g> {
-        params.check_ranges().expect("invalid score parameters");
+impl SimRowCache {
+    /// Scans the graph once and caches per-label-set similarity rows.
+    pub fn build(graph: &SocialGraph, sim: &SimMatrix) -> SimRowCache {
+        prop_metrics().simrows_built.incr();
         let mut mask_to_row: HashMap<u32, u32> = HashMap::new();
         let mut sim_rows: Vec<[f64; NUM_TOPICS]> = Vec::new();
         let mut edge_row = vec![0u32; graph.num_edges()];
@@ -230,13 +544,81 @@ impl<'g> Propagator<'g> {
         if sim_rows.is_empty() {
             sim_rows.push([0.0; NUM_TOPICS]);
         }
+        SimRowCache { sim_rows, edge_row }
+    }
+
+    /// Number of distinct label-set rows cached.
+    pub fn num_rows(&self) -> usize {
+        self.sim_rows.len()
+    }
+
+    /// Number of edge positions covered (must equal the graph's edge
+    /// count to be usable with it).
+    pub fn num_edges(&self) -> usize {
+        self.edge_row.len()
+    }
+}
+
+/// Shared per-graph scoring state: the similarity-row cache (one row of
+/// `maxsim(labels, ·)` per distinct edge label set, resolved per edge
+/// position once) and the authority index.
+pub struct Propagator<'g> {
+    graph: &'g SocialGraph,
+    authority: &'g AuthorityIndex,
+    params: ScoreParams,
+    variant: ScoreVariant,
+    /// Shared similarity-row cache (see [`SimRowCache`]).
+    rows: Arc<SimRowCache>,
+    /// All-ones row used to neutralise a factor under ablations.
+    ones: [f64; NUM_TOPICS],
+}
+
+impl<'g> Propagator<'g> {
+    /// Builds a propagator; scans the graph once to cache per-label-set
+    /// similarity rows.
+    pub fn new(
+        graph: &'g SocialGraph,
+        authority: &'g AuthorityIndex,
+        sim: &SimMatrix,
+        params: ScoreParams,
+        variant: ScoreVariant,
+    ) -> Propagator<'g> {
+        Self::with_sim_cache(
+            graph,
+            authority,
+            Arc::new(SimRowCache::build(graph, sim)),
+            params,
+            variant,
+        )
+    }
+
+    /// Builds a propagator over a pre-built [`SimRowCache`] — the way
+    /// ablation variants and bench contexts share one row scan across
+    /// many propagators of the same graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was built for a graph with a different edge
+    /// count, or the parameters are out of range.
+    pub fn with_sim_cache(
+        graph: &'g SocialGraph,
+        authority: &'g AuthorityIndex,
+        rows: Arc<SimRowCache>,
+        params: ScoreParams,
+        variant: ScoreVariant,
+    ) -> Propagator<'g> {
+        params.check_ranges().expect("invalid score parameters");
+        assert_eq!(
+            rows.num_edges(),
+            graph.num_edges(),
+            "sim-row cache does not match this graph's edge positions"
+        );
         Propagator {
             graph,
             authority,
             params,
             variant,
-            sim_rows,
-            edge_row,
+            rows,
             ones: [1.0; NUM_TOPICS],
         }
     }
@@ -256,14 +638,44 @@ impl<'g> Propagator<'g> {
         self.variant
     }
 
+    /// The shared similarity-row cache (clone the `Arc` to build
+    /// sibling variants without rescanning the graph).
+    pub fn sim_cache(&self) -> &Arc<SimRowCache> {
+        &self.rows
+    }
+
     /// Runs the iterative computation from `source` for the given
     /// query topics (empty slice is valid and yields a pure Katz run).
+    ///
+    /// Thin wrapper over [`propagate_into`](Self::propagate_into) with
+    /// a one-shot workspace; batched callers should reuse a
+    /// [`PropWorkspace`] instead.
     pub fn propagate(
         &self,
         source: NodeId,
         topics: &[Topic],
         opts: PropagateOpts<'_>,
     ) -> Propagation {
+        let mut ws = PropWorkspace::new();
+        self.propagate_into(&mut ws, source, topics, opts);
+        ws.into_propagation()
+    }
+
+    /// Runs the iterative computation inside a reusable workspace —
+    /// the allocation-free entry point. Returns a [`PropRun`] view of
+    /// the results, valid until the workspace's next run.
+    ///
+    /// Bit-equality guarantee: for the same propagator, source, topics
+    /// and options, the scores read through the returned view are
+    /// bit-identical to a fresh [`propagate`](Self::propagate) call,
+    /// whatever ran in the workspace before.
+    pub fn propagate_into<'w>(
+        &self,
+        ws: &'w mut PropWorkspace,
+        source: NodeId,
+        topics: &[Topic],
+        opts: PropagateOpts<'_>,
+    ) -> PropRun<'w> {
         let n = self.graph.num_nodes();
         assert!(source.index() < n, "source not in graph");
         let tc = if self.variant == ScoreVariant::TopoOnly {
@@ -271,7 +683,6 @@ impl<'g> Propagator<'g> {
         } else {
             topics.len()
         };
-        let topic_idx: Vec<usize> = topics.iter().map(|t| t.index()).collect();
         let beta = self.params.beta;
         let ab = self.params.alpha * beta;
         let depth_cap = self
@@ -279,35 +690,17 @@ impl<'g> Propagator<'g> {
             .max_depth
             .min(opts.max_depth.unwrap_or(u32::MAX));
 
-        // Accumulators (sigma buffers are empty under TopoOnly).
-        let mut acc_sigma = vec![0.0f64; n * tc];
-        let mut acc_tb = vec![0.0f64; n];
-        let mut acc_tab = vec![0.0f64; n];
-
-        // Level buffers (current and next), sparse via frontier lists.
-        let mut cur_sig = vec![0.0f64; n * tc];
-        let mut next_sig = cur_sig.clone();
-        let mut cur_tb = vec![0.0f64; n];
-        let mut next_tb = vec![0.0f64; n];
-        let mut cur_tab = vec![0.0f64; n];
-        let mut next_tab = vec![0.0f64; n];
-
-        let mut frontier: Vec<u32> = vec![source.0];
-        let mut next_frontier: Vec<u32> = Vec::new();
-        let mut in_next = vec![false; n];
-
-        let mut reached: Vec<NodeId> = Vec::new();
-        let mut seen = vec![false; n];
-
-        cur_tb[source.index()] = 1.0;
-        cur_tab[source.index()] = 1.0;
+        let metrics = prop_metrics();
+        ws.begin_run(n, tc, topics, metrics);
+        ws.frontier.push(source.0);
+        ws.cur_tb[source.index()] = 1.0;
+        ws.cur_tab[source.index()] = 1.0;
 
         let mut acc_tb_total = 0.0f64;
         let mut levels = 0u32;
         let mut converged = false;
 
         // Observability locals, flushed to the registry once at the end.
-        let metrics = prop_metrics();
         let mut edges_relaxed = 0u64;
         let mut pruned_at = 0u64;
         let mut frontier_peak = 0u64;
@@ -315,24 +708,24 @@ impl<'g> Propagator<'g> {
         let stop_reason;
 
         loop {
-            frontier_peak = frontier_peak.max(frontier.len() as u64);
-            metrics.frontier_size.record(frontier.len() as u64);
+            frontier_peak = frontier_peak.max(ws.frontier.len() as u64);
+            metrics.frontier_size.record(ws.frontier.len() as u64);
 
             // Fold the current level into the accumulators.
             let mut level_tb = 0.0f64;
-            for &u in &frontier {
+            for &u in &ws.frontier {
                 let ui = u as usize;
-                if !seen[ui] {
-                    seen[ui] = true;
-                    reached.push(NodeId(u));
+                if ws.seen[ui] != ws.run_epoch {
+                    ws.seen[ui] = ws.run_epoch;
+                    ws.reached.push(NodeId(u));
                 }
-                acc_tb[ui] += cur_tb[ui];
-                acc_tab[ui] += cur_tab[ui];
-                level_tb += cur_tb[ui];
+                ws.acc_tb[ui] += ws.cur_tb[ui];
+                ws.acc_tab[ui] += ws.cur_tab[ui];
+                level_tb += ws.cur_tb[ui];
                 if tc > 0 {
                     let base = ui * tc;
                     for ti in 0..tc {
-                        acc_sigma[base + ti] += cur_sig[base + ti];
+                        ws.acc_sigma[base + ti] += ws.cur_sig[base + ti];
                     }
                 }
             }
@@ -355,8 +748,10 @@ impl<'g> Propagator<'g> {
             }
 
             // Expand the frontier.
-            next_frontier.clear();
-            for &u in &frontier {
+            let level_epoch = ws.next_level_epoch();
+            ws.next_frontier.clear();
+            for fi in 0..ws.frontier.len() {
+                let u = ws.frontier[fi];
                 let ui = u as usize;
                 if u != source.0 {
                     if let Some(mask) = opts.prune {
@@ -366,27 +761,28 @@ impl<'g> Propagator<'g> {
                         }
                     }
                 }
-                let tb_u = cur_tb[ui];
-                let tab_u = cur_tab[ui];
+                let tb_u = ws.cur_tb[ui];
+                let tab_u = ws.cur_tab[ui];
                 let sig_base = ui * tc;
                 for (pos, e) in self.graph.out_edges_indexed(NodeId(u)) {
                     edges_relaxed += 1;
                     let vi = e.node.index();
-                    if !in_next[vi] {
-                        in_next[vi] = true;
-                        next_frontier.push(e.node.0);
+                    if ws.in_next[vi] != level_epoch {
+                        ws.in_next[vi] = level_epoch;
+                        ws.next_frontier.push(e.node.0);
                     }
-                    next_tb[vi] += beta * tb_u;
-                    next_tab[vi] += ab * tab_u;
+                    ws.next_tb[vi] += beta * tb_u;
+                    ws.next_tab[vi] += ab * tab_u;
                     if tc > 0 {
                         let (sim_row, auth_row): (&[f64], &[f64]) = match self.variant {
                             ScoreVariant::Full => (
-                                &self.sim_rows[self.edge_row[pos] as usize],
+                                &self.rows.sim_rows[self.rows.edge_row[pos] as usize],
                                 self.authority.auth_row(e.node),
                             ),
-                            ScoreVariant::NoAuthority => {
-                                (&self.sim_rows[self.edge_row[pos] as usize], &self.ones)
-                            }
+                            ScoreVariant::NoAuthority => (
+                                &self.rows.sim_rows[self.rows.edge_row[pos] as usize],
+                                &self.ones,
+                            ),
                             ScoreVariant::NoSimilarity => {
                                 (&self.ones, self.authority.auth_row(e.node))
                             }
@@ -394,36 +790,34 @@ impl<'g> Propagator<'g> {
                         };
                         let vbase = vi * tc;
                         for ti in 0..tc {
-                            let t_idx = topic_idx[ti];
+                            let t_idx = ws.topic_idx[ti];
                             let w = ab * sim_row[t_idx] * auth_row[t_idx];
-                            next_sig[vbase + ti] += beta * cur_sig[sig_base + ti] + tab_u * w;
+                            ws.next_sig[vbase + ti] += beta * ws.cur_sig[sig_base + ti] + tab_u * w;
                         }
                     }
                 }
             }
 
-            // Clear the current level's slots and swap buffers.
-            for &u in &frontier {
+            // Clear the current level's slots and swap buffers (the
+            // epoch stamp already retired `in_next` membership).
+            for &u in &ws.frontier {
                 let ui = u as usize;
-                cur_tb[ui] = 0.0;
-                cur_tab[ui] = 0.0;
+                ws.cur_tb[ui] = 0.0;
+                ws.cur_tab[ui] = 0.0;
                 if tc > 0 {
                     let base = ui * tc;
                     for ti in 0..tc {
-                        cur_sig[base + ti] = 0.0;
+                        ws.cur_sig[base + ti] = 0.0;
                     }
                 }
             }
-            for &v in &next_frontier {
-                in_next[v as usize] = false;
-            }
-            std::mem::swap(&mut cur_sig, &mut next_sig);
-            std::mem::swap(&mut cur_tb, &mut next_tb);
-            std::mem::swap(&mut cur_tab, &mut next_tab);
-            std::mem::swap(&mut frontier, &mut next_frontier);
+            std::mem::swap(&mut ws.cur_sig, &mut ws.next_sig);
+            std::mem::swap(&mut ws.cur_tb, &mut ws.next_tb);
+            std::mem::swap(&mut ws.cur_tab, &mut ws.next_tab);
+            std::mem::swap(&mut ws.frontier, &mut ws.next_frontier);
 
             levels += 1;
-            if frontier.is_empty() {
+            if ws.frontier.is_empty() {
                 converged = true;
                 stop_reason = StopReason::FrontierEmpty;
                 break;
@@ -443,23 +837,10 @@ impl<'g> Propagator<'g> {
             StopReason::FrontierEmpty => metrics.stop_frontier_empty.incr(),
         }
 
-        // Pack sigma for the requested topics even under TopoOnly
-        // (zeros), so the result shape is uniform.
-        let sigma = if tc > 0 {
-            acc_sigma
-        } else {
-            vec![0.0; n * topics.len()]
-        };
-        Propagation {
-            topics: topics.to_vec(),
-            sigma,
-            topo_beta: acc_tb,
-            topo_alphabeta: acc_tab,
-            reached,
-            source,
-            levels,
-            converged,
-        }
+        ws.source = source;
+        ws.levels = levels;
+        ws.converged = converged;
+        PropRun { ws }
     }
 }
 
@@ -538,6 +919,36 @@ mod tests {
     }
 
     #[test]
+    fn depth_zero_keeps_only_the_source() {
+        // `max_depth: Some(0)` is the degenerate-but-legal query "the
+        // source and nothing else": one level folded, no expansion.
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let r = p.propagate(
+            NodeId(0),
+            &[Topic::Technology],
+            PropagateOpts {
+                max_depth: Some(0),
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.reached, vec![NodeId(0)]);
+        assert_eq!(r.levels, 0);
+        assert!(!r.converged, "a depth-cap stop is not convergence");
+        // Only the empty walk: topo mass 1 at the source, nothing else.
+        assert_eq!(r.topo_beta(NodeId(0)), 1.0);
+        assert_eq!(r.topo_alphabeta(NodeId(0)), 1.0);
+        for v in [NodeId(1), NodeId(2), NodeId(3)] {
+            assert_eq!(r.topo_beta(v), 0.0);
+            assert_eq!(r.sigma(v, Topic::Technology), 0.0);
+        }
+        assert_eq!(r.sigma(NodeId(0), Topic::Technology), 0.0);
+        assert!(r.top_n_topo(10).is_empty());
+    }
+
+    #[test]
     fn pruning_stops_expansion() {
         let g = diamond();
         let idx = AuthorityIndex::build(&g);
@@ -558,6 +969,37 @@ mod tests {
         // node 3 is never reached.
         assert!(r.topo_beta(NodeId(1)) > 0.0);
         assert_eq!(r.topo_beta(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn source_flagged_as_landmark_still_expands() {
+        // Section 5.4's exception: the query node itself may be a
+        // landmark, but pruning must never stop the exploration at the
+        // source — otherwise no query from a landmark would see its
+        // own neighbourhood.
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let mask = vec![true; 4]; // every node flagged, source included
+        let r = p.propagate(
+            NodeId(0),
+            &[Topic::Technology],
+            PropagateOpts {
+                prune: Some(&mask),
+                ..Default::default()
+            },
+        );
+        // The source expanded (neighbours reached with full one-hop
+        // mass) but the flagged neighbours did not.
+        assert!((r.topo_beta(NodeId(1)) - 0.3).abs() < 1e-12);
+        assert!((r.topo_beta(NodeId(2)) - 0.3).abs() < 1e-12);
+        assert!(r.sigma(NodeId(1), Topic::Technology) > 0.0);
+        assert_eq!(r.topo_beta(NodeId(3)), 0.0);
+        assert!(!r.reached.contains(&NodeId(3)));
+        // And the unpruned run strictly dominates at the blocked node.
+        let unpruned = p.propagate(NodeId(0), &[Topic::Technology], PropagateOpts::default());
+        assert!(unpruned.topo_beta(NodeId(3)) > 0.0);
     }
 
     #[test]
@@ -640,5 +1082,144 @@ mod tests {
         let r = p.propagate(NodeId(0), &[Topic::War], PropagateOpts::default());
         assert!(!r.reached.contains(&NodeId(2)));
         assert_eq!(r.topo_beta(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_runs() {
+        // One workspace across runs that change source, topic count
+        // (sigma layout!), depth and pruning — every reused run must
+        // reproduce the fresh-buffer run bit for bit.
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let mut mask = vec![false; 4];
+        mask[2] = true;
+        let specs: Vec<(NodeId, Vec<Topic>, PropagateOpts<'_>)> = vec![
+            (NodeId(0), vec![Topic::Technology], PropagateOpts::default()),
+            (
+                NodeId(1),
+                vec![Topic::Technology, Topic::Business, Topic::War],
+                PropagateOpts::default(),
+            ),
+            (
+                NodeId(0),
+                vec![],
+                PropagateOpts {
+                    max_depth: Some(2),
+                    ..Default::default()
+                },
+            ),
+            (
+                NodeId(0),
+                vec![Topic::Social],
+                PropagateOpts {
+                    prune: Some(&mask),
+                    ..Default::default()
+                },
+            ),
+            (
+                NodeId(3),
+                vec![Topic::Technology],
+                PropagateOpts {
+                    max_depth: Some(0),
+                    ..Default::default()
+                },
+            ),
+        ];
+        let mut ws = PropWorkspace::new();
+        for (source, topics, opts) in &specs {
+            let fresh = p.propagate(*source, topics, *opts);
+            let reused = p.propagate_into(&mut ws, *source, topics, *opts);
+            assert_eq!(reused.reached(), &fresh.reached[..]);
+            assert_eq!(reused.levels(), fresh.levels);
+            assert_eq!(reused.converged(), fresh.converged);
+            for v in g.nodes() {
+                assert_eq!(
+                    reused.topo_beta(v).to_bits(),
+                    fresh.topo_beta(v).to_bits(),
+                    "topo_beta bits at {v}"
+                );
+                assert_eq!(
+                    reused.topo_alphabeta(v).to_bits(),
+                    fresh.topo_alphabeta(v).to_bits(),
+                    "topo_alphabeta bits at {v}"
+                );
+                for ti in 0..topics.len() {
+                    assert_eq!(
+                        reused.sigma_at(v, ti).to_bits(),
+                        fresh.sigma_at(v, ti).to_bits(),
+                        "sigma bits at {v} col {ti}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_lookup_matches_linear_scan() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        // Duplicate topic: the cached lookup must keep first-occurrence
+        // semantics, like the `position` scan it replaces.
+        let topics = [Topic::Technology, Topic::Business, Topic::Technology];
+        let r = p.propagate(NodeId(0), &topics, PropagateOpts::default());
+        for v in g.nodes() {
+            for t in Topic::ALL {
+                let scanned = match topics.iter().position(|&q| q == t) {
+                    Some(ti) => r.sigma_at(v, ti),
+                    None => 0.0,
+                };
+                assert_eq!(r.sigma(v, t).to_bits(), scanned.to_bits(), "{v} {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_cache_is_shareable_across_variants() {
+        let g = diamond();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let cache = Arc::new(SimRowCache::build(&g, &sim));
+        assert!(cache.num_rows() >= 1);
+        assert_eq!(cache.num_edges(), g.num_edges());
+        let full =
+            Propagator::with_sim_cache(&g, &idx, Arc::clone(&cache), params(), ScoreVariant::Full);
+        let fresh = Propagator::new(&g, &idx, &sim, params(), ScoreVariant::Full);
+        let a = full.propagate(NodeId(0), &[Topic::Technology], PropagateOpts::default());
+        let b = fresh.propagate(NodeId(0), &[Topic::Technology], PropagateOpts::default());
+        for v in g.nodes() {
+            assert_eq!(
+                a.sigma(v, Topic::Technology).to_bits(),
+                b.sigma(v, Topic::Technology).to_bits()
+            );
+        }
+        // The ablation sharing the cache still neutralises its factor.
+        let no_sim = Propagator::with_sim_cache(
+            &g,
+            &idx,
+            Arc::clone(&cache),
+            params(),
+            ScoreVariant::NoSimilarity,
+        );
+        let c = no_sim.propagate(NodeId(0), &[Topic::Technology], PropagateOpts::default());
+        assert!(c.sigma(NodeId(1), Topic::Technology) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match this graph")]
+    fn mismatched_sim_cache_is_rejected() {
+        let g = diamond();
+        let mut b = GraphBuilder::new();
+        let x = b.add_node(TopicSet::empty());
+        let y = b.add_node(TopicSet::empty());
+        b.add_edge(x, y, TopicSet::single(Topic::War));
+        let other = b.build();
+        let idx = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let cache = Arc::new(SimRowCache::build(&other, &sim));
+        let _ = Propagator::with_sim_cache(&g, &idx, cache, params(), ScoreVariant::Full);
     }
 }

@@ -12,7 +12,8 @@ use fui_taxonomy::{SimMatrix, Topic};
 
 use crate::authority::AuthorityIndex;
 use crate::params::{ScoreParams, ScoreVariant};
-use crate::propagate::{PropagateOpts, Propagator};
+use crate::propagate::{PropWorkspace, PropagateOpts, Propagator};
+use crate::topk;
 
 /// One recommended account.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,6 +65,21 @@ impl<'g> TrRecommender<'g> {
         }
     }
 
+    /// Builds a recommender over a pre-built, shared
+    /// [`SimRowCache`](crate::SimRowCache) — how ablation variants of
+    /// the same graph avoid rescanning its edge labels per variant.
+    pub fn with_sim_cache(
+        graph: &'g SocialGraph,
+        authority: &'g AuthorityIndex,
+        rows: std::sync::Arc<crate::SimRowCache>,
+        params: ScoreParams,
+        variant: ScoreVariant,
+    ) -> TrRecommender<'g> {
+        TrRecommender {
+            propagator: Propagator::with_sim_cache(graph, authority, rows, params, variant),
+        }
+    }
+
     /// The underlying propagator.
     pub fn propagator(&self) -> &Propagator<'g> {
         &self.propagator
@@ -89,8 +105,24 @@ impl<'g> TrRecommender<'g> {
         n: usize,
         opts: RecommendOpts,
     ) -> Vec<Recommendation> {
+        let mut ws = PropWorkspace::new();
+        self.recommend_weighted_with(&mut ws, u, q, n, opts)
+    }
+
+    /// [`recommend_weighted`](Self::recommend_weighted) running inside
+    /// a caller-owned [`PropWorkspace`] — the allocation-free path for
+    /// batched query loops (one workspace per `fui-exec` worker).
+    pub fn recommend_weighted_with(
+        &self,
+        ws: &mut PropWorkspace,
+        u: NodeId,
+        q: &[(Topic, f64)],
+        n: usize,
+        opts: RecommendOpts,
+    ) -> Vec<Recommendation> {
         let topics: Vec<Topic> = q.iter().map(|&(t, _)| t).collect();
-        let r = self.propagator.propagate(
+        let r = self.propagator.propagate_into(
+            ws,
             u,
             &topics,
             PropagateOpts {
@@ -100,33 +132,29 @@ impl<'g> TrRecommender<'g> {
         );
         let followed = self.propagator.graph().followees(u);
         let katz = self.propagator.variant() == ScoreVariant::TopoOnly;
-        let mut scored: Vec<Recommendation> = r
-            .reached
-            .iter()
-            .copied()
-            .filter(|&v| v != u)
-            .filter(|v| !opts.exclude_followed || !followed.contains(v))
-            .map(|v| {
-                let score = if katz {
-                    r.topo_beta(v)
-                } else {
-                    q.iter()
-                        .enumerate()
-                        .map(|(ti, &(_, w))| w * r.sigma_at(v, ti))
-                        .sum()
-                };
-                Recommendation { node: v, score }
-            })
-            .filter(|rec| rec.score > 0.0)
-            .collect();
-        scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are not NaN")
-                .then(a.node.0.cmp(&b.node.0))
-        });
-        scored.truncate(n);
-        scored
+        topk::select_top_k(
+            n,
+            r.reached()
+                .iter()
+                .copied()
+                .filter(|&v| v != u)
+                .filter(|v| !opts.exclude_followed || !followed.contains(v))
+                .map(|v| {
+                    let score = if katz {
+                        r.topo_beta(v)
+                    } else {
+                        q.iter()
+                            .enumerate()
+                            .map(|(ti, &(_, w))| w * r.sigma_at(v, ti))
+                            .sum()
+                    };
+                    (v, score)
+                })
+                .filter(|&(_, s)| s > 0.0),
+        )
+        .into_iter()
+        .map(|(node, score)| Recommendation { node, score })
+        .collect()
     }
 
     /// Convenience for Section 3.2's query construction: derives the
@@ -159,7 +187,23 @@ impl<'g> TrRecommender<'g> {
         candidates: &[NodeId],
         opts: RecommendOpts,
     ) -> Vec<f64> {
-        let r = self.propagator.propagate(
+        let mut ws = PropWorkspace::new();
+        self.score_candidates_with(&mut ws, u, t, candidates, opts)
+    }
+
+    /// [`score_candidates`](Self::score_candidates) inside a
+    /// caller-owned [`PropWorkspace`] (the link-prediction sweeps score
+    /// thousands of users back to back).
+    pub fn score_candidates_with(
+        &self,
+        ws: &mut PropWorkspace,
+        u: NodeId,
+        t: Topic,
+        candidates: &[NodeId],
+        opts: RecommendOpts,
+    ) -> Vec<f64> {
+        let r = self.propagator.propagate_into(
+            ws,
             u,
             &[t],
             PropagateOpts {

@@ -1,0 +1,157 @@
+//! Bounded partial top-k selection over `(node, score)` pairs.
+//!
+//! Every ranked readout in the workspace — exact recommendation,
+//! landmark preprocessing lists, landmark query merges — ends with
+//! "keep the `n` best of `m` scored nodes, highest score first, ties
+//! by node id". Sorting all `m` candidates costs `O(m log m)`; for the
+//! landmark preprocessing (`m` = whole reached set, `n` = stored list
+//! size) and high-fan-out queries, `m ≫ n`. The selector here keeps a
+//! bounded min-heap of the current best `n` and finishes with one
+//! `O(n log n)` sort, for `O(m log n)` total — and, because the
+//! ordering (score descending, node id ascending) is **total** over
+//! distinct nodes, its output is element-for-element identical to the
+//! full sort-then-truncate it replaces.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use fui_graph::NodeId;
+
+/// A candidate in the selection ordering: "greater" means *better* —
+/// higher score, or equal score and smaller node id.
+#[derive(Clone, Copy, PartialEq)]
+struct Entry {
+    score: f64,
+    node: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .expect("scores are not NaN")
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Selects the top-`n` pairs by score (highest first, ties broken by
+/// ascending node id) without sorting the full candidate set.
+///
+/// Exactly equivalent to sorting `items` by `(score desc, id asc)` and
+/// truncating to `n`. Panics if any score is NaN (scores in this
+/// workspace are sums of products of finite non-negative factors).
+pub fn select_top_k(
+    n: usize,
+    items: impl IntoIterator<Item = (NodeId, f64)>,
+) -> Vec<(NodeId, f64)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut iter = items.into_iter().map(|(node, score)| Entry {
+        score,
+        node: node.0,
+    });
+    // Buffer the first `n` candidates with no ordering work at all:
+    // when `m <= n` (landmark lists routinely store more than the
+    // reached set holds) this degenerates to plain sort-and-return,
+    // never paying for heap maintenance.
+    let mut buf: Vec<Entry> = Vec::new();
+    let mut overflow = None;
+    for e in &mut iter {
+        if buf.len() < n {
+            buf.push(e);
+        } else {
+            overflow = Some(e);
+            break;
+        }
+    }
+    let mut kept: Vec<Entry> = if let Some(first) = overflow {
+        // Min-heap of the best `n` so far, built with one O(n)
+        // heapify (Reverse flips the ordering so the *worst kept*
+        // candidate is at the top, ready to be evicted).
+        let mut heap: BinaryHeap<std::cmp::Reverse<Entry>> =
+            buf.into_iter().map(std::cmp::Reverse).collect();
+        for e in std::iter::once(first).chain(iter) {
+            if e > heap.peek().expect("n > 0").0 {
+                heap.pop();
+                heap.push(std::cmp::Reverse(e));
+            }
+        }
+        heap.into_iter().map(|r| r.0).collect()
+    } else {
+        buf
+    };
+    kept.sort_unstable_by(|a, b| b.cmp(a));
+    kept.into_iter()
+        .map(|e| (NodeId(e.node), e.score))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_sort(mut v: Vec<(NodeId, f64)>, n: usize) -> Vec<(NodeId, f64)> {
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are not NaN")
+                .then(a.0 .0.cmp(&b.0 .0))
+        });
+        v.truncate(n);
+        v
+    }
+
+    #[test]
+    fn matches_full_sort_on_seeded_inputs() {
+        // Deterministic LCG inputs with plenty of score ties.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for m in [0usize, 1, 2, 7, 50, 333] {
+            let items: Vec<(NodeId, f64)> = (0..m)
+                .map(|i| {
+                    // Coarse quantisation forces tie groups.
+                    let s = (next() % 17) as f64 / 4.0;
+                    (NodeId(i as u32), s)
+                })
+                .collect();
+            for n in [0usize, 1, 2, 5, m / 2, m, m + 10, usize::MAX] {
+                let a = select_top_k(n, items.iter().copied());
+                let b = full_sort(items.clone(), n);
+                assert_eq!(a, b, "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn orders_ties_by_node_id() {
+        let items = vec![
+            (NodeId(9), 1.0),
+            (NodeId(3), 1.0),
+            (NodeId(7), 2.0),
+            (NodeId(1), 1.0),
+        ];
+        let top = select_top_k(3, items);
+        assert_eq!(
+            top,
+            vec![(NodeId(7), 2.0), (NodeId(1), 1.0), (NodeId(3), 1.0)]
+        );
+    }
+
+    #[test]
+    fn zero_k_is_empty() {
+        assert!(select_top_k(0, vec![(NodeId(1), 5.0)]).is_empty());
+    }
+}

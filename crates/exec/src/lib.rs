@@ -46,12 +46,96 @@
 
 #![warn(missing_docs)]
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Upper bound on the configured pool width.
 pub const MAX_THREADS: usize = 256;
+
+thread_local! {
+    static WORKER_INDEX: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The calling thread's pool slot: `0` outside any pool worker (the
+/// caller's thread, which also runs the inline serial path), `1..=width`
+/// inside a worker spawned by this crate. Stable for the duration of a
+/// pool scope, so it can key per-worker state such as [`WorkerLocal`].
+pub fn worker_index() -> usize {
+    WORKER_INDEX.with(Cell::get)
+}
+
+/// Per-worker storage keyed by [`worker_index`]: one lazily initialised
+/// slot per possible pool slot (`0..=MAX_THREADS`), reused across items
+/// of a `par_map` and across successive pool calls.
+///
+/// This is how batched propagation holds one `PropWorkspace` per worker
+/// instead of allocating per item: the slot a worker claims with
+/// [`get_or`](WorkerLocal::get_or) is the same one it claimed for the
+/// previous item, so scratch buffers stay warm. Slots are mutex-backed —
+/// concurrent pools sharing one `WorkerLocal` stay safe (they serialise
+/// on the slot), while the common case (each slot touched by one worker
+/// at a time) is an uncontended lock.
+pub struct WorkerLocal<T> {
+    slots: Box<[Mutex<Option<T>>]>,
+}
+
+impl<T> WorkerLocal<T> {
+    /// Creates an empty pool of per-worker slots.
+    pub fn new() -> WorkerLocal<T> {
+        WorkerLocal {
+            slots: (0..=MAX_THREADS).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Locks the calling worker's slot, initialising it with `make` on
+    /// first use, and returns a guard dereferencing to the value. The
+    /// guard holds the slot lock — drop it before handing control back
+    /// to the pool (i.e. scope it to one item).
+    pub fn get_or(&self, make: impl FnOnce() -> T) -> WorkerSlot<'_, T> {
+        let mut guard = self.slots[worker_index()]
+            .lock()
+            .expect("WorkerLocal slot poisoned");
+        if guard.is_none() {
+            *guard = Some(make());
+        }
+        WorkerSlot { guard }
+    }
+
+    /// Drains every initialised slot's value (for inspection in tests
+    /// and calibration runs).
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.get_mut().expect("WorkerLocal slot poisoned").take())
+    }
+}
+
+impl<T> Default for WorkerLocal<T> {
+    fn default() -> WorkerLocal<T> {
+        WorkerLocal::new()
+    }
+}
+
+/// Exclusive access to one [`WorkerLocal`] slot; dereferences to the
+/// initialised value and releases the slot on drop.
+pub struct WorkerSlot<'a, T> {
+    guard: MutexGuard<'a, Option<T>>,
+}
+
+impl<T> std::ops::Deref for WorkerSlot<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("slot initialised by get_or")
+    }
+}
+
+impl<T> std::ops::DerefMut for WorkerSlot<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("slot initialised by get_or")
+    }
+}
 
 /// The configured pool width: `FUI_THREADS` if set and parseable,
 /// otherwise [`std::thread::available_parallelism`] (1 if unknown).
@@ -169,7 +253,7 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let width = width.clamp(1, num_tasks.max(1));
+    let width = width.clamp(1, num_tasks.max(1)).min(MAX_THREADS);
     if width <= 1 {
         // Serial baseline: no spawn, no claim accounting overhead
         // beyond one batched counter update.
@@ -188,6 +272,8 @@ where
         let handles: Vec<_> = (0..width)
             .map(|w| {
                 scope.spawn(move |_| {
+                    // Pool slots are 1-based; 0 is the caller's thread.
+                    WORKER_INDEX.with(|c| c.set(w + 1));
                     let _sp = fui_obs::span!("exec.worker");
                     let mut out: Vec<(usize, R)> = Vec::new();
                     let mut stolen = 0u64;
@@ -315,5 +401,53 @@ mod tests {
     fn threads_env_is_a_valid_width() {
         let t = threads();
         assert!((1..=MAX_THREADS).contains(&t));
+    }
+
+    #[test]
+    fn worker_index_is_zero_on_the_caller_and_bounded_in_workers() {
+        assert_eq!(worker_index(), 0);
+        // Serial path runs inline: still slot 0.
+        let serial = par_map_with(1, &[(); 3], |_| worker_index());
+        assert_eq!(serial, vec![0, 0, 0]);
+        // Pool workers get 1..=width.
+        let par = par_map_with(4, &(0..64).collect::<Vec<u32>>(), |_| worker_index());
+        assert!(par.iter().all(|&w| (1..=4).contains(&w)), "{par:?}");
+        assert_eq!(worker_index(), 0, "caller slot untouched by the pool");
+    }
+
+    #[test]
+    fn worker_local_initialises_at_most_once_per_slot() {
+        use std::sync::atomic::AtomicU64;
+        let inits = AtomicU64::new(0);
+        let mut pool: WorkerLocal<Vec<u8>> = WorkerLocal::new();
+        let width = 4;
+        for _round in 0..3 {
+            let out = par_map_with(width, &(0..100).collect::<Vec<u32>>(), |&i| {
+                let mut buf = pool.get_or(|| {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::new()
+                });
+                buf.push(i as u8);
+                buf.len()
+            });
+            assert_eq!(out.len(), 100);
+        }
+        // One value per worker slot across all rounds and items, never
+        // one per item.
+        let created = inits.load(Ordering::Relaxed);
+        assert!(created <= width as u64, "created {created} > width {width}");
+        let total: usize = pool.drain().map(|v| v.len()).sum();
+        assert_eq!(total, 300, "every item hit exactly one slot");
+    }
+
+    #[test]
+    fn worker_local_serial_path_uses_the_caller_slot() {
+        let mut pool: WorkerLocal<u32> = WorkerLocal::new();
+        let _ = par_map_with(1, &[(); 5], |_| {
+            *pool.get_or(|| 0) += 1;
+        });
+        *pool.get_or(|| 0) += 1; // caller thread shares slot 0
+        let values: Vec<u32> = pool.drain().collect();
+        assert_eq!(values, vec![6]);
     }
 }

@@ -14,7 +14,7 @@
 //! pool's index-ordered reduction makes the index bit-identical to
 //! [`LandmarkIndex::build`] at every thread count.
 
-use fui_core::{PropagateOpts, Propagator};
+use fui_core::{PropWorkspace, PropagateOpts, Propagator};
 use fui_graph::NodeId;
 use fui_taxonomy::{Topic, NUM_TOPICS};
 
@@ -69,24 +69,30 @@ impl LandmarkIndex {
         landmarks: Vec<NodeId>,
         top_n: usize,
     ) -> LandmarkIndex {
+        let mut ws = PropWorkspace::new();
         let entries = landmarks
             .iter()
-            .map(|&l| compute_entry(propagator, l, top_n))
+            .map(|&l| compute_entry(propagator, &mut ws, l, top_n))
             .collect();
         Self::assemble(propagator.graph().num_nodes(), landmarks, entries, top_n)
     }
 
     /// Parallel preprocessing over `threads` workers of the
     /// [`fui_exec`] pool (one propagation per landmark per worker,
-    /// entries merged in landmark order).
+    /// entries merged in landmark order). Each worker reuses one
+    /// propagation workspace across all the landmarks it claims, so
+    /// the build performs `O(threads)` workspace allocations, not
+    /// `O(landmarks)`.
     pub fn build_parallel(
         propagator: &Propagator<'_>,
         landmarks: Vec<NodeId>,
         top_n: usize,
         threads: usize,
     ) -> LandmarkIndex {
+        let pool: fui_exec::WorkerLocal<PropWorkspace> = fui_exec::WorkerLocal::new();
         let entries = fui_exec::par_map_with(threads, &landmarks, |&l| {
-            compute_entry(propagator, l, top_n)
+            let mut ws = pool.get_or(PropWorkspace::new);
+            compute_entry(propagator, &mut ws, l, top_n)
         });
         Self::assemble(propagator.graph().num_nodes(), landmarks, entries, top_n)
     }
@@ -177,8 +183,21 @@ impl LandmarkIndex {
     /// (`crate::dynamic`). The propagator must cover a graph with the
     /// same node-id space.
     pub fn refresh(&mut self, propagator: &Propagator<'_>, slot: usize) {
+        let mut ws = PropWorkspace::new();
+        self.refresh_with(propagator, &mut ws, slot);
+    }
+
+    /// [`refresh`](Self::refresh) inside a caller-owned workspace —
+    /// what the dynamic-update policy uses to refresh many landmarks
+    /// back to back without reallocating.
+    pub fn refresh_with(
+        &mut self,
+        propagator: &Propagator<'_>,
+        ws: &mut PropWorkspace,
+        slot: usize,
+    ) {
         let landmark = self.landmarks[slot];
-        self.entries[slot] = compute_entry(propagator, landmark, self.top_n);
+        self.entries[slot] = compute_entry(propagator, ws, landmark, self.top_n);
     }
 
     /// A copy keeping only the top-`top_n` of every stored list —
@@ -208,10 +227,16 @@ impl LandmarkIndex {
 }
 
 /// Runs Algorithm 1 for one landmark: propagate to convergence on all
-/// topics, extract per-topic and topological top-n lists.
-fn compute_entry(propagator: &Propagator<'_>, landmark: NodeId, top_n: usize) -> LandmarkEntry {
+/// topics (inside the caller's workspace), extract per-topic and
+/// topological top-n lists.
+fn compute_entry(
+    propagator: &Propagator<'_>,
+    ws: &mut PropWorkspace,
+    landmark: NodeId,
+    top_n: usize,
+) -> LandmarkEntry {
     let _span = fui_obs::span!("landmark.preprocess");
-    let r = propagator.propagate(landmark, &Topic::ALL, PropagateOpts::default());
+    let r = propagator.propagate_into(ws, landmark, &Topic::ALL, PropagateOpts::default());
     let mut recs = Vec::with_capacity(NUM_TOPICS);
     for ti in 0..NUM_TOPICS {
         let list = r

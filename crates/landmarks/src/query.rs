@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 
-use fui_core::{PropagateOpts, Propagator};
+use fui_core::{topk, PropWorkspace, PropagateOpts, Propagator};
 use fui_graph::NodeId;
 use fui_taxonomy::Topic;
 
@@ -72,25 +72,20 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
         query: &[(Topic, f64)],
         top_n: usize,
     ) -> ApproxResult {
+        let mut ws = PropWorkspace::new();
         let mut combined: HashMap<u32, f64> = HashMap::new();
         let mut landmarks_found = 0usize;
         let mut explored = 0usize;
         for &(t, w) in query {
-            let r = self.recommend(u, t, usize::MAX);
+            let r = self.recommend_with(&mut ws, u, t, usize::MAX);
             landmarks_found = landmarks_found.max(r.landmarks_found);
             explored = explored.max(r.explored);
             for (v, s) in r.recommendations {
                 *combined.entry(v.0).or_insert(0.0) += w * s;
             }
         }
-        let mut recommendations: Vec<(NodeId, f64)> =
-            combined.into_iter().map(|(v, s)| (NodeId(v), s)).collect();
-        recommendations.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("scores are not NaN")
-                .then(a.0 .0.cmp(&b.0 .0))
-        });
-        recommendations.truncate(top_n);
+        let recommendations =
+            topk::select_top_k(top_n, combined.into_iter().map(|(v, s)| (NodeId(v), s)));
         ApproxResult {
             recommendations,
             landmarks_found,
@@ -104,15 +99,38 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
     /// [`recommend`](Self::recommend) call exactly — queries only read
     /// the shared propagator and index, so the batch is
     /// embarrassingly parallel and thread-count invariant.
+    /// Each worker reuses one propagation workspace across all the
+    /// queries it claims, so the batch performs `O(FUI_THREADS)`
+    /// workspace allocations, not `O(queries)`.
     pub fn recommend_batch(&self, queries: &[(NodeId, Topic)], top_n: usize) -> Vec<ApproxResult> {
-        fui_exec::par_map(queries, |&(u, t)| self.recommend(u, t, top_n))
+        let pool: fui_exec::WorkerLocal<PropWorkspace> = fui_exec::WorkerLocal::new();
+        fui_exec::par_map(queries, |&(u, t)| {
+            let mut ws = pool.get_or(PropWorkspace::new);
+            self.recommend_with(&mut ws, u, t, top_n)
+        })
     }
 
     /// Top-`n` approximate recommendations for `u` on `t`.
     pub fn recommend(&self, u: NodeId, t: Topic, top_n: usize) -> ApproxResult {
+        let mut ws = PropWorkspace::new();
+        self.recommend_with(&mut ws, u, t, top_n)
+    }
+
+    /// [`recommend`](Self::recommend) running inside a caller-owned
+    /// [`PropWorkspace`] — the allocation-free path batched callers
+    /// use (one workspace per `fui-exec` worker). Answers are
+    /// bit-identical to [`recommend`](Self::recommend).
+    pub fn recommend_with(
+        &self,
+        ws: &mut PropWorkspace,
+        u: NodeId,
+        t: Topic,
+        top_n: usize,
+    ) -> ApproxResult {
         let _span = fui_obs::span!("landmark.query");
         let prune_mask = self.prune_at_landmarks.then(|| self.index.mask());
-        let r = self.propagator.propagate(
+        let r = self.propagator.propagate_into(
+            ws,
             u,
             &[t],
             PropagateOpts {
@@ -121,9 +139,9 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
             },
         );
 
-        let mut scores: HashMap<u32, f64> = HashMap::with_capacity(r.reached.len() * 2);
+        let mut scores: HashMap<u32, f64> = HashMap::with_capacity(r.reached().len() * 2);
         // Direct contributions of the explored vicinity.
-        for &v in &r.reached {
+        for &v in r.reached() {
             if v == u {
                 continue;
             }
@@ -135,7 +153,7 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
         // Landmark compositions.
         let mut landmarks_found = 0usize;
         let mut composed_pairs = 0u64;
-        for &l in &r.reached {
+        for &l in r.reached() {
             if l == u || !self.index.is_landmark(l) {
                 continue;
             }
@@ -178,18 +196,12 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
         fui_obs::counter("landmark.composed_pairs").add(composed_pairs);
         fui_obs::counter("query.candidates").add(scores.len() as u64);
 
-        let mut recommendations: Vec<(NodeId, f64)> =
-            scores.into_iter().map(|(v, s)| (NodeId(v), s)).collect();
-        recommendations.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("scores are not NaN")
-                .then(a.0 .0.cmp(&b.0 .0))
-        });
-        recommendations.truncate(top_n);
+        let recommendations =
+            topk::select_top_k(top_n, scores.into_iter().map(|(v, s)| (NodeId(v), s)));
         ApproxResult {
             recommendations,
             landmarks_found,
-            explored: r.reached.len(),
+            explored: r.reached().len(),
         }
     }
 }

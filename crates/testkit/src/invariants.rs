@@ -16,9 +16,11 @@
 //! * the [`fui_exec`] pool is **width-invariant**: the same computation
 //!   at width 1 and width `N` produces bit-identical results.
 
-use fui_core::{AuthorityIndex, PropagateOpts, Propagator, ScoreParams, ScoreVariant};
+use fui_core::{
+    AuthorityIndex, PropWorkspace, PropagateOpts, Propagator, ScoreParams, ScoreVariant,
+};
 use fui_graph::{NodeId, SocialGraph};
-use fui_landmarks::{persist, LandmarkIndex};
+use fui_landmarks::{persist, ApproxRecommender, LandmarkIndex};
 use fui_taxonomy::{SimMatrix, Taxonomy, Topic};
 
 use crate::gen::GraphCase;
@@ -298,6 +300,111 @@ pub fn check_pool_width_invariance(case: &GraphCase, width: usize) -> Result<(),
     Ok(())
 }
 
+/// The zero-allocation propagation path is **bit-exact**: runs through
+/// a reused [`PropWorkspace`] — whatever ran in it before, whatever the
+/// sigma layout of the previous run — read back bit-identical to
+/// fresh-buffer runs, and workspace-pooled batched queries equal their
+/// serial counterparts byte for byte. (The CI conformance matrix runs
+/// this at `FUI_THREADS=1` and `FUI_THREADS=4`, covering both the
+/// inline serial pool path and true per-worker workspace pooling.)
+pub fn check_workspace_reuse_matches_fresh(case: &GraphCase) -> Result<(), String> {
+    let graph = case.graph();
+    let n = graph.num_nodes();
+    let auth = AuthorityIndex::build(&graph);
+    let sim = SimMatrix::opencalais();
+    let params = fixed_depth_params(0.75, 0.3);
+    let p = Propagator::new(&graph, &auth, &sim, params, ScoreVariant::Full);
+    let mut rng = SeededRng::new(case.seed.rotate_left(17));
+    // A landmark-style mask flagging roughly a third of the nodes.
+    let mask: Vec<bool> = (0..n).map(|_| rng.below(3) == 0).collect();
+    let topic_pool: [&[Topic]; 4] = [
+        &[Topic::Technology],
+        &[Topic::Technology, Topic::Social, Topic::Business],
+        &[],
+        &Topic::ALL,
+    ];
+
+    // One workspace across runs that vary source, sigma layout, depth
+    // and pruning — each compared bit-for-bit against a fresh run.
+    let mut ws = PropWorkspace::new();
+    for round in 0..8u32 {
+        let source = NodeId(rng.below(n as u64) as u32);
+        let topics = topic_pool[rng.below(topic_pool.len() as u64) as usize];
+        let opts = PropagateOpts {
+            max_depth: match rng.below(4) {
+                0 => Some(0),
+                1 => Some(2),
+                2 => Some(DEPTH),
+                _ => None,
+            },
+            prune: (rng.below(2) == 0).then_some(mask.as_slice()),
+        };
+        let fresh = p.propagate(source, topics, opts);
+        let reused = p.propagate_into(&mut ws, source, topics, opts);
+        if reused.reached() != &fresh.reached[..]
+            || reused.levels() != fresh.levels
+            || reused.converged() != fresh.converged
+        {
+            return Err(format!(
+                "workspace round {round}: run shape diverged from fresh \
+                 buffers at source {source} ({})",
+                case.repro()
+            ));
+        }
+        for v in graph.nodes() {
+            if reused.topo_beta(v).to_bits() != fresh.topo_beta(v).to_bits()
+                || reused.topo_alphabeta(v).to_bits() != fresh.topo_alphabeta(v).to_bits()
+            {
+                return Err(format!(
+                    "workspace round {round}: topo bits diverged at node {v} \
+                     ({})",
+                    case.repro()
+                ));
+            }
+            for ti in 0..topics.len() {
+                if reused.sigma_at(v, ti).to_bits() != fresh.sigma_at(v, ti).to_bits() {
+                    return Err(format!(
+                        "workspace round {round}: sigma bits diverged at node \
+                         {v} column {ti} ({})",
+                        case.repro()
+                    ));
+                }
+            }
+        }
+    }
+
+    // The batched query path pools workspaces per fui-exec worker; its
+    // answers must still equal serial one-shot queries bit for bit.
+    let landmarks: Vec<NodeId> = graph.nodes().filter(|v| mask[v.index()]).collect();
+    let index = LandmarkIndex::build(&p, landmarks, n);
+    let approx = ApproxRecommender::new(&p, &index);
+    let queries: Vec<(NodeId, Topic)> = (0..2 * n)
+        .map(|_| {
+            (
+                NodeId(rng.below(n as u64) as u32),
+                Topic::ALL[rng.below(Topic::ALL.len() as u64) as usize],
+            )
+        })
+        .collect();
+    let batched = approx.recommend_batch(&queries, 5);
+    for (res, &(u, t)) in batched.iter().zip(&queries) {
+        let serial = approx.recommend(u, t, 5);
+        if res.recommendations.len() != serial.recommendations.len()
+            || res
+                .recommendations
+                .iter()
+                .zip(&serial.recommendations)
+                .any(|(a, b)| a.0 != b.0 || a.1.to_bits() != b.1.to_bits())
+        {
+            return Err(format!(
+                "pooled batch diverged from serial at query ({u}, {t}) ({})",
+                case.repro()
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,6 +421,7 @@ mod tests {
                     ("katz-edge", check_katz_monotone_edge_addition(&case)),
                     ("permutation", check_permutation_invariance(&case)),
                     ("pool", check_pool_width_invariance(&case, 4)),
+                    ("workspace", check_workspace_reuse_matches_fresh(&case)),
                 ] {
                     r.unwrap_or_else(|e| panic!("{name} on {preset:?}/{seed}: {e}"));
                 }

@@ -18,6 +18,14 @@ driver writes with `--manifest`:
            wall time by at least --min-speedup (default 1.5x for
            table5.preprocess at 4 threads).
 
+  micro    Gate the propagate_micro cell: its tracked work counters
+           must equal the committed baseline exactly, its spans
+           (propagate_micro.single / .batch) stay within
+           --time-tolerance percent of the baseline, and
+           propagate_micro.batch_allocs must not exceed the fresh
+           run's exec_threads param (one workspace per pool worker,
+           zero per-query allocation).
+
 Exit codes: 0 pass, 1 gate failure, 2 usage/IO error.
 """
 
@@ -45,6 +53,28 @@ TRACKED_SPANS = [
     "table5.exact",
 ]
 
+# Deterministic counters of the propagate_micro cell. The
+# propagate.workspace.* and propagate.sparse_cleared counters are
+# deliberately absent: they describe buffer reuse, which legitimately
+# varies with how work lands on pool workers.
+MICRO_TRACKED_COUNTERS = [
+    "propagate.calls",
+    "propagate.edges_relaxed",
+    "propagate.levels",
+    "propagate_micro.single.calls",
+    "propagate_micro.single.edges_relaxed",
+    "landmark.pruned_at",
+    "landmark.composed_pairs",
+    "landmark.query.landmarks_met",
+    "query.candidates",
+]
+
+# propagate_micro spans under the wall-time regression check.
+MICRO_TRACKED_SPANS = [
+    "propagate_micro.single",
+    "propagate_micro.batch",
+]
+
 
 def load(path):
     try:
@@ -66,10 +96,10 @@ def counter(manifest, name):
     return manifest.get("counters", {}).get(name)
 
 
-def diff_counters(a, b, label_a, label_b):
+def diff_counters(a, b, label_a, label_b, names=TRACKED_COUNTERS):
     """Returns a list of human-readable drift messages."""
     failures = []
-    for name in TRACKED_COUNTERS:
+    for name in names:
         va, vb = counter(a, name), counter(b, name)
         if va is None or vb is None:
             missing = label_a if va is None else label_b
@@ -84,23 +114,9 @@ def cmd_check(args):
     baseline = load(args.baseline)
     failures = diff_counters(baseline, fresh, "baseline", "fresh")
     if not args.no_time:
-        tolerance = 1.0 + args.time_tolerance / 100.0
-        for path in TRACKED_SPANS:
-            base_ms = span_total_ms(baseline, path)
-            fresh_ms = span_total_ms(fresh, path)
-            if base_ms is None or fresh_ms is None:
-                # A missing span is a structural drift for the
-                # baseline, informational for the fresh run at lower
-                # obs levels.
-                if base_ms is not None and fresh_ms is None:
-                    failures.append(f"span {path}: missing from fresh manifest")
-                continue
-            if base_ms > 0 and fresh_ms > base_ms * tolerance:
-                failures.append(
-                    f"span {path}: {fresh_ms:.3f} ms vs baseline "
-                    f"{base_ms:.3f} ms (+{(fresh_ms / base_ms - 1) * 100:.1f}% "
-                    f"> {args.time_tolerance:.0f}% tolerance)"
-                )
+        # A span missing from the baseline is informational (older
+        # baselines predate it); missing from the fresh run is drift.
+        failures += span_drift(baseline, fresh, TRACKED_SPANS, args.time_tolerance)
     report("check", failures, f"{args.fresh} vs {args.baseline}")
 
 
@@ -108,6 +124,58 @@ def cmd_equal(args):
     a, b = load(args.a), load(args.b)
     failures = diff_counters(a, b, "A", "B")
     report("equal", failures, f"{args.a} (A) vs {args.b} (B)")
+
+
+def span_drift(baseline, fresh, paths, tolerance_pct):
+    """Wall-time regression messages for the given span paths."""
+    failures = []
+    tolerance = 1.0 + tolerance_pct / 100.0
+    for path in paths:
+        base_ms = span_total_ms(baseline, path)
+        fresh_ms = span_total_ms(fresh, path)
+        if base_ms is None or fresh_ms is None:
+            if base_ms is not None and fresh_ms is None:
+                failures.append(f"span {path}: missing from fresh manifest")
+            continue
+        if base_ms > 0 and fresh_ms > base_ms * tolerance:
+            failures.append(
+                f"span {path}: {fresh_ms:.3f} ms vs baseline "
+                f"{base_ms:.3f} ms (+{(fresh_ms / base_ms - 1) * 100:.1f}% "
+                f"> {tolerance_pct:.0f}% tolerance)"
+            )
+    return failures
+
+
+def cmd_micro(args):
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = diff_counters(
+        baseline, fresh, "baseline", "fresh", names=MICRO_TRACKED_COUNTERS
+    )
+    if not args.no_time:
+        failures += span_drift(
+            baseline, fresh, MICRO_TRACKED_SPANS, args.time_tolerance
+        )
+    # The zero-allocation invariant: the pooled batch may allocate at
+    # most one workspace per worker, never one per query.
+    allocs = counter(fresh, "propagate_micro.batch_allocs")
+    threads = fresh.get("params", {}).get("exec_threads")
+    if allocs is None:
+        failures.append("counter propagate_micro.batch_allocs: missing from fresh manifest")
+    elif not isinstance(threads, int):
+        failures.append("param exec_threads: missing from fresh manifest")
+    elif allocs > max(threads, 1):
+        failures.append(
+            f"propagate_micro.batch_allocs = {allocs} exceeds "
+            f"exec_threads = {threads}: the batched path is allocating "
+            f"per query, not per worker"
+        )
+    else:
+        print(
+            f"bench_gate micro: batch_allocs {allocs} <= "
+            f"exec_threads {max(threads, 1)}"
+        )
+    report("micro", failures, f"{args.fresh} vs {args.baseline}")
 
 
 def cmd_speedup(args):
@@ -167,6 +235,24 @@ def main():
     equal.add_argument("a")
     equal.add_argument("b")
     equal.set_defaults(func=cmd_equal)
+
+    micro = sub.add_parser(
+        "micro", help="gate the propagate_micro manifest cell"
+    )
+    micro.add_argument("--fresh", required=True)
+    micro.add_argument("--baseline", required=True)
+    micro.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=25.0,
+        help="max allowed span wall-time regression, percent (default 25)",
+    )
+    micro.add_argument(
+        "--no-time",
+        action="store_true",
+        help="skip the wall-time check (counters + allocs only)",
+    )
+    micro.set_defaults(func=cmd_micro)
 
     speedup = sub.add_parser("speedup", help="parallel beats serial on a span")
     speedup.add_argument("--serial", required=True)

@@ -115,6 +115,18 @@ fn pool_width_invariance() {
     });
 }
 
+/// Zero-allocation path conformance: propagation through a reused
+/// `PropWorkspace` must be bit-identical to fresh-buffer runs, and
+/// workspace-pooled batched queries must equal serial ones, on every
+/// corpus preset. The CI conformance matrix runs this whole binary at
+/// `FUI_THREADS=1` and `FUI_THREADS=4`.
+#[test]
+fn workspace_reuse_bit_equality() {
+    run_suite("conformance_workspace", 12, |case| {
+        invariants::check_workspace_reuse_matches_fresh(case)
+    });
+}
+
 /// Mutation sanity: a deliberate off-by-one injected into a copy of
 /// the authority normalizer must be *caught* by the oracle on every
 /// instance where it is observable — proof the harness has teeth.

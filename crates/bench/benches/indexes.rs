@@ -112,7 +112,7 @@ fn bench_indexes(c: &mut Criterion) {
             follower: fui_graph::NodeId(1),
             followee: fui_graph::NodeId(2),
             labels: TopicSet::single(Topic::Technology),
-            added: true,
+            kind: fui_landmarks::ChangeKind::Insert,
         };
         b.iter(|| dynamic.record(&change));
     });

@@ -43,6 +43,7 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
         "propagate_micro" => {
             vec![("propagate_micro".into(), exp::propagate_micro::run(scale))]
         }
+        "serve_micro" => vec![("serve_micro".into(), exp::serve_micro::run(scale))],
         "all" => {
             let ids = [
                 "table2",
@@ -61,6 +62,7 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
                 "sig",
                 "popularity",
                 "propagate_micro",
+                "serve_micro",
             ];
             ids.iter().flat_map(|i| run_one(i, scale)).collect()
         }

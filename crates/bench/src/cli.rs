@@ -28,6 +28,7 @@ pub const KNOWN_IDS: &[&str] = &[
     "sig",
     "popularity",
     "propagate_micro",
+    "serve_micro",
     "all",
 ];
 
@@ -37,10 +38,11 @@ usage: experiments [<id>...] [flags]
 
 ids:    table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
         table3 table5 table6 sweep dynamic distrib trank_dt sig
-        popularity propagate_micro all          (default: all)
+        popularity propagate_micro serve_micro all   (default: all)
 
 flags:  --full            paper-shaped densities (slow)
         --smoke           tiny smoke-test scale
+        --serve           shorthand for the serve_micro serving cell
         --trials K        average the link-prediction figures over K trials
         --nodes N         Twitter-like node count
         --tests T         link-prediction test-set size
@@ -111,6 +113,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<CliOutcome, CliEr
             "--help" | "-h" => return Ok(CliOutcome::Help),
             "--full" => scale = ExperimentScale::full(),
             "--smoke" => scale = ExperimentScale::smoke(),
+            "--serve" => ids.push("serve_micro".to_owned()),
             "--nodes" => scale.twitter_nodes = usize_of(&mut args, "--nodes")?,
             "--tests" => scale.test_size = usize_of(&mut args, "--tests")?,
             "--landmarks" => scale.landmarks = usize_of(&mut args, "--landmarks")?,
@@ -168,6 +171,19 @@ mod tests {
         assert_eq!(o.ids, vec!["table5", "dynamic"]);
         assert_eq!(o.scale.seed, 7);
         assert_eq!(o.manifest.as_deref(), Some("results/"));
+    }
+
+    #[test]
+    fn serve_flag_selects_the_serving_cell() {
+        let CliOutcome::Run(o) = parse(argv("--serve --smoke")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.ids, vec!["serve_micro"]);
+        // And the long form stays a plain id.
+        let CliOutcome::Run(o) = parse(argv("serve_micro")).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(o.ids, vec!["serve_micro"]);
     }
 
     #[test]

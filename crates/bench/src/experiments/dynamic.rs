@@ -11,7 +11,9 @@
 use fui_core::{PropagateOpts, ScoreParams, ScoreVariant};
 use fui_eval::kendall_tau_distance;
 use fui_graph::{NodeId, TopicSet};
-use fui_landmarks::{ApproxRecommender, DynamicLandmarks, EdgeChange, LandmarkIndex, Strategy};
+use fui_landmarks::{
+    ApproxRecommender, ChangeKind, DynamicLandmarks, EdgeChange, LandmarkIndex, Strategy,
+};
 use fui_taxonomy::Topic;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -48,7 +50,7 @@ pub fn run(scale: &ExperimentScale) -> String {
             follower: u,
             followee: v,
             labels,
-            added: false,
+            kind: ChangeKind::Remove,
         })
         .collect();
     let n = d.graph.num_nodes() as u32;
@@ -74,7 +76,7 @@ pub fn run(scale: &ExperimentScale) -> String {
             follower: u,
             followee: v,
             labels,
-            added: true,
+            kind: ChangeKind::Insert,
         })
         .collect();
 

@@ -18,6 +18,7 @@
 //! | [`sig::run`] | extra — paired-bootstrap significance of the Figure-4 orderings |
 //! | [`popularity::run`] | extra — PageRank vs TwitterRank vs Tr popularity decomposition |
 //! | [`propagate_micro::run`] | extra — zero-allocation propagation micro-cell gated by CI (`bench_gate.py micro`) |
+//! | [`serve_micro::run`] | extra — online serving closed loop (queries × updates × rotations) gated by CI (`bench_gate.py serve`) |
 
 pub mod distrib;
 pub mod dynamic;
@@ -29,6 +30,7 @@ pub mod landmark_tables;
 pub mod linkpred;
 pub mod popularity;
 pub mod propagate_micro;
+pub mod serve_micro;
 pub mod sig;
 pub mod sweep;
 pub mod table2;

@@ -147,6 +147,57 @@ fn table5_smoke_manifest_is_valid_and_populated() {
 }
 
 #[test]
+fn serve_smoke_manifest_is_valid_and_populated() {
+    let dir = scratch_dir("serve");
+    let out = Command::new(BIN)
+        .args(["--serve", "--smoke", "--manifest"])
+        .arg(&dir)
+        .output()
+        .expect("spawn experiments binary");
+    assert!(
+        out.status.success(),
+        "exit {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let path = dir.join("BENCH_serve_micro.json");
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("manifest {} not written: {e}", path.display()));
+    assert_valid_json(&json);
+
+    assert!(json.contains("\"id\": \"serve_micro\""));
+    // The acceptance workload: 10k+ queries, 1k+ updates, 10+
+    // rotations, every accepted request answered.
+    let queries = counter_value(&json, "serve_micro.queries");
+    let answered = counter_value(&json, "serve_micro.answered");
+    let requests = counter_value(&json, "service.requests");
+    let shed = counter_value(&json, "service.shed");
+    assert!(queries >= 10_000, "got {queries} queries");
+    assert!(counter_value(&json, "serve_micro.updates") >= 1_000);
+    assert!(counter_value(&json, "service.snapshot.rotations") >= 10);
+    assert_eq!(answered + shed, queries, "no request may vanish");
+    assert_eq!(requests, answered, "service answered what the loop saw");
+    assert!(counter_value(&json, "service.cache.hits") > 0);
+    assert!(counter_value(&json, "service.cache.misses") > 0);
+    assert!(counter_value(&json, "landmarks.dynamic.records") >= 1_000);
+    // Latency histogram + spans the gate's p99 bound reads.
+    assert!(json.contains("\"service.request_latency\""));
+    for span in [
+        "serve_micro.drive",
+        "serve_micro.drive/service.request",
+        "serve_micro.drive/service.rotate",
+    ] {
+        assert!(
+            json.contains(&format!("\"path\": \"{span}\"")),
+            "span {span} missing"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn help_prints_usage_and_exits_zero() {
     let out = Command::new(BIN).arg("--help").output().expect("spawn");
     assert!(out.status.success());

@@ -22,6 +22,21 @@ use fui_taxonomy::TopicSet;
 
 use crate::index::LandmarkIndex;
 
+/// What a follow-graph mutation does to the edge.
+///
+/// An explicit kind (rather than a boolean) so the serving layer can
+/// apply changes to the graph, and so the staleness policy is forced
+/// to treat unfollows as first-class: a removal deletes walks through
+/// the landmark's stored coverage exactly as an insertion adds them,
+/// and both must drive the landmark stale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// A new follow edge (labels are unioned into an existing edge).
+    Insert,
+    /// An unfollow: the edge is deleted entirely.
+    Remove,
+}
+
 /// One follow-graph mutation.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EdgeChange {
@@ -31,8 +46,30 @@ pub struct EdgeChange {
     pub followee: NodeId,
     /// Topics of the (un)followed relationship.
     pub labels: TopicSet,
-    /// `true` for a new follow, `false` for an unfollow.
-    pub added: bool,
+    /// Whether the edge appears or disappears.
+    pub kind: ChangeKind,
+}
+
+impl EdgeChange {
+    /// A new follow.
+    pub fn insert(follower: NodeId, followee: NodeId, labels: TopicSet) -> EdgeChange {
+        EdgeChange {
+            follower,
+            followee,
+            labels,
+            kind: ChangeKind::Insert,
+        }
+    }
+
+    /// An unfollow.
+    pub fn remove(follower: NodeId, followee: NodeId, labels: TopicSet) -> EdgeChange {
+        EdgeChange {
+            follower,
+            followee,
+            labels,
+            kind: ChangeKind::Remove,
+        }
+    }
 }
 
 /// A landmark index plus per-landmark staleness accounting.
@@ -106,9 +143,14 @@ impl DynamicLandmarks {
         self.staleness[slot]
     }
 
-    /// Charges one mutation to every landmark.
+    /// Charges one mutation to every landmark. Insertions and removals
+    /// are charged identically: deleting an edge invalidates exactly
+    /// the walk mass that adding it would have created, so both kinds
+    /// drive the affected landmarks stale at the same rate.
     pub fn record(&mut self, change: &EdgeChange) {
         self.changes_seen += 1;
+        fui_obs::counter("landmarks.dynamic.records").incr();
+        let mut newly_stale = 0u64;
         for slot in 0..self.index.len() {
             let lookup = &self.topo_lookup[slot];
             let landmark = self.index.landmarks()[slot];
@@ -120,25 +162,34 @@ impl DynamicLandmarks {
                 lookup.get(&change.follower.0).copied().unwrap_or(0.0)
             };
             let via_dst = lookup.get(&change.followee.0).copied().unwrap_or(0.0);
+            let was_stale = self.is_stale(slot);
             self.staleness[slot] += via_src + via_dst + self.background_impact;
+            if !was_stale && self.is_stale(slot) {
+                newly_stale += 1;
+            }
         }
+        fui_obs::counter("landmarks.dynamic.stale").add(newly_stale);
+    }
+
+    /// Whether `slot`'s accumulated impact crossed the threshold
+    /// (relative to its stored topological mass).
+    pub fn is_stale(&self, slot: usize) -> bool {
+        let total: f64 = self
+            .index
+            .entry_at(slot)
+            .topo
+            .iter()
+            .map(|s| s.topo)
+            .sum::<f64>()
+            .max(self.background_impact);
+        self.staleness[slot] >= self.refresh_threshold * total
     }
 
     /// Landmark slots whose impact crossed the threshold (relative to
     /// their stored topological mass).
     pub fn stale_slots(&self) -> Vec<usize> {
         (0..self.index.len())
-            .filter(|&slot| {
-                let total: f64 = self
-                    .index
-                    .entry_at(slot)
-                    .topo
-                    .iter()
-                    .map(|s| s.topo)
-                    .sum::<f64>()
-                    .max(self.background_impact);
-                self.staleness[slot] >= self.refresh_threshold * total
-            })
+            .filter(|&slot| self.is_stale(slot))
             .collect()
     }
 
@@ -147,6 +198,7 @@ impl DynamicLandmarks {
     /// their accounting. Returns the number refreshed.
     pub fn refresh_stale(&mut self, propagator: &Propagator<'_>) -> usize {
         let stale = self.stale_slots();
+        fui_obs::counter("landmarks.dynamic.refreshes").add(stale.len() as u64);
         for &slot in &stale {
             self.index.refresh(propagator, slot);
             let entry = self.index.entry_at(slot);
@@ -205,18 +257,10 @@ mod tests {
         let mut dyn_near = DynamicLandmarks::new(index.clone());
         let mut dyn_far = DynamicLandmarks::new(index);
         let tech = TopicSet::single(Topic::Technology);
-        dyn_near.record(&EdgeChange {
-            follower: NodeId(1), // inside λ's reach
-            followee: NodeId(2),
-            labels: tech,
-            added: true,
-        });
-        dyn_far.record(&EdgeChange {
-            follower: NodeId(3), // invisible from λ
-            followee: NodeId(4),
-            labels: tech,
-            added: true,
-        });
+        // Insertion near the landmark vs removal far from it: the
+        // charge is kind-agnostic, only locality matters.
+        dyn_near.record(&EdgeChange::insert(NodeId(1), NodeId(2), tech));
+        dyn_far.record(&EdgeChange::remove(NodeId(3), NodeId(4), tech));
         assert!(
             dyn_near.staleness_at(0) > dyn_far.staleness_at(0),
             "near {} vs far {}",
@@ -240,12 +284,7 @@ mod tests {
         let auth2 = AuthorityIndex::build(&g2);
         let p2 = Propagator::new(&g2, &auth2, &sim, params(), ScoreVariant::Full);
 
-        dynamic.record(&EdgeChange {
-            follower: NodeId(1),
-            followee: NodeId(4),
-            labels: tech,
-            added: true,
-        });
+        dynamic.record(&EdgeChange::insert(NodeId(1), NodeId(4), tech));
         assert!(
             !dynamic.stale_slots().is_empty(),
             "change near λ must flag it"
@@ -278,15 +317,27 @@ mod tests {
         let mut dynamic = DynamicLandmarks::with_policy(index, 0.5, 0.05);
         let tech = TopicSet::single(Topic::Technology);
         for _ in 0..100 {
-            dynamic.record(&EdgeChange {
-                follower: NodeId(3),
-                followee: NodeId(4),
-                labels: tech,
-                added: true,
-            });
+            dynamic.record(&EdgeChange::insert(NodeId(3), NodeId(4), tech));
         }
         assert_eq!(dynamic.changes_seen(), 100);
         assert!(!dynamic.stale_slots().is_empty());
+    }
+
+    #[test]
+    fn removal_inside_coverage_drives_landmark_stale() {
+        let g = graph();
+        let auth = AuthorityIndex::build(&g);
+        let sim = SimMatrix::opencalais();
+        let p = Propagator::new(&g, &auth, &sim, params(), ScoreVariant::Full);
+        let index = LandmarkIndex::build(&p, vec![NodeId(0)], 10);
+        let mut dynamic = DynamicLandmarks::with_policy(index, 0.01, 1e-9);
+        let tech = TopicSet::single(Topic::Technology);
+        // Unfollow an edge whose endpoints sit inside λ's stored
+        // coverage: the deleted walk mass must flag λ exactly as the
+        // insertion that created it would have.
+        dynamic.record(&EdgeChange::remove(NodeId(1), NodeId(2), tech));
+        assert!(dynamic.is_stale(0), "unfollow near λ must flag it");
+        assert_eq!(dynamic.stale_slots(), vec![0]);
     }
 
     #[test]

@@ -160,6 +160,14 @@ impl LandmarkIndex {
         self.mask[v.index()]
     }
 
+    /// Slot of landmark `v` (its position in [`landmarks`](Self::landmarks)),
+    /// or `None` if `v` is not a landmark.
+    #[inline]
+    pub fn slot_of(&self, v: NodeId) -> Option<u32> {
+        let s = self.slot[v.index()];
+        (s != u32::MAX).then_some(s)
+    }
+
     /// The stored entry of landmark `v`, if it is one.
     #[inline]
     pub fn entry(&self, v: NodeId) -> Option<&LandmarkEntry> {

@@ -39,7 +39,7 @@ pub mod persist;
 pub mod query;
 pub mod strategy;
 
-pub use dynamic::{DynamicLandmarks, EdgeChange};
+pub use dynamic::{ChangeKind, DynamicLandmarks, EdgeChange};
 pub use index::{LandmarkEntry, LandmarkIndex, ScoredNode};
 pub use partition::{
     place_landmarks_per_partition, simulate_query, Partitioning, QueryTransferStats,

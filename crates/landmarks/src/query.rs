@@ -34,6 +34,12 @@ pub struct ApproxResult {
     /// Landmarks encountered during the exploration (the `#lnd` column
     /// of Table 6).
     pub landmarks_found: usize,
+    /// The landmark nodes the exploration met, ascending. The answer
+    /// is a function of the graph plus exactly these landmarks' stored
+    /// entries (the prune mask never changes — the landmark *set* is
+    /// fixed for an index's lifetime), so a result cache can stay
+    /// valid across refreshes of landmarks outside this list.
+    pub met_landmarks: Vec<NodeId>,
     /// Nodes reached by the bounded exploration.
     pub explored: usize,
 }
@@ -75,20 +81,25 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
         let mut ws = PropWorkspace::new();
         let mut combined: HashMap<u32, f64> = HashMap::new();
         let mut landmarks_found = 0usize;
+        let mut met_landmarks: Vec<NodeId> = Vec::new();
         let mut explored = 0usize;
         for &(t, w) in query {
             let r = self.recommend_with(&mut ws, u, t, usize::MAX);
             landmarks_found = landmarks_found.max(r.landmarks_found);
+            met_landmarks.extend(r.met_landmarks);
             explored = explored.max(r.explored);
             for (v, s) in r.recommendations {
                 *combined.entry(v.0).or_insert(0.0) += w * s;
             }
         }
+        met_landmarks.sort();
+        met_landmarks.dedup();
         let recommendations =
             topk::select_top_k(top_n, combined.into_iter().map(|(v, s)| (NodeId(v), s)));
         ApproxResult {
             recommendations,
             landmarks_found,
+            met_landmarks,
             explored,
         }
     }
@@ -152,6 +163,7 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
         }
         // Landmark compositions.
         let mut landmarks_found = 0usize;
+        let mut met_landmarks: Vec<NodeId> = Vec::new();
         let mut composed_pairs = 0u64;
         for &l in r.reached() {
             if l == u || !self.index.is_landmark(l) {
@@ -159,6 +171,7 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
             }
             let entry = self.index.entry(l).expect("masked node has an entry");
             landmarks_found += 1;
+            met_landmarks.push(l);
             let sigma_ul = r.sigma_at(l, 0);
             let topo_ab_ul = r.topo_alphabeta(l);
             if sigma_ul == 0.0 && topo_ab_ul == 0.0 {
@@ -196,11 +209,13 @@ impl<'a, 'g> ApproxRecommender<'a, 'g> {
         fui_obs::counter("landmark.composed_pairs").add(composed_pairs);
         fui_obs::counter("query.candidates").add(scores.len() as u64);
 
+        met_landmarks.sort();
         let recommendations =
             topk::select_top_k(top_n, scores.into_iter().map(|(v, s)| (NodeId(v), s)));
         ApproxResult {
             recommendations,
             landmarks_found,
+            met_landmarks,
             explored: r.reached().len(),
         }
     }

@@ -1,0 +1,83 @@
+//! Micro-batching queue with admission control.
+//!
+//! Concurrent callers `submit` requests; a pump (either a test/bench
+//! loop calling [`crate::Service::pump`] directly, or the net
+//! frontend's window thread) drains the queue in arrival order and
+//! answers one coalesced batch through
+//! `ApproxRecommender::recommend_batch` on the `fui-exec` pool.
+//!
+//! Overload policy: the queue has a hard capacity; a submit against a
+//! full queue is *shed* immediately with an explicit
+//! [`Reply::Overloaded`](crate::Reply) — a caller is never
+//! parked waiting for capacity, and every accepted request is
+//! guaranteed a reply (the reply channel is owned by the queue entry,
+//! so even a dropped service resolves waiters). Requests carry an
+//! optional deadline checked at drain time; an expired request is shed
+//! rather than computed.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::service::{Reply, Request};
+
+/// One queued request with its reply channel.
+pub(crate) struct Pending {
+    pub(crate) req: Request,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) tx: mpsc::Sender<Reply>,
+}
+
+/// Receiver half of a submitted request: redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Blocks until the pump answers. If the service is dropped with
+    /// the request still queued, this resolves to
+    /// [`Reply::Overloaded`] — a ticket never hangs.
+    pub fn wait(self) -> Reply {
+        self.rx.recv().unwrap_or(Reply::Overloaded)
+    }
+}
+
+/// The bounded submission queue.
+pub(crate) struct Batcher {
+    queue: Mutex<VecDeque<Pending>>,
+    capacity: usize,
+}
+
+impl Batcher {
+    pub(crate) fn new(capacity: usize) -> Batcher {
+        Batcher {
+            queue: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a request, or sheds it if the queue is full.
+    pub(crate) fn submit(&self, req: Request, deadline: Option<Instant>) -> Result<Ticket, Reply> {
+        let mut q = self.queue.lock().expect("batch queue poisoned");
+        if q.len() >= self.capacity {
+            fui_obs::counter("service.shed").incr();
+            return Err(Reply::Overloaded);
+        }
+        let (tx, rx) = mpsc::channel();
+        q.push_back(Pending { req, deadline, tx });
+        Ok(Ticket { rx })
+    }
+
+    /// Pops up to `max` requests in arrival order.
+    pub(crate) fn drain(&self, max: usize) -> Vec<Pending> {
+        let mut q = self.queue.lock().expect("batch queue poisoned");
+        let n = q.len().min(max);
+        q.drain(..n).collect()
+    }
+
+    /// Current queue depth.
+    pub(crate) fn depth(&self) -> usize {
+        self.queue.lock().expect("batch queue poisoned").len()
+    }
+}

@@ -1,0 +1,282 @@
+//! Sharded, generation-stamped LRU result cache.
+//!
+//! A cached recommendation list is a pure function of
+//! *(graph, entries of the landmarks the exploration met, request)* —
+//! the landmark *set* (and hence the exploration's prune mask) is fixed
+//! for the lifetime of a service, and landmarks the query never met
+//! contribute nothing. So instead of flushing the whole cache on every
+//! index event, each entry is stamped with the `graph_gen` it was
+//! computed under plus the `(slot, version)` pair of every landmark it
+//! composed through, and a probe re-validates the stamp against the
+//! *current* snapshot:
+//!
+//! * a graph rotation bumps `graph_gen` → every entry is dead;
+//! * a landmark refresh (or staleness flag) bumps that slot's version
+//!   → only entries that met that landmark are dead.
+//!
+//! Everything here is deterministic on purpose — the CI bench gate
+//! asserts exact equality of `service.cache.{hits,misses,evictions}`
+//! across runs and thread counts. Shard selection uses a fixed
+//! SplitMix-style hash (never `RandomState`, which is seeded per
+//! process), and LRU eviction uses a per-shard monotone tick, so the
+//! victim is always unique.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use fui_graph::NodeId;
+
+use crate::snapshot::Snapshot;
+
+/// Identity of a cacheable request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Query node.
+    pub user: u32,
+    /// Topic index (`Topic::index()`).
+    pub topic: u8,
+    /// Requested list length.
+    pub top_n: u32,
+}
+
+/// Validity stamp recorded with a cached value.
+#[derive(Clone, Debug)]
+pub struct CacheStamp {
+    /// Graph generation the value was computed under.
+    pub graph_gen: u64,
+    /// `(slot, version)` of every landmark the exploration met.
+    pub met: Vec<(u32, u64)>,
+}
+
+impl CacheStamp {
+    fn valid_for(&self, snap: &Snapshot) -> bool {
+        self.graph_gen == snap.graph_gen
+            && self
+                .met
+                .iter()
+                .all(|&(slot, v)| snap.slot_versions[slot as usize] == v)
+    }
+}
+
+struct Entry {
+    value: Arc<Vec<(NodeId, f64)>>,
+    stamp: CacheStamp,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// The sharded LRU cache.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+}
+
+/// Fixed 64-bit mix (SplitMix64 finalizer) — stable across processes,
+/// unlike `std`'s per-instance-seeded `RandomState`.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ResultCache {
+    /// A cache of at most `capacity` entries split over `shards`
+    /// shards (each shard holds `capacity / shards`, rounded up, min
+    /// one entry).
+    pub fn new(capacity: usize, shards: usize) -> ResultCache {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard,
+        }
+    }
+
+    fn shard(&self, key: CacheKey) -> &Mutex<Shard> {
+        let packed =
+            (u64::from(key.user) << 32) | (u64::from(key.topic) << 24) | u64::from(key.top_n);
+        &self.shards[(mix(packed) % self.shards.len() as u64) as usize]
+    }
+
+    /// Probes for `key`, validating the stamp against `snap`. A stale
+    /// entry is dropped on probe (counted as an eviction *and* a miss).
+    pub fn get(&self, key: CacheKey, snap: &Snapshot) -> Option<Arc<Vec<(NodeId, f64)>>> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        match shard.map.get(&key) {
+            Some(e) if e.stamp.valid_for(snap) => {
+                shard.tick += 1;
+                let tick = shard.tick;
+                let e = shard.map.get_mut(&key).expect("entry just seen");
+                e.last_used = tick;
+                fui_obs::counter("service.cache.hits").incr();
+                Some(Arc::clone(&e.value))
+            }
+            Some(_) => {
+                shard.map.remove(&key);
+                fui_obs::counter("service.cache.evictions").incr();
+                fui_obs::counter("service.cache.misses").incr();
+                None
+            }
+            None => {
+                fui_obs::counter("service.cache.misses").incr();
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly-computed value, evicting the least-recently
+    /// used entry of the shard if it is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<Vec<(NodeId, f64)>>, stamp: CacheStamp) {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.per_shard {
+            // Ticks are unique within a shard, so the victim is too.
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("full shard has entries");
+            shard.map.remove(&victim);
+            fui_obs::counter("service.cache.evictions").incr();
+        }
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                stamp,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of live entries (all shards).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_core::{AuthorityIndex, ScoreParams, ScoreVariant, SimRowCache};
+    use fui_graph::GraphBuilder;
+    use fui_landmarks::LandmarkIndex;
+    use fui_taxonomy::{SimMatrix, TopicSet};
+
+    fn snap(graph_gen: u64, slot_versions: Vec<u64>) -> Snapshot {
+        let mut b = GraphBuilder::new();
+        b.add_node(TopicSet::empty());
+        let graph = std::sync::Arc::new(b.build());
+        let authority = std::sync::Arc::new(AuthorityIndex::build(&graph));
+        let sim = SimMatrix::opencalais();
+        let sim_rows = std::sync::Arc::new(SimRowCache::build(&graph, &sim));
+        let params = ScoreParams::default();
+        let variant = ScoreVariant::Full;
+        let p = fui_core::Propagator::with_sim_cache(
+            &graph,
+            &authority,
+            std::sync::Arc::clone(&sim_rows),
+            params,
+            variant,
+        );
+        let index = std::sync::Arc::new(LandmarkIndex::build(&p, vec![], 10));
+        Snapshot {
+            epoch: 0,
+            graph_gen,
+            slot_versions,
+            graph,
+            authority,
+            sim_rows,
+            index,
+            params,
+            variant,
+        }
+    }
+
+    fn key(user: u32) -> CacheKey {
+        CacheKey {
+            user,
+            topic: 0,
+            top_n: 10,
+        }
+    }
+
+    fn val() -> Arc<Vec<(NodeId, f64)>> {
+        Arc::new(vec![(NodeId(1), 0.5)])
+    }
+
+    #[test]
+    fn hit_requires_matching_graph_gen() {
+        let cache = ResultCache::new(8, 2);
+        let s0 = snap(0, vec![0]);
+        cache.insert(
+            key(1),
+            val(),
+            CacheStamp {
+                graph_gen: 0,
+                met: vec![],
+            },
+        );
+        assert!(cache.get(key(1), &s0).is_some());
+        let s1 = snap(1, vec![0]);
+        assert!(cache.get(key(1), &s1).is_none(), "rotation invalidates");
+        assert!(cache.is_empty(), "stale entry dropped on probe");
+    }
+
+    #[test]
+    fn slot_version_bump_kills_only_dependents() {
+        let cache = ResultCache::new(8, 2);
+        cache.insert(
+            key(1),
+            val(),
+            CacheStamp {
+                graph_gen: 0,
+                met: vec![(0, 0)],
+            },
+        );
+        cache.insert(
+            key(2),
+            val(),
+            CacheStamp {
+                graph_gen: 0,
+                met: vec![(1, 0)],
+            },
+        );
+        let s = snap(0, vec![7, 0]); // slot 0 refreshed
+        assert!(cache.get(key(1), &s).is_none(), "met slot 0: dead");
+        assert!(cache.get(key(2), &s).is_some(), "met slot 1 only: alive");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = ResultCache::new(2, 1); // one shard, two entries
+        let s = snap(0, vec![]);
+        let stamp = || CacheStamp {
+            graph_gen: 0,
+            met: vec![],
+        };
+        cache.insert(key(1), val(), stamp());
+        cache.insert(key(2), val(), stamp());
+        assert!(cache.get(key(1), &s).is_some()); // 1 now most recent
+        cache.insert(key(3), val(), stamp()); // evicts 2
+        assert!(cache.get(key(1), &s).is_some());
+        assert!(cache.get(key(2), &s).is_none());
+        assert!(cache.get(key(3), &s).is_some());
+    }
+}

@@ -1,0 +1,42 @@
+//! Online serving layer for the landmark recommender.
+//!
+//! Everything below this crate computes offline; this crate turns the
+//! batch pipeline into a request-driven server — the regime the paper
+//! actually motivates (interactive "who should I follow on topic t"
+//! queries against a follow graph whose edges churn constantly):
+//!
+//! * [`snapshot`] — epoch-based publication: queries read immutable
+//!   `Arc`-shared (graph, authority, similarity-rows, landmark-index)
+//!   snapshots; rotation and refresh swap the current pointer and
+//!   never block an in-flight query;
+//! * [`cache`] — sharded LRU result cache, invalidated precisely: by
+//!   graph generation on rotation, and per landmark slot on refresh or
+//!   staleness, so results that never met a refreshed landmark survive;
+//! * [`batch`] — micro-batching submission queue with admission
+//!   control: a full queue sheds with an explicit
+//!   [`Reply::Overloaded`], never a stall;
+//! * [`service`] — the engine: deterministic [`Service::call`] /
+//!   [`Service::call_many`] plus the `submit`/`pump` pair, follow /
+//!   unfollow recording, [`Service::rotate`] and [`Service::refresh`];
+//! * [`net`] — a thin `std::net` line-protocol frontend for manual
+//!   poking; tests and benches use the in-process API.
+//!
+//! The whole path reports through `fui-obs`: `service.requests`,
+//! `service.shed`, `service.cache.{hits,misses,evictions}`,
+//! `service.snapshot.rotations`, the `service.batch.size` and
+//! `service.request_latency` histograms and `service.{request,rotate,
+//! refresh}` spans.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod cache;
+pub mod net;
+pub mod service;
+pub mod snapshot;
+
+pub use batch::Ticket;
+pub use cache::{CacheKey, CacheStamp, ResultCache};
+pub use net::{NetConfig, NetServer};
+pub use service::{Reply, Request, Served, Service, ServiceConfig};
+pub use snapshot::{apply_changes, Snapshot, SnapshotStore};

@@ -1,0 +1,257 @@
+//! Thin `std::net` line-protocol frontend.
+//!
+//! One request or reply per `\n`-terminated line, ASCII, no framing
+//! beyond that — trivially scriptable with `nc`. Commands:
+//!
+//! ```text
+//! REC <user> <topic> [top_n]          who should <user> follow on <topic>
+//! FOLLOW <follower> <followee> <topics>   topics comma-separated
+//! UNFOLLOW <follower> <followee>
+//! ROTATE                              apply pending changes now
+//! REFRESH                             recompute stale landmarks now
+//! EPOCH                               current snapshot epoch
+//! QUIT                                close the connection
+//! ```
+//!
+//! Replies:
+//!
+//! ```text
+//! OK REC <epoch> <cached:0|1> <node>:<score> ...
+//! OK FOLLOW | OK UNFOLLOW | OK ROTATE <epoch> | OK REFRESH <n> | OK EPOCH <e>
+//! OVERLOADED                          shed; retry later
+//! ERR <reason>
+//! ```
+//!
+//! Scores print with Rust's shortest-round-trip `f64` formatting, so a
+//! client parsing them back gets the exact served bits.
+//!
+//! `REC` goes through the micro-batching queue: the handler submits
+//! and blocks on its ticket while a window thread pumps the service
+//! every [`NetConfig::window`]; concurrent connections therefore
+//! coalesce into shared `recommend_batch` calls. An overloaded queue
+//! or a missed deadline answers `OVERLOADED` immediately — a client is
+//! never left hanging.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fui_graph::NodeId;
+use fui_landmarks::EdgeChange;
+use fui_taxonomy::{Topic, TopicSet};
+
+use crate::service::{Reply, Request, Service};
+
+/// Frontend tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Micro-batch coalescing window (pump cadence when idle).
+    pub window: Duration,
+    /// Per-request deadline, measured from submission.
+    pub deadline: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            window: Duration::from_millis(1),
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A running listener + pump pair. Dropping without
+/// [`shutdown`](NetServer::shutdown) leaks the threads (they exit
+/// with the process); tests should shut down explicitly.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop plus the batch-window pump thread.
+    pub fn start(service: Arc<Service>, addr: &str, cfg: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let service = Arc::clone(&service);
+                    std::thread::spawn(move || handle(stream, &service, cfg));
+                }
+            })
+        };
+        let pump = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    if service.pump() == 0 {
+                        std::thread::park_timeout(cfg.window);
+                    }
+                }
+                // Resolve anything still queued so no client hangs.
+                while service.pump() > 0 {}
+            })
+        };
+        Ok(NetServer {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            pump: Some(pump),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the queue and joins the threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn handle(stream: TcpStream, service: &Service, cfg: NetConfig) {
+    let Ok(peer_read) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(peer_read);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("QUIT") {
+            break;
+        }
+        let response = dispatch(line, service, cfg);
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+    }
+}
+
+fn dispatch(line: &str, service: &Service, cfg: NetConfig) -> String {
+    match run_command(line, service, cfg) {
+        Ok(ok) => ok,
+        Err(err) => format!("ERR {err}"),
+    }
+}
+
+fn run_command(line: &str, service: &Service, cfg: NetConfig) -> Result<String, String> {
+    let mut parts = line.split_ascii_whitespace();
+    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+    match verb.as_str() {
+        "REC" => {
+            let user = parse_node(parts.next())?;
+            let topic = parse_topic(parts.next())?;
+            let top_n = match parts.next() {
+                Some(s) => s.parse::<usize>().map_err(|_| format!("bad top_n {s:?}"))?,
+                None => 10,
+            };
+            expect_end(parts)?;
+            let req = Request { user, topic, top_n };
+            let deadline = Instant::now() + cfg.deadline;
+            match service.submit(req, Some(deadline)) {
+                Ok(ticket) => Ok(render_reply(ticket.wait())),
+                Err(_) => Ok("OVERLOADED".to_owned()),
+            }
+        }
+        "FOLLOW" => {
+            let follower = parse_node(parts.next())?;
+            let followee = parse_node(parts.next())?;
+            let labels = parse_topics(parts.next())?;
+            expect_end(parts)?;
+            service.record(EdgeChange::insert(follower, followee, labels))?;
+            Ok("OK FOLLOW".to_owned())
+        }
+        "UNFOLLOW" => {
+            let follower = parse_node(parts.next())?;
+            let followee = parse_node(parts.next())?;
+            expect_end(parts)?;
+            service.record(EdgeChange::remove(follower, followee, TopicSet::empty()))?;
+            Ok("OK UNFOLLOW".to_owned())
+        }
+        "ROTATE" => {
+            expect_end(parts)?;
+            Ok(format!("OK ROTATE {}", service.rotate()))
+        }
+        "REFRESH" => {
+            expect_end(parts)?;
+            Ok(format!("OK REFRESH {}", service.refresh()))
+        }
+        "EPOCH" => {
+            expect_end(parts)?;
+            Ok(format!("OK EPOCH {}", service.snapshot().epoch))
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn render_reply(reply: Reply) -> String {
+    match reply {
+        Reply::Result(served) => {
+            let mut out = format!("OK REC {} {}", served.epoch, u8::from(served.cached));
+            for &(v, s) in served.recommendations.iter() {
+                out.push_str(&format!(" {}:{}", v.0, s));
+            }
+            out
+        }
+        Reply::Overloaded => "OVERLOADED".to_owned(),
+        Reply::Rejected(why) => format!("ERR {why}"),
+    }
+}
+
+fn parse_node(tok: Option<&str>) -> Result<NodeId, String> {
+    let tok = tok.ok_or("missing node id")?;
+    tok.parse::<u32>()
+        .map(NodeId)
+        .map_err(|_| format!("bad node id {tok:?}"))
+}
+
+fn parse_topic(tok: Option<&str>) -> Result<Topic, String> {
+    let tok = tok.ok_or("missing topic")?;
+    Topic::from_str(tok).map_err(|e| e.to_string())
+}
+
+fn parse_topics(tok: Option<&str>) -> Result<TopicSet, String> {
+    let tok = tok.ok_or("missing topics")?;
+    let mut set = TopicSet::empty();
+    for name in tok.split(',') {
+        set.insert(Topic::from_str(name).map_err(|e| e.to_string())?);
+    }
+    Ok(set)
+}
+
+fn expect_end<'a>(mut parts: impl Iterator<Item = &'a str>) -> Result<(), String> {
+    match parts.next() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected trailing argument {extra:?}")),
+    }
+}

@@ -1,0 +1,461 @@
+//! The transport-agnostic online query engine.
+//!
+//! A [`Service`] owns three cooperating pieces:
+//!
+//! * a *master* copy of the mutable state (graph, pending edge
+//!   changes, [`DynamicLandmarks`] staleness accounting) behind one
+//!   mutex that **no query ever takes** — queries only read published
+//!   [`Snapshot`]s;
+//! * the [`SnapshotStore`] publishing the current immutable snapshot;
+//! * the [`ResultCache`] and the micro-batching queue.
+//!
+//! Determinism contract: [`Service::call`], [`Service::call_many`] and
+//! the `submit`/`pump` pair produce byte-identical recommendation
+//! lists — and identical `service.*` counter deltas — at any
+//! `FUI_THREADS` width, because the only parallel step
+//! (`recommend_batch`) reduces in index order. The conformance
+//! invariant `check_cached_matches_uncached` and the `serve_micro` CI
+//! gate both lean on this.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fui_core::{AuthorityIndex, Propagator, ScoreParams, ScoreVariant, SimRowCache};
+use fui_graph::{NodeId, SocialGraph};
+use fui_landmarks::{ApproxRecommender, DynamicLandmarks, EdgeChange, LandmarkIndex};
+use fui_taxonomy::{SimMatrix, Topic};
+
+use crate::batch::{Batcher, Pending, Ticket};
+use crate::cache::{CacheKey, CacheStamp, ResultCache};
+use crate::snapshot::{apply_changes, Snapshot, SnapshotStore};
+
+/// One "who should I follow" query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// The querying user.
+    pub user: NodeId,
+    /// Topic of interest.
+    pub topic: Topic,
+    /// Requested list length.
+    pub top_n: usize,
+}
+
+/// A successfully answered request.
+#[derive(Clone, Debug)]
+pub struct Served {
+    /// Top-n recommendations, best first (shared with the cache).
+    pub recommendations: Arc<Vec<(NodeId, f64)>>,
+    /// Epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// Whether the answer came out of the result cache.
+    pub cached: bool,
+}
+
+/// Outcome of a request — every accepted request gets exactly one.
+#[derive(Clone, Debug)]
+pub enum Reply {
+    /// The recommendations.
+    Result(Served),
+    /// Shed by admission control or a missed deadline; retry later.
+    Overloaded,
+    /// Malformed request (unknown user, zero top_n, ...).
+    Rejected(String),
+}
+
+/// Tuning knobs; [`ServiceConfig::default`] suits tests and benches.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Max requests coalesced into one `recommend_batch` call.
+    pub max_batch: usize,
+    /// Admission-control bound on the submission queue.
+    pub queue_capacity: usize,
+    /// Total result-cache entries.
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+    /// Landmark staleness threshold (see [`DynamicLandmarks`]).
+    pub refresh_threshold: f64,
+    /// Background impact per change (see [`DynamicLandmarks`]).
+    pub background_impact: f64,
+    /// Exploration depth of the approximate recommender.
+    pub explore_depth: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            max_batch: 64,
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            cache_shards: 8,
+            refresh_threshold: 0.1,
+            background_impact: 1e-9,
+            explore_depth: 2,
+        }
+    }
+}
+
+/// Mutable master state — mutations lock this, queries never do.
+struct Master {
+    graph: Arc<SocialGraph>,
+    authority: Arc<AuthorityIndex>,
+    sim_rows: Arc<SimRowCache>,
+    index: Arc<LandmarkIndex>,
+    sim: SimMatrix,
+    dynamic: DynamicLandmarks,
+    pending: Vec<EdgeChange>,
+    epoch: u64,
+    graph_gen: u64,
+    slot_versions: Vec<u64>,
+    params: ScoreParams,
+    variant: ScoreVariant,
+}
+
+impl Master {
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            epoch: self.epoch,
+            graph_gen: self.graph_gen,
+            slot_versions: self.slot_versions.clone(),
+            graph: Arc::clone(&self.graph),
+            authority: Arc::clone(&self.authority),
+            sim_rows: Arc::clone(&self.sim_rows),
+            index: Arc::clone(&self.index),
+            params: self.params,
+            variant: self.variant,
+        }
+    }
+}
+
+/// The online serving engine. See the module docs.
+pub struct Service {
+    master: Mutex<Master>,
+    store: SnapshotStore,
+    cache: ResultCache,
+    batcher: Batcher,
+    cfg: ServiceConfig,
+}
+
+impl Service {
+    /// Builds a service over `graph`: authority index, similarity
+    /// rows and the landmark index are precomputed here (the landmark
+    /// build fans out over the `fui-exec` pool), then published as
+    /// epoch-0 snapshot.
+    pub fn new(
+        graph: SocialGraph,
+        sim: SimMatrix,
+        params: ScoreParams,
+        variant: ScoreVariant,
+        landmarks: Vec<NodeId>,
+        stored_top_n: usize,
+        cfg: ServiceConfig,
+    ) -> Service {
+        let graph = Arc::new(graph);
+        let authority = Arc::new(AuthorityIndex::build(&graph));
+        let sim_rows = Arc::new(SimRowCache::build(&graph, &sim));
+        let propagator =
+            Propagator::with_sim_cache(&graph, &authority, Arc::clone(&sim_rows), params, variant);
+        let index = LandmarkIndex::build_auto(&propagator, landmarks, stored_top_n);
+        let dynamic = DynamicLandmarks::with_policy(
+            index.clone(),
+            cfg.refresh_threshold,
+            cfg.background_impact,
+        );
+        let index = Arc::new(index);
+        let slots = index.len();
+        let master = Master {
+            graph,
+            authority,
+            sim_rows,
+            index,
+            sim,
+            dynamic,
+            pending: Vec::new(),
+            epoch: 0,
+            graph_gen: 0,
+            slot_versions: vec![0; slots],
+            params,
+            variant,
+        };
+        let store = SnapshotStore::new(master.snapshot());
+        Service {
+            master: Mutex::new(master),
+            store,
+            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
+            batcher: Batcher::new(cfg.queue_capacity),
+            cfg,
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// The currently published snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.load()
+    }
+
+    /// Live result-cache entry count.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Current submission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.batcher.depth()
+    }
+
+    // ---- read path -----------------------------------------------
+
+    /// Answers one request synchronously (cache → batch of one).
+    pub fn call(&self, req: Request) -> Reply {
+        self.call_many(std::slice::from_ref(&req))
+            .pop()
+            .expect("one reply per request")
+    }
+
+    /// Answers a slice of requests synchronously, coalescing them into
+    /// `max_batch`-sized batches. Replies come back in request order.
+    pub fn call_many(&self, reqs: &[Request]) -> Vec<Reply> {
+        let mut replies = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(self.cfg.max_batch.max(1)) {
+            replies.extend(self.answer_batch(chunk));
+        }
+        replies
+    }
+
+    /// Enqueues a request for the next [`pump`](Self::pump), shedding
+    /// immediately if the queue is at capacity. `deadline` (if any) is
+    /// checked when the pump drains the request.
+    pub fn submit(&self, req: Request, deadline: Option<Instant>) -> Result<Ticket, Reply> {
+        self.batcher.submit(req, deadline)
+    }
+
+    /// Drains and answers one batch from the submission queue;
+    /// returns how many requests it resolved (answered or shed).
+    /// Callers drive this: tests and benches call it synchronously
+    /// for determinism, the net frontend calls it on a window timer.
+    pub fn pump(&self) -> usize {
+        let drained = self.batcher.drain(self.cfg.max_batch);
+        if drained.is_empty() {
+            return 0;
+        }
+        let now = Instant::now();
+        let mut live: Vec<Pending> = Vec::with_capacity(drained.len());
+        for p in drained {
+            if p.deadline.is_some_and(|d| now > d) {
+                fui_obs::counter("service.shed").incr();
+                let _ = p.tx.send(Reply::Overloaded);
+            } else {
+                live.push(p);
+            }
+        }
+        let total = live.len();
+        if total == 0 {
+            return total;
+        }
+        let reqs: Vec<Request> = live.iter().map(|p| p.req).collect();
+        let replies = self.answer_batch(&reqs);
+        for (p, reply) in live.into_iter().zip(replies) {
+            let _ = p.tx.send(reply);
+        }
+        total
+    }
+
+    /// Answers one batch against the currently published snapshot:
+    /// probe the cache, group the misses by `top_n`, fan each group
+    /// out through `recommend_batch`, stamp and cache the results.
+    fn answer_batch(&self, reqs: &[Request]) -> Vec<Reply> {
+        let started = Instant::now();
+        let _span = fui_obs::span!("service.request");
+        let snap = self.store.load();
+        fui_obs::counter("service.requests").add(reqs.len() as u64);
+        fui_obs::hist("service.batch.size").record(reqs.len() as u64);
+
+        let mut replies: Vec<Option<Reply>> = (0..reqs.len()).map(|_| None).collect();
+        // Miss indices per top_n — BTreeMap so group order (and hence
+        // batch composition and counters) is deterministic.
+        let mut misses: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, req) in reqs.iter().enumerate() {
+            if let Err(why) = validate(req, &snap) {
+                replies[i] = Some(Reply::Rejected(why));
+                continue;
+            }
+            let key = key_of(req);
+            if let Some(value) = self.cache.get(key, &snap) {
+                replies[i] = Some(Reply::Result(Served {
+                    recommendations: value,
+                    epoch: snap.epoch,
+                    cached: true,
+                }));
+            } else {
+                misses.entry(req.top_n).or_default().push(i);
+            }
+        }
+
+        if misses.values().any(|v| !v.is_empty()) {
+            let propagator = snap.propagator();
+            let mut rec = ApproxRecommender::new(&propagator, &snap.index);
+            rec.explore_depth = self.cfg.explore_depth;
+            for (top_n, idxs) in &misses {
+                let queries: Vec<(NodeId, Topic)> = idxs
+                    .iter()
+                    .map(|&i| (reqs[i].user, reqs[i].topic))
+                    .collect();
+                let results = rec.recommend_batch(&queries, *top_n);
+                for (&i, result) in idxs.iter().zip(results) {
+                    let met: Vec<(u32, u64)> = result
+                        .met_landmarks
+                        .iter()
+                        .map(|&l| {
+                            let slot = snap.index.slot_of(l).expect("met node is a landmark");
+                            (slot, snap.slot_versions[slot as usize])
+                        })
+                        .collect();
+                    let value = Arc::new(result.recommendations);
+                    self.cache.insert(
+                        key_of(&reqs[i]),
+                        Arc::clone(&value),
+                        CacheStamp {
+                            graph_gen: snap.graph_gen,
+                            met,
+                        },
+                    );
+                    replies[i] = Some(Reply::Result(Served {
+                        recommendations: value,
+                        epoch: snap.epoch,
+                        cached: false,
+                    }));
+                }
+            }
+        }
+
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        for _ in reqs {
+            fui_obs::hist("service.request_latency").record(elapsed);
+        }
+        replies
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    // ---- write path ----------------------------------------------
+
+    /// Records one follow/unfollow. The change is buffered until the
+    /// next [`rotate`](Self::rotate); staleness is charged to the
+    /// landmarks immediately, and any landmark the charge pushes past
+    /// its threshold gets its cache version bumped right away (a new
+    /// epoch is published so probes see it), conservatively retiring
+    /// cached results that composed through the now-suspect entry.
+    pub fn record(&self, change: EdgeChange) -> Result<(), String> {
+        let mut m = self.master.lock().expect("master poisoned");
+        let n = m.graph.num_nodes() as u32;
+        if change.follower.0 >= n || change.followee.0 >= n {
+            return Err(format!("edge endpoints out of range (graph has {n} nodes)"));
+        }
+        if change.follower == change.followee {
+            return Err("self-follows are not representable".to_owned());
+        }
+        let slots = m.dynamic.index().len();
+        let was: Vec<bool> = (0..slots).map(|s| m.dynamic.is_stale(s)).collect();
+        m.dynamic.record(&change);
+        m.pending.push(change);
+        let newly: Vec<usize> = (0..slots)
+            .filter(|&s| !was[s] && m.dynamic.is_stale(s))
+            .collect();
+        if !newly.is_empty() {
+            for s in newly {
+                m.slot_versions[s] += 1;
+            }
+            m.epoch += 1;
+            self.store.publish(m.snapshot());
+        }
+        Ok(())
+    }
+
+    /// Number of changes recorded but not yet rotated in.
+    pub fn pending_changes(&self) -> usize {
+        self.master.lock().expect("master poisoned").pending.len()
+    }
+
+    /// Applies all pending edge changes: rebuilds graph, authority
+    /// index and similarity rows, bumps `graph_gen` (retiring every
+    /// cached result) and publishes. Landmark entries are *not*
+    /// recomputed — the lazy policy keeps serving slightly stale lists
+    /// until [`refresh`](Self::refresh), exactly the trade-off the
+    /// paper anticipates for churning follow graphs. Never blocks
+    /// in-flight queries; they finish on their old snapshot. Returns
+    /// the new epoch.
+    pub fn rotate(&self) -> u64 {
+        let _span = fui_obs::span!("service.rotate");
+        let mut m = self.master.lock().expect("master poisoned");
+        fui_obs::counter("service.snapshot.rotations").incr();
+        if !m.pending.is_empty() {
+            let next = apply_changes(&m.graph, &m.pending);
+            m.pending.clear();
+            m.graph = Arc::new(next);
+            m.authority = Arc::new(AuthorityIndex::build(&m.graph));
+            m.sim_rows = Arc::new(SimRowCache::build(&m.graph, &m.sim));
+        }
+        m.graph_gen += 1;
+        m.epoch += 1;
+        self.store.publish(m.snapshot());
+        m.epoch
+    }
+
+    /// Recomputes every stale landmark against the current graph and
+    /// publishes the refreshed index under a new epoch, bumping the
+    /// refreshed slots' cache versions (results that never met those
+    /// landmarks keep their cache entries). Returns how many entries
+    /// were refreshed.
+    pub fn refresh(&self) -> usize {
+        let _span = fui_obs::span!("service.refresh");
+        let mut guard = self.master.lock().expect("master poisoned");
+        let m = &mut *guard;
+        let stale = m.dynamic.stale_slots();
+        if stale.is_empty() {
+            return 0;
+        }
+        let propagator = Propagator::with_sim_cache(
+            &m.graph,
+            &m.authority,
+            Arc::clone(&m.sim_rows),
+            m.params,
+            m.variant,
+        );
+        let refreshed = m.dynamic.refresh_stale(&propagator);
+        for &s in &stale {
+            m.slot_versions[s] += 1;
+        }
+        m.index = Arc::new(m.dynamic.index().clone());
+        m.epoch += 1;
+        self.store.publish(m.snapshot());
+        refreshed
+    }
+}
+
+fn key_of(req: &Request) -> CacheKey {
+    CacheKey {
+        user: req.user.0,
+        topic: req.topic.index() as u8,
+        top_n: u32::try_from(req.top_n).unwrap_or(u32::MAX),
+    }
+}
+
+fn validate(req: &Request, snap: &Snapshot) -> Result<(), String> {
+    if req.user.index() >= snap.graph.num_nodes() {
+        return Err(format!(
+            "unknown user {} (graph has {} nodes)",
+            req.user.0,
+            snap.graph.num_nodes()
+        ));
+    }
+    if req.top_n == 0 {
+        return Err("top_n must be at least 1".to_owned());
+    }
+    Ok(())
+}

@@ -1,0 +1,209 @@
+//! Epoch-based snapshot publication.
+//!
+//! The serving layer never mutates state a query can see. All the
+//! pieces a query touches — the follow graph, the authority index, the
+//! per-edge similarity rows and the landmark index — are bundled into
+//! an immutable [`Snapshot`] behind `Arc`s, and the only mutation the
+//! read path ever observes is the atomic swap of the *current* snapshot
+//! pointer inside [`SnapshotStore`]. In-flight queries keep the `Arc`
+//! they loaded, so rotation and landmark refresh never block a reader
+//! and a reader never sees a half-applied update.
+//!
+//! Two version axes drive cache invalidation (see
+//! [`crate::cache::ResultCache`]):
+//!
+//! * `graph_gen` — bumped by every graph rotation; a cached result is
+//!   worthless on a different graph.
+//! * `slot_versions[slot]` — bumped when landmark `slot`'s stored entry
+//!   changes (refresh) or is flagged stale by the accumulation policy;
+//!   a cached result only depends on the entries of the landmarks its
+//!   exploration actually met, so results that avoided `slot` survive.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use fui_core::{AuthorityIndex, Propagator, ScoreParams, ScoreVariant, SimRowCache};
+use fui_graph::{GraphBuilder, SocialGraph};
+use fui_landmarks::{ChangeKind, EdgeChange, LandmarkIndex};
+use fui_taxonomy::TopicSet;
+
+/// One immutable, queryable publication of the serving state.
+pub struct Snapshot {
+    /// Monotone publication counter (every publish bumps it).
+    pub epoch: u64,
+    /// Graph generation: bumped by [`crate::Service::rotate`] only.
+    /// Cache entries stamped with an older generation are dead.
+    pub graph_gen: u64,
+    /// Per-landmark-slot entry versions. Bumped when a slot's stored
+    /// lists are refreshed, or when the staleness policy flags the
+    /// slot (conservative invalidation: the entry is still served to
+    /// *new* queries — the paper's stale-tolerant design — but cached
+    /// results that composed through it stop being reused).
+    pub slot_versions: Vec<u64>,
+    /// The follow graph this snapshot answers against.
+    pub graph: Arc<SocialGraph>,
+    /// Authority index built on [`Self::graph`].
+    pub authority: Arc<AuthorityIndex>,
+    /// Per-edge similarity rows built on [`Self::graph`].
+    pub sim_rows: Arc<SimRowCache>,
+    /// Landmark index (possibly lazily stale — by design).
+    pub index: Arc<LandmarkIndex>,
+    /// Scoring parameters shared by every snapshot of a service.
+    pub params: ScoreParams,
+    /// Score variant shared by every snapshot of a service.
+    pub variant: ScoreVariant,
+}
+
+impl Snapshot {
+    /// A propagator borrowing this snapshot's graph state. Cheap: the
+    /// similarity rows are `Arc`-shared, nothing is recomputed.
+    pub fn propagator(&self) -> Propagator<'_> {
+        Propagator::with_sim_cache(
+            &self.graph,
+            &self.authority,
+            Arc::clone(&self.sim_rows),
+            self.params,
+            self.variant,
+        )
+    }
+}
+
+/// The atomically-swapped *current snapshot* pointer.
+pub struct SnapshotStore {
+    current: RwLock<Arc<Snapshot>>,
+}
+
+impl SnapshotStore {
+    /// A store publishing `initial`.
+    pub fn new(initial: Snapshot) -> SnapshotStore {
+        SnapshotStore {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The current snapshot. Readers clone the `Arc` and drop the lock
+    /// immediately, so a subsequent publish never waits on them.
+    pub fn load(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot store poisoned"))
+    }
+
+    /// Swaps in a strictly newer snapshot.
+    pub fn publish(&self, next: Snapshot) {
+        let mut cur = self.current.write().expect("snapshot store poisoned");
+        assert!(
+            next.epoch > cur.epoch,
+            "epochs must advance: {} -> {}",
+            cur.epoch,
+            next.epoch
+        );
+        *cur = Arc::new(next);
+    }
+}
+
+/// Applies a batch of follow/unfollow mutations to a graph, producing
+/// the rebuilt post-update graph.
+///
+/// * [`ChangeKind::Insert`] unions the change's labels into the edge
+///   (creating it if absent);
+/// * [`ChangeKind::Remove`] deletes the edge entirely.
+///
+/// Later changes win over earlier ones on the same edge. The rebuild
+/// goes through [`GraphBuilder`], which sorts edges by endpoint pair,
+/// so the resulting CSR layout is deterministic regardless of change
+/// order or map iteration order.
+pub fn apply_changes(graph: &SocialGraph, changes: &[EdgeChange]) -> SocialGraph {
+    let mut edges: HashMap<(u32, u32), TopicSet> = graph
+        .edges()
+        .map(|(u, v, labels)| ((u.0, v.0), labels))
+        .collect();
+    for c in changes {
+        let key = (c.follower.0, c.followee.0);
+        match c.kind {
+            ChangeKind::Insert => {
+                let slot = edges.entry(key).or_insert_with(TopicSet::empty);
+                *slot = slot.union(c.labels);
+            }
+            ChangeKind::Remove => {
+                edges.remove(&key);
+            }
+        }
+    }
+    let mut builder = GraphBuilder::with_capacity(graph.num_nodes(), edges.len());
+    for u in graph.nodes() {
+        builder.add_node(graph.node_labels(u));
+    }
+    for (&(u, v), &labels) in &edges {
+        builder.add_edge(fui_graph::NodeId(u), fui_graph::NodeId(v), labels);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fui_graph::NodeId;
+    use fui_taxonomy::Topic;
+
+    fn tiny() -> SocialGraph {
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_node(TopicSet::empty());
+        }
+        let tech = TopicSet::single(Topic::Technology);
+        b.add_edge(NodeId(0), NodeId(1), tech);
+        b.add_edge(NodeId(1), NodeId(2), tech);
+        b.build()
+    }
+
+    #[test]
+    fn insert_then_remove_round_trips() {
+        let g = tiny();
+        let tech = TopicSet::single(Topic::Technology);
+        let g2 = apply_changes(&g, &[EdgeChange::insert(NodeId(2), NodeId(3), tech)]);
+        assert_eq!(g2.num_edges(), 3);
+        assert!(g2.edge_label(NodeId(2), NodeId(3)).is_some());
+        let g3 = apply_changes(&g2, &[EdgeChange::remove(NodeId(2), NodeId(3), tech)]);
+        assert_eq!(g3.num_edges(), 2);
+        assert!(g3.edge_label(NodeId(2), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn insert_unions_labels_into_existing_edge() {
+        let g = tiny();
+        let health = TopicSet::single(Topic::Health);
+        let g2 = apply_changes(&g, &[EdgeChange::insert(NodeId(0), NodeId(1), health)]);
+        assert_eq!(g2.num_edges(), 2);
+        let labels = g2.edge_label(NodeId(0), NodeId(1)).unwrap();
+        assert!(labels.contains(Topic::Technology));
+        assert!(labels.contains(Topic::Health));
+    }
+
+    #[test]
+    fn later_changes_win() {
+        let g = tiny();
+        let tech = TopicSet::single(Topic::Technology);
+        let g2 = apply_changes(
+            &g,
+            &[
+                EdgeChange::remove(NodeId(0), NodeId(1), tech),
+                EdgeChange::insert(NodeId(0), NodeId(1), tech),
+            ],
+        );
+        assert!(g2.edge_label(NodeId(0), NodeId(1)).is_some());
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let g = tiny();
+        let tech = TopicSet::single(Topic::Technology);
+        let changes = vec![
+            EdgeChange::insert(NodeId(3), NodeId(0), tech),
+            EdgeChange::remove(NodeId(1), NodeId(2), tech),
+        ];
+        let a = apply_changes(&g, &changes);
+        let b = apply_changes(&g, &changes);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

@@ -405,6 +405,165 @@ pub fn check_workspace_reuse_matches_fresh(case: &GraphCase) -> Result<(), Strin
     Ok(())
 }
 
+/// The serving layer's result cache is *invisible*: under a seeded
+/// interleaving of queries, follow/unfollow updates, snapshot
+/// rotations, landmark refreshes and submit/pump bursts, every reply —
+/// cache hit or fresh — must be **bit-identical** to an uncached
+/// [`ApproxRecommender`] evaluated directly on the currently published
+/// snapshot (post-update graph + possibly-lazily-stale index, exactly
+/// what the service serves), and every accepted request must be
+/// answered — a submit either yields a ticket that resolves to a
+/// result or an explicit `Overloaded`, never silence. (The CI
+/// conformance matrix runs this at `FUI_THREADS=1` and `FUI_THREADS=4`;
+/// the service's only parallel stage reduces in index order, so the
+/// bits must not move.)
+pub fn check_cached_matches_uncached(case: &GraphCase) -> Result<(), String> {
+    use fui_landmarks::EdgeChange;
+    use fui_service::{Reply, Request, Served, Service, ServiceConfig};
+
+    let graph = case.graph();
+    let n = graph.num_nodes();
+    let mut rng = SeededRng::new(case.seed.rotate_left(21));
+    let landmarks: Vec<NodeId> = graph.nodes().step_by(3).collect();
+    let cfg = ServiceConfig {
+        max_batch: 4,
+        queue_capacity: 8,
+        cache_capacity: 64,
+        cache_shards: 4,
+        // Aggressive staleness policy so refreshes actually fire on
+        // these tiny cases.
+        refresh_threshold: 0.02,
+        ..ServiceConfig::default()
+    };
+    let svc = Service::new(
+        graph,
+        SimMatrix::opencalais(),
+        fixed_depth_params(0.8, 0.25),
+        ScoreVariant::Full,
+        landmarks,
+        n,
+        cfg,
+    );
+
+    // The oracle: a fresh, cache-free recommender on whatever snapshot
+    // the service currently publishes.
+    let oracle = |req: Request| -> Vec<(NodeId, f64)> {
+        let snap = svc.snapshot();
+        let p = snap.propagator();
+        let rec = ApproxRecommender::new(&p, &snap.index);
+        rec.recommend(req.user, req.topic, req.top_n)
+            .recommendations
+    };
+    let confirm = |reply: Reply, req: Request, what: &str| -> Result<Served, String> {
+        let Reply::Result(served) = reply else {
+            return Err(format!(
+                "{what} for user {} got a non-result reply ({})",
+                req.user,
+                case.repro()
+            ));
+        };
+        let want = oracle(req);
+        if served.recommendations.len() != want.len()
+            || served
+                .recommendations
+                .iter()
+                .zip(&want)
+                .any(|(a, b)| a.0 != b.0 || a.1.to_bits() != b.1.to_bits())
+        {
+            return Err(format!(
+                "{what} diverged from the uncached oracle at user {} topic {} \
+                 top_n {} (cached={}, {})",
+                req.user,
+                req.topic,
+                req.top_n,
+                served.cached,
+                case.repro()
+            ));
+        }
+        Ok(served)
+    };
+    let gen_req = |rng: &mut SeededRng| Request {
+        user: NodeId(rng.below(n as u64) as u32),
+        topic: *rng.pick(&Topic::ALL[..4]),
+        top_n: 1 + rng.below(n as u64) as usize,
+    };
+
+    let mut seen: Vec<Request> = Vec::new();
+    for _ in 0..40u32 {
+        match rng.below(10) {
+            // Query — a replay of an earlier request (cache-hit bait)
+            // or a fresh one.
+            0..=4 => {
+                let req = if !seen.is_empty() && rng.below(2) == 0 {
+                    *rng.pick(&seen)
+                } else {
+                    let r = gen_req(&mut rng);
+                    seen.push(r);
+                    r
+                };
+                confirm(svc.call(req), req, "call")?;
+            }
+            // Follow / unfollow.
+            5 | 6 => {
+                let u = NodeId(rng.below(n as u64) as u32);
+                let v = NodeId(rng.below(n as u64) as u32);
+                if u != v {
+                    let change = if rng.below(2) == 0 {
+                        EdgeChange::insert(u, v, crate::gen::gen_topicset(&mut rng))
+                    } else {
+                        EdgeChange::remove(u, v, Default::default())
+                    };
+                    svc.record(change)
+                        .map_err(|e| format!("record failed: {e} ({})", case.repro()))?;
+                }
+            }
+            7 => {
+                svc.rotate();
+            }
+            8 => {
+                svc.refresh();
+            }
+            // Submit burst past the queue capacity: sheds must be
+            // explicit and immediate, accepted tickets must resolve to
+            // oracle-identical results once pumped.
+            _ => {
+                let reqs: Vec<Request> = (0..12).map(|_| gen_req(&mut rng)).collect();
+                let mut tickets = Vec::new();
+                let mut shed = 0usize;
+                for &req in &reqs {
+                    match svc.submit(req, None) {
+                        Ok(t) => tickets.push((req, t)),
+                        Err(Reply::Overloaded) => shed += 1,
+                        Err(other) => {
+                            return Err(format!("submit returned {other:?} ({})", case.repro()))
+                        }
+                    }
+                }
+                if tickets.len() + shed != reqs.len() {
+                    return Err(format!("requests lost at submit ({})", case.repro()));
+                }
+                while svc.pump() > 0 {}
+                for (req, t) in tickets {
+                    confirm(t.wait(), req, "pumped submit")?;
+                }
+            }
+        }
+    }
+
+    // Determinism coda: with no mutation in between, a repeated call
+    // must be served from the cache and still match the oracle.
+    let req = gen_req(&mut rng);
+    confirm(svc.call(req), req, "coda first call")?;
+    let second = confirm(svc.call(req), req, "coda second call")?;
+    if !second.cached {
+        return Err(format!(
+            "repeat of an un-invalidated request bypassed the cache ({})",
+            case.repro()
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +581,7 @@ mod tests {
                     ("permutation", check_permutation_invariance(&case)),
                     ("pool", check_pool_width_invariance(&case, 4)),
                     ("workspace", check_workspace_reuse_matches_fresh(&case)),
+                    ("service-cache", check_cached_matches_uncached(&case)),
                 ] {
                     r.unwrap_or_else(|e| panic!("{name} on {preset:?}/{seed}: {e}"));
                 }

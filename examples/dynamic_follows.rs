@@ -5,7 +5,7 @@
 //! cargo run --release --example dynamic_follows [nodes]
 //! ```
 
-use fui::landmarks::dynamic::{DynamicLandmarks, EdgeChange};
+use fui::landmarks::dynamic::{ChangeKind, DynamicLandmarks, EdgeChange};
 use fui::prelude::*;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -59,7 +59,7 @@ fn main() {
             follower: u,
             followee: v,
             labels,
-            added: false,
+            kind: ChangeKind::Remove,
         });
         removals.push((u, v));
         // A replacement follow appears somewhere else.
@@ -71,7 +71,7 @@ fn main() {
                 follower: a,
                 followee: b,
                 labels: l,
-                added: true,
+                kind: ChangeKind::Insert,
             });
             additions.push((a, b, l));
         }

@@ -18,6 +18,15 @@ driver writes with `--manifest`:
            wall time by at least --min-speedup (default 1.5x for
            table5.preprocess at 4 threads).
 
+  serve    Gate the serve_micro serving cell: its request/shed/cache/
+           rotation counters must equal the committed baseline exactly
+           (admission control and cache behaviour are deterministic by
+           construction, whatever FUI_THREADS says), no accepted
+           request may vanish (answered + shed == submitted), the
+           drive span stays within --time-tolerance percent of the
+           baseline, and the service.request_latency p99 stays under
+           --p99-max-ms.
+
   micro    Gate the propagate_micro cell: its tracked work counters
            must equal the committed baseline exactly, its spans
            (propagate_micro.single / .batch) stay within
@@ -73,6 +82,31 @@ MICRO_TRACKED_COUNTERS = [
 MICRO_TRACKED_SPANS = [
     "propagate_micro.single",
     "propagate_micro.batch",
+]
+
+# Deterministic counters of the serve_micro serving cell. Admission
+# control sheds on queue depth (the load generator overfills the queue
+# then pumps it dry, so shed counts are load-driven), the cache is
+# seeded-LRU over deterministic batches, and rotations/refreshes fire
+# on fixed cadences — all exact across runs and FUI_THREADS widths.
+SERVE_TRACKED_COUNTERS = [
+    "serve_micro.queries",
+    "serve_micro.answered",
+    "serve_micro.updates",
+    "serve_micro.rounds",
+    "service.requests",
+    "service.shed",
+    "service.cache.hits",
+    "service.cache.misses",
+    "service.cache.evictions",
+    "service.snapshot.rotations",
+    "landmarks.dynamic.records",
+    "landmarks.dynamic.refreshes",
+]
+
+# serve_micro spans under the wall-time regression check.
+SERVE_TRACKED_SPANS = [
+    "serve_micro.drive",
 ]
 
 
@@ -178,6 +212,49 @@ def cmd_micro(args):
     report("micro", failures, f"{args.fresh} vs {args.baseline}")
 
 
+def cmd_serve(args):
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = diff_counters(
+        baseline, fresh, "baseline", "fresh", names=SERVE_TRACKED_COUNTERS
+    )
+    if not args.no_time:
+        failures += span_drift(
+            baseline, fresh, SERVE_TRACKED_SPANS, args.time_tolerance
+        )
+    # Zero-requests-lost: everything submitted is either answered or
+    # an explicit shed.
+    queries = counter(fresh, "serve_micro.queries")
+    answered = counter(fresh, "serve_micro.answered")
+    shed = counter(fresh, "service.shed")
+    if None in (queries, answered, shed):
+        failures.append("serve accounting counters missing from fresh manifest")
+    elif answered + shed != queries:
+        failures.append(
+            f"request accounting broken: answered {answered} + shed {shed} "
+            f"!= submitted {queries} — requests were lost"
+        )
+    # Tail-latency bound on the batched request path.
+    hist = fresh.get("histograms", {}).get("service.request_latency")
+    if not isinstance(hist, dict) or "p99_ns" not in hist:
+        failures.append(
+            "histogram service.request_latency: missing from fresh manifest"
+        )
+    else:
+        p99_ms = float(hist["p99_ns"]) / 1e6
+        if p99_ms > args.p99_max_ms:
+            failures.append(
+                f"service.request_latency p99 {p99_ms:.3f} ms exceeds "
+                f"bound {args.p99_max_ms:.1f} ms"
+            )
+        else:
+            print(
+                f"bench_gate serve: request p99 {p99_ms:.3f} ms <= "
+                f"{args.p99_max_ms:.1f} ms"
+            )
+    report("serve", failures, f"{args.fresh} vs {args.baseline}")
+
+
 def cmd_speedup(args):
     serial = load(args.serial)
     parallel = load(args.parallel)
@@ -253,6 +330,30 @@ def main():
         help="skip the wall-time check (counters + allocs only)",
     )
     micro.set_defaults(func=cmd_micro)
+
+    serve = sub.add_parser(
+        "serve", help="gate the serve_micro serving-cell manifest"
+    )
+    serve.add_argument("--fresh", required=True)
+    serve.add_argument("--baseline", required=True)
+    serve.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=25.0,
+        help="max allowed span wall-time regression, percent (default 25)",
+    )
+    serve.add_argument(
+        "--p99-max-ms",
+        type=float,
+        default=250.0,
+        help="upper bound on service.request_latency p99, ms (default 250)",
+    )
+    serve.add_argument(
+        "--no-time",
+        action="store_true",
+        help="skip the wall-time check (counters + accounting + p99 only)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     speedup = sub.add_parser("speedup", help="parallel beats serial on a span")
     speedup.add_argument("--serial", required=True)

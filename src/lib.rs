@@ -22,7 +22,10 @@
 //!   JSON run manifests (`FUI_OBS=off|counters|full`);
 //! * [`exec`] — the deterministic scoped-thread work pool
 //!   (`FUI_THREADS`, index-ordered reduction: parallel results are
-//!   bit-identical to the serial path at any thread count).
+//!   bit-identical to the serial path at any thread count);
+//! * [`service`] — the online serving layer: epoch-based snapshot
+//!   rotation, micro-batched queries with admission control, and a
+//!   generation-stamped invalidating result cache.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@ pub use fui_exec as exec;
 pub use fui_graph as graph;
 pub use fui_landmarks as landmarks;
 pub use fui_obs as obs;
+pub use fui_service as service;
 pub use fui_taxonomy as taxonomy;
 pub use fui_textmine as textmine;
 
@@ -75,8 +79,10 @@ pub mod prelude {
     pub use fui_eval::userstudy::TopRecommender;
     pub use fui_graph::{GraphBuilder, GraphStats, NodeId, SocialGraph};
     pub use fui_landmarks::{
-        ApproxRecommender, DynamicLandmarks, EdgeChange, LandmarkIndex, Partitioning, Strategy,
+        ApproxRecommender, ChangeKind, DynamicLandmarks, EdgeChange, LandmarkIndex, Partitioning,
+        Strategy,
     };
+    pub use fui_service::{Reply, Request, Served, Service, ServiceConfig};
     pub use fui_taxonomy::{SimMatrix, Taxonomy, Topic, TopicSet, TopicWeights};
     pub use fui_textmine::{ClassifierKind, PipelineConfig, TweetGenerator};
 }

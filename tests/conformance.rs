@@ -127,6 +127,20 @@ fn workspace_reuse_bit_equality() {
     });
 }
 
+/// Serving-layer conformance: under seeded interleavings of queries,
+/// edge updates, snapshot rotations, landmark refreshes and
+/// submit/pump bursts, every reply must be bit-identical to a fresh
+/// uncached recommender on the currently published snapshot, every
+/// accepted request must be answered, and sheds must be explicit. The
+/// CI conformance matrix runs this binary at `FUI_THREADS=1` and
+/// `FUI_THREADS=4`.
+#[test]
+fn serving_cache_is_invisible() {
+    run_suite("conformance_service", 12, |case| {
+        invariants::check_cached_matches_uncached(case)
+    });
+}
+
 /// Mutation sanity: a deliberate off-by-one injected into a copy of
 /// the authority normalizer must be *caught* by the oracle on every
 /// instance where it is observable — proof the harness has teeth.

@@ -5,7 +5,7 @@
 use fui::eval::linkpred::{draw_candidates, evaluate_detailed, select_test_edges, LinkPredConfig};
 use fui::eval::significance::bootstrap_compare;
 use fui::graph::io;
-use fui::landmarks::dynamic::{DynamicLandmarks, EdgeChange};
+use fui::landmarks::dynamic::{ChangeKind, DynamicLandmarks, EdgeChange};
 use fui::landmarks::partition::{place_landmarks_per_partition, simulate_query, Partitioning};
 use fui::prelude::*;
 use rand::rngs::StdRng;
@@ -74,7 +74,7 @@ fn dynamic_and_partition_apis_compose() {
         follower: u,
         followee: d.graph.followees(u)[0],
         labels: TopicSet::single(Topic::Technology),
-        added: false,
+        kind: ChangeKind::Remove,
     });
     assert_eq!(live.changes_seen(), 1);
     assert!(live.staleness_at(0) >= 0.0);

@@ -87,9 +87,12 @@ fn manifest_for(id: &str, scale: &ExperimentScale) -> obs::RunManifest {
 
 fn run(opts: &CliOptions) -> ExitCode {
     let scale = &opts.scale;
-    if opts.manifest.is_some() {
+    if opts.manifest.is_some() && std::env::var_os("FUI_OBS").is_none() {
         // Manifests want span timings and histograms, not just the
-        // cheap counters — force full recording regardless of FUI_OBS.
+        // cheap counters — default to full recording. An explicitly
+        // set FUI_OBS wins: the CI trace gate compares a
+        // `FUI_OBS=full` run against a `FUI_OBS=counters` one, both
+        // with manifests.
         obs::set_level(obs::Level::Full);
     }
     eprintln!(

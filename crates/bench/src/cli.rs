@@ -51,11 +51,12 @@ flags:  --full            paper-shaped densities (slow)
         --seed S          master seed
         --out DIR         also write each block to DIR/<id>.txt
         --manifest PATH   write a JSON run manifest per id: counters,
-                          gauges, histograms and span timings from the
-                          fui-obs registry. PATH ending in .json is the
-                          file; otherwise a directory receiving
-                          BENCH_<id>.json (observability is switched to
-                          full recording for the run)
+                          gauges, histograms, span timings and the
+                          trace summary from the fui-obs registry. PATH
+                          ending in .json is the file; otherwise a
+                          directory receiving BENCH_<id>.json
+                          (defaults observability to full recording;
+                          an explicitly set FUI_OBS env wins)
         --help            this text";
 
 /// Parsed command line.

@@ -246,6 +246,30 @@ pub fn run(scale: &ExperimentScale) -> String {
         format!("{} / {}", r.rotations, r.refreshed),
     ]);
     t.row(vec!["wall per answered query (us)".into(), f3(r.query_us)]);
+    // Trace summary: live only under FUI_OBS=full with a nonzero
+    // FUI_TRACE_SAMPLE; zeros otherwise. The manifest carries the same
+    // data in its "trace" block.
+    t.row(vec![
+        "traces captured / committed".into(),
+        format!(
+            "{} / {}",
+            fui_obs::counter("trace.captured").get(),
+            fui_obs::counter("trace.committed").get()
+        ),
+    ]);
+    if let Some(worst) = fui_obs::trace::slowest(1).first() {
+        t.row(vec![
+            "slowest trace q/a/c/h (us)".into(),
+            format!(
+                "{} = {} + {} + {} + {}",
+                f3(worst.total_ns as f64 / 1e3),
+                f3(worst.parts.queue_ns as f64 / 1e3),
+                f3(worst.parts.assembly_ns as f64 / 1e3),
+                f3(worst.parts.compute_ns as f64 / 1e3),
+                f3(worst.parts.cache_ns as f64 / 1e3),
+            ),
+        ]);
+    }
     format!("## serve_micro — online serving cell\n\n{}", t.render())
 }
 

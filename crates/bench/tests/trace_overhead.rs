@@ -1,0 +1,84 @@
+//! Trace-overhead smoke: full tracing must be close to free.
+//!
+//! One test function on purpose — it mutates the process-global obs
+//! level and trace sample rate, and integration-test binaries run
+//! their tests in parallel threads; a single `#[test]` serialises
+//! everything while still running as its own process, isolated from
+//! the other test binaries.
+
+use fui_bench::datasets::ExperimentScale;
+use fui_bench::experiments::serve_micro;
+
+/// Wall-time multiplier allowed for `FUI_OBS=full` +
+/// `FUI_TRACE_SAMPLE=1.0` over `FUI_OBS=counters` (the satellite's
+/// 10 % bound).
+const RELATIVE_BOUND: f64 = 1.10;
+
+/// Absolute slack added to the bound: at smoke scale a run is a few
+/// hundred milliseconds, where scheduler noise alone can exceed 10 %.
+/// The relative bound still dominates on any slow machine.
+const ABSOLUTE_SLACK_SECS: f64 = 0.25;
+
+fn timed_run(scale: &ExperimentScale) -> f64 {
+    let t0 = std::time::Instant::now();
+    let report = serve_micro::measure(scale);
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(report.answered > 0, "the cell must answer queries");
+    wall
+}
+
+#[test]
+fn full_tracing_stays_within_ten_percent_of_counters() {
+    let scale = ExperimentScale::smoke();
+
+    // --- Part 1: sample rate 0 performs zero ring writes. ---
+    fui_obs::set_level(fui_obs::Level::Full);
+    fui_obs::trace::set_sample(0.0);
+    fui_obs::trace::clear();
+    let captured = fui_obs::counter("trace.captured");
+    let committed = fui_obs::counter("trace.committed");
+    let (cap0, com0) = (captured.get(), committed.get());
+    let baseline_checksum = serve_micro::measure(&scale).checksum;
+    assert_eq!(
+        fui_obs::trace::commit_count(),
+        0,
+        "sample rate 0 must add zero ring writes"
+    );
+    assert_eq!(fui_obs::trace::ring_len(), 0);
+    assert_eq!(captured.get(), cap0, "no capture at sample rate 0");
+    assert_eq!(committed.get(), com0);
+
+    // --- Part 2: fully-sampled tracing is bit-invisible... ---
+    fui_obs::trace::set_sample(1.0);
+    let traced_checksum = serve_micro::measure(&scale).checksum;
+    assert_eq!(
+        traced_checksum.to_bits(),
+        baseline_checksum.to_bits(),
+        "tracing must not move the served bits"
+    );
+    assert!(
+        fui_obs::trace::commit_count() > 0,
+        "fully-sampled run must commit traces"
+    );
+
+    // --- Part 3: ...and within 10 % of the counters-only wall time.
+    // min-of-2 per mode damps one-off scheduler hiccups; counters
+    // first, traced second, so background warm-up favours neither.
+    fui_obs::trace::set_sample(0.0);
+    fui_obs::set_level(fui_obs::Level::Counters);
+    let counters_wall = timed_run(&scale).min(timed_run(&scale));
+
+    fui_obs::set_level(fui_obs::Level::Full);
+    fui_obs::trace::set_sample(1.0);
+    let traced_wall = timed_run(&scale).min(timed_run(&scale));
+
+    fui_obs::trace::set_sample(0.0);
+    fui_obs::set_level(fui_obs::Level::Counters);
+
+    let bound = counters_wall * RELATIVE_BOUND + ABSOLUTE_SLACK_SECS;
+    assert!(
+        traced_wall <= bound,
+        "traced {traced_wall:.3}s vs counters {counters_wall:.3}s exceeds \
+         the 10% overhead bound ({bound:.3}s)"
+    );
+}

@@ -110,6 +110,18 @@ impl Histogram {
         self.max.load(Ordering::Relaxed)
     }
 
+    /// Number of recorded values strictly above `v`'s bucket — i.e.
+    /// values the histogram can *prove* exceeded `v`, at bucket
+    /// resolution (values sharing `v`'s bucket are not counted, so the
+    /// answer is a lower bound on the true `> v` count).
+    pub fn count_above(&self, v: u64) -> u64 {
+        self.buckets
+            .iter()
+            .skip(bucket_of(v) + 1)
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// p50/p95/p99/max summary.
     pub fn summary(&self) -> HistSummary {
         HistSummary {
@@ -243,6 +255,30 @@ mod tests {
         }
         assert_eq!(e.quantile(0.5), 3);
         assert_eq!(e.quantile(0.99), 3);
+    }
+
+    #[test]
+    fn count_above_is_a_bucket_resolution_lower_bound() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Exact range: nothing exceeds 1000, everything exceeds 0.
+        assert_eq!(h.count_above(1000), 0);
+        assert_eq!(h.count_above(0), 1000);
+        // At bucket resolution the answer never over-counts and is
+        // within the 25 % bucket width of the true count.
+        let true_above_500 = 500;
+        let got = h.count_above(500);
+        assert!(got <= true_above_500, "over-counted: {got}");
+        assert!(got >= 375, "more than a bucket width short: {got}");
+        // Small values are exact buckets.
+        let e = Histogram::new();
+        e.record(1);
+        e.record(2);
+        e.record(3);
+        assert_eq!(e.count_above(1), 2);
+        assert_eq!(e.count_above(3), 0);
     }
 
     #[test]

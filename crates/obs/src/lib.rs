@@ -60,13 +60,24 @@ mod manifest;
 mod registry;
 mod span;
 
+/// Rolling-window SLO burn-rate tracking; see the module docs.
+pub mod slo;
+/// Per-request tracing and the lock-free ring journal; see the module
+/// docs.
+pub mod trace;
+
 pub use hist::{HistSummary, Histogram};
 pub use manifest::RunManifest;
 pub use registry::{
     counter, gauge, hist, reset, snapshot, Counter, Gauge, Hist, MetricsRegistry, Snapshot,
     SpanStat,
 };
+pub use slo::{SloConfig, SloReport, SloTracker};
 pub use span::Span;
+pub use trace::{
+    LatencyParts, RequestTrace, TraceCapture, TraceEvent, TraceEventKind, TraceId, TraceMeta,
+    TraceOutcome,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -179,7 +179,39 @@ impl RunManifest {
                 num(s.max_ns as f64 / 1e6)
             );
         }
-        out.push_str("\n  ]\n}\n");
+        out.push_str("\n  ],\n");
+
+        // Trace summary: ring occupancy plus the slowest requests on
+        // record. Always emitted (empty arrays when tracing was off)
+        // so the manifest schema is stable across FUI_TRACE_SAMPLE.
+        let slowest = crate::trace::slowest(5);
+        let _ = write!(
+            out,
+            "  \"trace\": {{\n    \"ring_len\": {},\n    \"commits\": {},\n    \
+             \"slowest\": [",
+            crate::trace::ring_len(),
+            crate::trace::commit_count(),
+        );
+        for (i, t) in slowest.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n      {{\"id\": \"{}\", \"outcome\": \"{}\", \"total_ns\": {}, \
+                 \"queue_ns\": {}, \"assembly_ns\": {}, \"compute_ns\": {}, \
+                 \"cache_ns\": {}, \"events\": {}}}",
+                t.id,
+                t.outcome.as_str(),
+                t.total_ns,
+                t.parts.queue_ns,
+                t.parts.assembly_ns,
+                t.parts.compute_ns,
+                t.parts.cache_ns,
+                t.events.len(),
+            );
+        }
+        out.push_str("\n    ]\n  }\n}\n");
         out
     }
 

@@ -99,6 +99,17 @@ impl Hist {
     pub fn summary(self) -> HistSummary {
         self.0.summary()
     }
+
+    /// Number of recorded values.
+    pub fn count(self) -> u64 {
+        self.0.count()
+    }
+
+    /// Recorded values strictly above `v`'s bucket (see
+    /// [`Histogram::count_above`]).
+    pub fn count_above(self, v: u64) -> u64 {
+        self.0.count_above(v)
+    }
 }
 
 /// Aggregated statistics of one span path.
@@ -246,10 +257,11 @@ pub fn snapshot() -> Snapshot {
     }
 }
 
-/// Zeroes every counter, gauge and histogram and clears the span
-/// stats (handles stay valid). The bench driver calls this between
-/// experiments so each manifest covers one run.
+/// Zeroes every counter, gauge and histogram, clears the span stats
+/// (handles stay valid), and empties the trace ring. The bench driver
+/// calls this between experiments so each manifest covers one run.
 pub fn reset() {
+    crate::trace::clear();
     let reg = global();
     for a in reg.counters.read().expect("registry poisoned").values() {
         a.store(0, Ordering::Relaxed);

@@ -1,0 +1,316 @@
+//! Rolling-window SLO burn-rate tracking.
+//!
+//! An [`SloTracker`] watches an existing latency histogram and
+//! request/shed counters and answers the operator question "are we
+//! currently burning our error budget, and how fast?". It adds no
+//! instrumentation of its own: every `observe` call takes a cheap
+//! cumulative checkpoint (histogram count, count-over-target, request
+//! and shed totals) and differences it against the oldest checkpoint
+//! inside the rolling window.
+//!
+//! # Burn-rate model
+//!
+//! The objective has two arms:
+//!
+//! * **Latency**: at most `latency_budget` (default 1 %) of requests
+//!   may exceed `latency_target_ns` (a p99 target). The burn rate is
+//!   `(over_target / sampled) / latency_budget` — `1.0` means the
+//!   budget is being consumed exactly as fast as it accrues, above
+//!   `1.0` the service is eating into reserve.
+//! * **Shed**: at most `shed_ceiling` (default 5 %) of submitted
+//!   requests may be shed. `shed_burn` is the analogous ratio.
+//!
+//! Remaining budget is `1 − burn` per arm and may go negative when an
+//! arm is over budget — deliberately, so the magnitude of an overrun
+//! stays visible.
+//!
+//! Defaults come from the env: `FUI_SLO_P99_MS` (target, default 250 —
+//! matching the serve bench gate's p99 bound), `FUI_SLO_SHED_PCT`
+//! (ceiling, default 5), `FUI_SLO_WINDOW_SECS` (window, default 60).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::registry::{Counter, Hist};
+
+/// Objective parameters for one [`SloTracker`].
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// Latency target in nanoseconds (the "p99 ≤ target" arm).
+    pub latency_target_ns: u64,
+    /// Fraction of requests allowed over target (e.g. `0.01` = p99).
+    pub latency_budget: f64,
+    /// Fraction of submitted requests allowed to be shed.
+    pub shed_ceiling: f64,
+    /// Rolling window length.
+    pub window: Duration,
+}
+
+impl Default for SloConfig {
+    fn default() -> SloConfig {
+        SloConfig {
+            latency_target_ns: 250_000_000,
+            latency_budget: 0.01,
+            shed_ceiling: 0.05,
+            window: Duration::from_secs(60),
+        }
+    }
+}
+
+impl SloConfig {
+    /// Resolves the config from `FUI_SLO_P99_MS`, `FUI_SLO_SHED_PCT`
+    /// and `FUI_SLO_WINDOW_SECS`, falling back to the defaults.
+    pub fn from_env() -> SloConfig {
+        fn env_f64(name: &str) -> Option<f64> {
+            std::env::var(name)
+                .ok()
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .filter(|v| v.is_finite() && *v >= 0.0)
+        }
+        let mut cfg = SloConfig::default();
+        if let Some(ms) = env_f64("FUI_SLO_P99_MS") {
+            cfg.latency_target_ns = (ms * 1e6).min(u64::MAX as f64 / 2.0) as u64;
+        }
+        if let Some(pct) = env_f64("FUI_SLO_SHED_PCT") {
+            cfg.shed_ceiling = (pct / 100.0).clamp(0.0, 1.0);
+        }
+        if let Some(secs) = env_f64("FUI_SLO_WINDOW_SECS") {
+            cfg.window = Duration::from_secs_f64(secs.clamp(1.0, 86_400.0));
+        }
+        cfg
+    }
+}
+
+/// One cumulative checkpoint of the watched metrics.
+#[derive(Clone, Copy, Debug)]
+struct Checkpoint {
+    at: Instant,
+    /// Histogram sample count.
+    sampled: u64,
+    /// Histogram samples above the latency target.
+    over: u64,
+    /// Submitted requests.
+    requests: u64,
+    /// Shed requests.
+    shed: u64,
+}
+
+/// Point-in-time burn-rate report; see the module docs.
+#[derive(Clone, Copy, Debug)]
+pub struct SloReport {
+    /// Seconds actually covered by the window (elapsed since the
+    /// oldest retained checkpoint; less than the configured window
+    /// early in a run).
+    pub window_secs: f64,
+    /// Latency target, nanoseconds.
+    pub latency_target_ns: u64,
+    /// Latency samples observed in the window.
+    pub sampled: u64,
+    /// Samples over the latency target in the window.
+    pub over_target: u64,
+    /// Latency burn rate (`1.0` = consuming budget exactly at the
+    /// allowed rate); `0` when no samples landed in the window.
+    pub latency_burn: f64,
+    /// Remaining latency budget, `1 − latency_burn` (may be negative).
+    pub latency_budget_remaining: f64,
+    /// Requests submitted in the window.
+    pub requests: u64,
+    /// Requests shed in the window.
+    pub shed: u64,
+    /// Shed burn rate against the ceiling.
+    pub shed_burn: f64,
+    /// Remaining shed budget, `1 − shed_burn` (may be negative).
+    pub shed_budget_remaining: f64,
+}
+
+/// Tracks burn rates over a rolling window of checkpoints.
+///
+/// Cheap to `observe` (a histogram scan plus three counter loads under
+/// a short mutex); designed to be polled by the `SLO` protocol verb or
+/// a metrics scraper, not by the request hot path.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    latency: Hist,
+    requests: Counter,
+    shed: Counter,
+    history: Mutex<VecDeque<Checkpoint>>,
+}
+
+impl SloTracker {
+    /// Watches `latency` (a histogram of per-request nanoseconds),
+    /// `requests` and `shed` under `cfg`. Takes a baseline checkpoint
+    /// immediately so the first `observe` differences against
+    /// construction time rather than process start.
+    pub fn new(cfg: SloConfig, latency: Hist, requests: Counter, shed: Counter) -> SloTracker {
+        let tracker = SloTracker {
+            cfg,
+            latency,
+            requests,
+            shed,
+            history: Mutex::new(VecDeque::with_capacity(16)),
+        };
+        let base = tracker.checkpoint();
+        tracker
+            .history
+            .lock()
+            .expect("slo poisoned")
+            .push_back(base);
+        tracker
+    }
+
+    /// The tracker's objective parameters.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            at: Instant::now(),
+            sampled: self.latency.count(),
+            over: self.latency.count_above(self.cfg.latency_target_ns),
+            requests: self.requests.get(),
+            shed: self.shed.get(),
+        }
+    }
+
+    /// Takes a checkpoint, trims history to the rolling window, and
+    /// reports burn rates over the retained span.
+    pub fn observe(&self) -> SloReport {
+        let now = self.checkpoint();
+        let mut history = self.history.lock().expect("slo poisoned");
+        history.push_back(now);
+        // Keep one checkpoint at or beyond the window edge so the
+        // report always covers at least the configured window once
+        // enough history exists.
+        while history.len() > 2 && now.at.duration_since(history[1].at) >= self.cfg.window {
+            history.pop_front();
+        }
+        let base = history.front().copied().unwrap_or(now);
+        drop(history);
+
+        let sampled = now.sampled.saturating_sub(base.sampled);
+        let over = now.over.saturating_sub(base.over);
+        let requests = now.requests.saturating_sub(base.requests);
+        let shed = now.shed.saturating_sub(base.shed);
+
+        let latency_burn = if sampled > 0 && self.cfg.latency_budget > 0.0 {
+            (over as f64 / sampled as f64) / self.cfg.latency_budget
+        } else {
+            0.0
+        };
+        let shed_burn = if requests > 0 && self.cfg.shed_ceiling > 0.0 {
+            (shed as f64 / requests as f64) / self.cfg.shed_ceiling
+        } else {
+            0.0
+        };
+        SloReport {
+            window_secs: now.at.duration_since(base.at).as_secs_f64(),
+            latency_target_ns: self.cfg.latency_target_ns,
+            sampled,
+            over_target: over,
+            latency_burn,
+            latency_budget_remaining: 1.0 - latency_burn,
+            requests,
+            shed,
+            shed_burn,
+            shed_budget_remaining: 1.0 - shed_burn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burn_rate_matches_histogram_exactly() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Full);
+        let latency = crate::hist("test.slo.latency");
+        let requests = crate::counter("test.slo.requests");
+        let shed = crate::counter("test.slo.shed");
+        let cfg = SloConfig {
+            latency_target_ns: 1_000_000,
+            latency_budget: 0.01,
+            shed_ceiling: 0.05,
+            window: Duration::from_secs(60),
+        };
+        let tracker = SloTracker::new(cfg, latency, requests, shed);
+
+        // 97 fast, 3 slow; 100 requests, 2 shed.
+        for _ in 0..97 {
+            latency.record(10_000);
+        }
+        for _ in 0..3 {
+            latency.record(50_000_000);
+        }
+        requests.add(100);
+        shed.add(2);
+
+        let report = tracker.observe();
+        assert_eq!(report.sampled, 100);
+        // The acceptance bound: burn is exactly the histogram's
+        // over-target fraction divided by the budget.
+        assert_eq!(
+            report.over_target,
+            latency.count_above(cfg.latency_target_ns)
+        );
+        assert_eq!(report.over_target, 3);
+        let expected = (3.0 / 100.0) / 0.01;
+        assert!((report.latency_burn - expected).abs() < 1e-12);
+        assert!((report.latency_budget_remaining - (1.0 - expected)).abs() < 1e-12);
+        let expected_shed = (2.0 / 100.0) / 0.05;
+        assert!((report.shed_burn - expected_shed).abs() < 1e-12);
+
+        crate::set_level(crate::Level::Counters);
+    }
+
+    #[test]
+    fn empty_window_reports_zero_burn() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Full);
+        let tracker = SloTracker::new(
+            SloConfig::default(),
+            crate::hist("test.slo.empty.latency"),
+            crate::counter("test.slo.empty.requests"),
+            crate::counter("test.slo.empty.shed"),
+        );
+        let report = tracker.observe();
+        assert_eq!(report.sampled, 0);
+        assert_eq!(report.latency_burn, 0.0);
+        assert_eq!(report.shed_burn, 0.0);
+        assert_eq!(report.latency_budget_remaining, 1.0);
+        crate::set_level(crate::Level::Counters);
+    }
+
+    #[test]
+    fn observe_differences_against_construction_baseline() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Full);
+        let latency = crate::hist("test.slo.base.latency");
+        let requests = crate::counter("test.slo.base.requests");
+        let shed = crate::counter("test.slo.base.shed");
+        // Pre-existing traffic before the tracker exists...
+        latency.record(999_999_999);
+        requests.add(50);
+        shed.add(50);
+        let tracker = SloTracker::new(SloConfig::default(), latency, requests, shed);
+        // ...must not count against the window.
+        let report = tracker.observe();
+        assert_eq!(report.sampled, 0);
+        assert_eq!(report.requests, 0);
+        assert_eq!(report.shed, 0);
+        crate::set_level(crate::Level::Counters);
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = SloConfig::default();
+        assert_eq!(cfg.latency_target_ns, 250_000_000);
+        assert!((cfg.latency_budget - 0.01).abs() < 1e-12);
+        assert!((cfg.shed_ceiling - 0.05).abs() < 1e-12);
+        assert_eq!(cfg.window, Duration::from_secs(60));
+    }
+}

@@ -74,6 +74,9 @@ struct Shard {
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     per_shard: usize,
+    hits: fui_obs::Counter,
+    misses: fui_obs::Counter,
+    evictions: fui_obs::Counter,
 }
 
 /// Fixed 64-bit mix (SplitMix64 finalizer) — stable across processes,
@@ -95,6 +98,11 @@ impl ResultCache {
         ResultCache {
             shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
             per_shard,
+            // Handles resolved once — probes never take the registry's
+            // name-lookup lock.
+            hits: fui_obs::counter("service.cache.hits"),
+            misses: fui_obs::counter("service.cache.misses"),
+            evictions: fui_obs::counter("service.cache.evictions"),
         }
     }
 
@@ -114,17 +122,17 @@ impl ResultCache {
                 let tick = shard.tick;
                 let e = shard.map.get_mut(&key).expect("entry just seen");
                 e.last_used = tick;
-                fui_obs::counter("service.cache.hits").incr();
+                self.hits.incr();
                 Some(Arc::clone(&e.value))
             }
             Some(_) => {
                 shard.map.remove(&key);
-                fui_obs::counter("service.cache.evictions").incr();
-                fui_obs::counter("service.cache.misses").incr();
+                self.evictions.incr();
+                self.misses.incr();
                 None
             }
             None => {
-                fui_obs::counter("service.cache.misses").incr();
+                self.misses.incr();
                 None
             }
         }
@@ -143,7 +151,7 @@ impl ResultCache {
                 .map(|(&k, _)| k)
                 .expect("full shard has entries");
             shard.map.remove(&victim);
-            fui_obs::counter("service.cache.evictions").incr();
+            self.evictions.incr();
         }
         shard.tick += 1;
         let tick = shard.tick;

@@ -19,13 +19,28 @@
 //!   [`Service::call_many`] plus the `submit`/`pump` pair, follow /
 //!   unfollow recording, [`Service::rotate`] and [`Service::refresh`];
 //! * [`net`] — a thin `std::net` line-protocol frontend for manual
-//!   poking; tests and benches use the in-process API.
+//!   poking (including the `STATS` / `SLO` / `TRACE` introspection
+//!   verbs); tests and benches use the in-process API.
 //!
 //! The whole path reports through `fui-obs`: `service.requests`,
-//! `service.shed`, `service.cache.{hits,misses,evictions}`,
-//! `service.snapshot.rotations`, the `service.batch.size` and
-//! `service.request_latency` histograms and `service.{request,rotate,
-//! refresh}` spans.
+//! `service.shed` (with its `service.shed.{queue_full,deadline,
+//! disconnect}` cause breakdown), `service.cache.{hits,misses,
+//! evictions}`, `service.snapshot.rotations`, the `service.batch.size`
+//! and `service.request_latency` histograms and `service.{request,
+//! rotate,refresh}` spans. Handles are resolved once at construction —
+//! the request path never takes the registry's name-lookup lock.
+//!
+//! Per-request attribution goes further: when tracing is active
+//! (`FUI_OBS=full` and `FUI_TRACE_SAMPLE` > 0) every request draws a
+//! [`fui_obs::TraceId`] at admission and carries a
+//! queue-wait/assembly/compute/cache latency decomposition plus an
+//! event timeline (enqueue, batch join, snapshot pin, cache probe,
+//! propagate start, finish/shed-with-cause) into `fui-obs`'s lock-free
+//! ring journal; [`Service::trace_slowest`] and the `TRACE <n>` verb
+//! read it back, and [`Service::slo`] / the `SLO` verb report rolling
+//! p99-target and shed-ceiling burn rates. Tracing is bit-invisible to
+//! results at any sample rate — the conformance suite and the CI bench
+//! gate both enforce it.
 
 #![warn(missing_docs)]
 

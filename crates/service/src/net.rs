@@ -10,6 +10,9 @@
 //! ROTATE                              apply pending changes now
 //! REFRESH                             recompute stale landmarks now
 //! EPOCH                               current snapshot epoch
+//! STATS                               dump every counter/gauge/histogram
+//! SLO                                 current burn rates / error budget
+//! TRACE <n>                           the n slowest traced requests
 //! QUIT                                close the connection
 //! ```
 //!
@@ -21,6 +24,29 @@
 //! OVERLOADED                          shed; retry later
 //! ERR <reason>
 //! ```
+//!
+//! The introspection verbs answer multi-line (the first line carries
+//! the count of lines that follow, so a client knows when to stop
+//! reading):
+//!
+//! ```text
+//! OK STATS <n>                        then n lines:
+//!   C <name> <value>                  counter
+//!   G <name> <value>                  gauge
+//!   H <name> count=<c> sum_ns=<s> p50_ns=<..> p95_ns=<..> p99_ns=<..> max_ns=<..>
+//! OK SLO window_secs=<..> target_ns=<..> sampled=<..> over_target=<..>
+//!        latency_burn=<..> latency_budget_remaining=<..> requests=<..>
+//!        shed=<..> shed_burn=<..> shed_budget_remaining=<..>   (one line)
+//! OK TRACE <k>                        then, per request, a REQ line:
+//!   REQ id=<hex> user=<u> topic=<name> top_n=<n> outcome=<o> total_ns=<t>
+//!       queue_ns=<q> assembly_ns=<a> compute_ns=<c> cache_ns=<h> events=<m>
+//!   followed by its m timeline lines:  EV <at_ns> <kind> <arg>
+//! ```
+//!
+//! `TRACE` returns requests only while tracing is active
+//! (`FUI_OBS=full` with `FUI_TRACE_SAMPLE` > 0); the queue / assembly
+//! / compute / cache parts of each `REQ` line sum to its `total_ns`
+//! exactly (assembly is defined as the remainder).
 //!
 //! Scores print with Rust's shortest-round-trip `f64` formatting, so a
 //! client parsing them back gets the exact served bits.
@@ -210,8 +236,92 @@ fn run_command(line: &str, service: &Service, cfg: NetConfig) -> Result<String, 
             expect_end(parts)?;
             Ok(format!("OK EPOCH {}", service.snapshot().epoch))
         }
+        "STATS" => {
+            expect_end(parts)?;
+            Ok(render_stats())
+        }
+        "SLO" => {
+            expect_end(parts)?;
+            Ok(render_slo(service.slo()))
+        }
+        "TRACE" => {
+            let n = match parts.next() {
+                Some(s) => s.parse::<usize>().map_err(|_| format!("bad count {s:?}"))?,
+                None => 5,
+            };
+            expect_end(parts)?;
+            Ok(render_traces(service.trace_slowest(n)))
+        }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Text exposition of the whole metrics registry.
+fn render_stats() -> String {
+    let snap = fui_obs::snapshot();
+    let mut lines = Vec::new();
+    for (name, v) in &snap.counters {
+        lines.push(format!("C {name} {v}"));
+    }
+    for (name, v) in &snap.gauges {
+        lines.push(format!("G {name} {v}"));
+    }
+    for (name, s) in &snap.hists {
+        lines.push(format!(
+            "H {name} count={} sum_ns={} p50_ns={} p95_ns={} p99_ns={} max_ns={}",
+            s.count, s.sum, s.p50, s.p95, s.p99, s.max
+        ));
+    }
+    let mut out = format!("OK STATS {}", lines.len());
+    for line in lines {
+        out.push('\n');
+        out.push_str(&line);
+    }
+    out
+}
+
+fn render_slo(r: fui_obs::SloReport) -> String {
+    format!(
+        "OK SLO window_secs={:.3} target_ns={} sampled={} over_target={} \
+         latency_burn={:.6} latency_budget_remaining={:.6} requests={} shed={} \
+         shed_burn={:.6} shed_budget_remaining={:.6}",
+        r.window_secs,
+        r.latency_target_ns,
+        r.sampled,
+        r.over_target,
+        r.latency_burn,
+        r.latency_budget_remaining,
+        r.requests,
+        r.shed,
+        r.shed_burn,
+        r.shed_budget_remaining,
+    )
+}
+
+fn render_traces(traces: Vec<fui_obs::RequestTrace>) -> String {
+    let mut out = format!("OK TRACE {}", traces.len());
+    for t in traces {
+        let topic = Topic::try_from_index(t.meta.topic as usize).map_or("?", |topic| topic.name());
+        out.push_str(&format!(
+            "\nREQ id={} user={} topic={} top_n={} outcome={} total_ns={} \
+             queue_ns={} assembly_ns={} compute_ns={} cache_ns={} events={}",
+            t.id,
+            t.meta.user,
+            topic,
+            t.meta.top_n,
+            t.outcome.as_str(),
+            t.total_ns,
+            t.parts.queue_ns,
+            t.parts.assembly_ns,
+            t.parts.compute_ns,
+            t.parts.cache_ns,
+            t.events.len(),
+        ));
+        for e in &t.events {
+            out.push_str(&format!("\nEV {} {} {}", e.at_ns, e.kind.as_str(), e.arg));
+        }
+    }
+    out
 }
 
 fn render_reply(reply: Reply) -> String {

@@ -24,9 +24,13 @@ use std::time::Instant;
 use fui_core::{AuthorityIndex, Propagator, ScoreParams, ScoreVariant, SimRowCache};
 use fui_graph::{NodeId, SocialGraph};
 use fui_landmarks::{ApproxRecommender, DynamicLandmarks, EdgeChange, LandmarkIndex};
+use fui_obs::{
+    Counter, Hist, LatencyParts, RequestTrace, SloConfig, SloReport, SloTracker, TraceCapture,
+    TraceEventKind, TraceOutcome,
+};
 use fui_taxonomy::{SimMatrix, Topic};
 
-use crate::batch::{Batcher, Pending, Ticket};
+use crate::batch::{trace_meta, Batcher, Pending, Ticket};
 use crate::cache::{CacheKey, CacheStamp, ResultCache};
 use crate::snapshot::{apply_changes, Snapshot, SnapshotStore};
 
@@ -128,6 +132,35 @@ impl Master {
     }
 }
 
+/// `service.*` handles resolved once at construction — the request
+/// hot path never takes the registry's name-lookup lock.
+struct ServiceMetrics {
+    requests: Counter,
+    shed: Counter,
+    shed_deadline: Counter,
+    rotations: Counter,
+    batch_size: Hist,
+    request_latency: Hist,
+    slo: SloTracker,
+}
+
+impl ServiceMetrics {
+    fn new() -> ServiceMetrics {
+        let requests = fui_obs::counter("service.requests");
+        let shed = fui_obs::counter("service.shed");
+        let request_latency = fui_obs::hist("service.request_latency");
+        ServiceMetrics {
+            requests,
+            shed,
+            shed_deadline: fui_obs::counter("service.shed.deadline"),
+            rotations: fui_obs::counter("service.snapshot.rotations"),
+            batch_size: fui_obs::hist("service.batch.size"),
+            request_latency,
+            slo: SloTracker::new(SloConfig::from_env(), request_latency, requests, shed),
+        }
+    }
+}
+
 /// The online serving engine. See the module docs.
 pub struct Service {
     master: Mutex<Master>,
@@ -135,6 +168,7 @@ pub struct Service {
     cache: ResultCache,
     batcher: Batcher,
     cfg: ServiceConfig,
+    metrics: ServiceMetrics,
 }
 
 impl Service {
@@ -179,12 +213,20 @@ impl Service {
             variant,
         };
         let store = SnapshotStore::new(master.snapshot());
+        let metrics = ServiceMetrics::new();
+        let batcher = Batcher::new(
+            cfg.queue_capacity,
+            metrics.shed,
+            fui_obs::counter("service.shed.queue_full"),
+            fui_obs::counter("service.shed.disconnect"),
+        );
         Service {
             master: Mutex::new(master),
             store,
             cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
-            batcher: Batcher::new(cfg.queue_capacity),
+            batcher,
             cfg,
+            metrics,
         }
     }
 
@@ -222,16 +264,20 @@ impl Service {
     pub fn call_many(&self, reqs: &[Request]) -> Vec<Reply> {
         let mut replies = Vec::with_capacity(reqs.len());
         for chunk in reqs.chunks(self.cfg.max_batch.max(1)) {
-            replies.extend(self.answer_batch(chunk));
+            let traces = chunk.iter().map(|_| TraceCapture::begin()).collect();
+            replies.extend(self.answer_batch(chunk, traces));
         }
         replies
     }
 
     /// Enqueues a request for the next [`pump`](Self::pump), shedding
     /// immediately if the queue is at capacity. `deadline` (if any) is
-    /// checked when the pump drains the request.
+    /// checked when the pump drains the request. When tracing is
+    /// active the request draws a [`fui_obs::TraceId`] here, at
+    /// admission, so queue wait is attributed from the moment of
+    /// submission.
     pub fn submit(&self, req: Request, deadline: Option<Instant>) -> Result<Ticket, Reply> {
-        self.batcher.submit(req, deadline)
+        self.batcher.submit(req, deadline, TraceCapture::begin())
     }
 
     /// Drains and answers one batch from the submission queue;
@@ -247,7 +293,21 @@ impl Service {
         let mut live: Vec<Pending> = Vec::with_capacity(drained.len());
         for p in drained {
             if p.deadline.is_some_and(|d| now > d) {
-                fui_obs::counter("service.shed").incr();
+                self.metrics.shed.incr();
+                self.metrics.shed_deadline.incr();
+                if let Some(cap) = p.trace {
+                    let queue_ns =
+                        u64::try_from(now.saturating_duration_since(cap.started_at()).as_nanos())
+                            .unwrap_or(u64::MAX);
+                    cap.finish(
+                        trace_meta(&p.req),
+                        TraceOutcome::ShedDeadline,
+                        LatencyParts {
+                            queue_ns,
+                            ..LatencyParts::default()
+                        },
+                    );
+                }
                 let _ = p.tx.send(Reply::Overloaded);
             } else {
                 live.push(p);
@@ -258,7 +318,8 @@ impl Service {
             return total;
         }
         let reqs: Vec<Request> = live.iter().map(|p| p.req).collect();
-        let replies = self.answer_batch(&reqs);
+        let traces = live.iter_mut().map(|p| p.trace.take()).collect();
+        let replies = self.answer_batch(&reqs, traces);
         for (p, reply) in live.into_iter().zip(replies) {
             let _ = p.tx.send(reply);
         }
@@ -268,12 +329,39 @@ impl Service {
     /// Answers one batch against the currently published snapshot:
     /// probe the cache, group the misses by `top_n`, fan each group
     /// out through `recommend_batch`, stamp and cache the results.
-    fn answer_batch(&self, reqs: &[Request]) -> Vec<Reply> {
+    ///
+    /// `traces` runs parallel to `reqs`. A traced request's latency
+    /// decomposition is queue wait (submission → batch entry, exact
+    /// per request) plus the batch's shared cache / compute / assembly
+    /// segments — the batch answers as a unit, so every member's
+    /// end-to-end latency covers the whole batch, and the four parts
+    /// sum to the recorded total *exactly* (assembly is defined as the
+    /// remainder).
+    fn answer_batch(&self, reqs: &[Request], traces: Vec<Option<TraceCapture>>) -> Vec<Reply> {
         let started = Instant::now();
         let _span = fui_obs::span!("service.request");
         let snap = self.store.load();
-        fui_obs::counter("service.requests").add(reqs.len() as u64);
-        fui_obs::hist("service.batch.size").record(reqs.len() as u64);
+        self.metrics.requests.add(reqs.len() as u64);
+        self.metrics.batch_size.record(reqs.len() as u64);
+
+        let mut traces = traces;
+        let tracing = traces.iter().any(Option::is_some);
+        if tracing {
+            for cap in traces.iter_mut().flatten() {
+                cap.event(TraceEventKind::BatchJoin, reqs.len() as u64);
+                cap.event(TraceEventKind::SnapshotPin, snap.epoch);
+            }
+        }
+        // Timed sub-segments, accumulated only when tracing (the
+        // untraced path takes no extra clock reads).
+        let mut cache_ns = 0u64;
+        let mut compute_ns = 0u64;
+        let clock = |on: bool| if on { Some(Instant::now()) } else { None };
+        let lap = |t0: Option<Instant>, acc: &mut u64| {
+            if let Some(t0) = t0 {
+                *acc += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+        };
 
         let mut replies: Vec<Option<Reply>> = (0..reqs.len()).map(|_| None).collect();
         // Miss indices per top_n — BTreeMap so group order (and hence
@@ -285,7 +373,13 @@ impl Service {
                 continue;
             }
             let key = key_of(req);
-            if let Some(value) = self.cache.get(key, &snap) {
+            let t0 = clock(tracing);
+            let probed = self.cache.get(key, &snap);
+            lap(t0, &mut cache_ns);
+            if let Some(cap) = traces[i].as_mut() {
+                cap.event(TraceEventKind::CacheProbe, u64::from(probed.is_some()));
+            }
+            if let Some(value) = probed {
                 replies[i] = Some(Reply::Result(Served {
                     recommendations: value,
                     epoch: snap.epoch,
@@ -305,7 +399,17 @@ impl Service {
                     .iter()
                     .map(|&i| (reqs[i].user, reqs[i].topic))
                     .collect();
+                if tracing {
+                    for &i in idxs {
+                        if let Some(cap) = traces[i].as_mut() {
+                            cap.event(TraceEventKind::PropagateStart, idxs.len() as u64);
+                        }
+                    }
+                }
+                let t0 = clock(tracing);
                 let results = rec.recommend_batch(&queries, *top_n);
+                lap(t0, &mut compute_ns);
+                let t0 = clock(tracing);
                 for (&i, result) in idxs.iter().zip(results) {
                     let met: Vec<(u32, u64)> = result
                         .met_landmarks
@@ -330,12 +434,40 @@ impl Service {
                         cached: false,
                     }));
                 }
+                lap(t0, &mut cache_ns);
             }
         }
 
         let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         for _ in reqs {
-            fui_obs::hist("service.request_latency").record(elapsed);
+            self.metrics.request_latency.record(elapsed);
+        }
+        if tracing {
+            let assembly_ns = elapsed.saturating_sub(cache_ns).saturating_sub(compute_ns);
+            for (i, cap) in traces.into_iter().enumerate() {
+                let Some(cap) = cap else { continue };
+                let outcome = match replies[i].as_ref() {
+                    Some(Reply::Result(s)) if s.cached => TraceOutcome::OkCached,
+                    Some(Reply::Result(_)) => TraceOutcome::Ok,
+                    _ => TraceOutcome::Rejected,
+                };
+                let queue_ns = u64::try_from(
+                    started
+                        .saturating_duration_since(cap.started_at())
+                        .as_nanos(),
+                )
+                .unwrap_or(u64::MAX);
+                cap.finish(
+                    trace_meta(&reqs[i]),
+                    outcome,
+                    LatencyParts {
+                        queue_ns,
+                        assembly_ns,
+                        compute_ns,
+                        cache_ns,
+                    },
+                );
+            }
         }
         replies
             .into_iter()
@@ -393,7 +525,7 @@ impl Service {
     pub fn rotate(&self) -> u64 {
         let _span = fui_obs::span!("service.rotate");
         let mut m = self.master.lock().expect("master poisoned");
-        fui_obs::counter("service.snapshot.rotations").incr();
+        self.metrics.rotations.incr();
         if !m.pending.is_empty() {
             let next = apply_changes(&m.graph, &m.pending);
             m.pending.clear();
@@ -435,6 +567,22 @@ impl Service {
         m.epoch += 1;
         self.store.publish(m.snapshot());
         refreshed
+    }
+
+    // ---- introspection -------------------------------------------
+
+    /// Takes an SLO checkpoint and reports current burn rates over the
+    /// rolling window (latency arm: `service.request_latency` against
+    /// the p99 target; shed arm: `service.shed` against the ceiling —
+    /// see [`fui_obs::slo`]).
+    pub fn slo(&self) -> SloReport {
+        self.metrics.slo.observe()
+    }
+
+    /// The `n` slowest recently traced requests, slowest first (empty
+    /// unless tracing is active — see [`fui_obs::trace`]).
+    pub fn trace_slowest(&self, n: usize) -> Vec<RequestTrace> {
+        fui_obs::trace::slowest(n)
     }
 }
 

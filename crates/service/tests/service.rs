@@ -1,10 +1,10 @@
 //! End-to-end tests of the serving layer: cache correctness across
-//! rotation/refresh, admission control, the submit/pump path and the
-//! line-protocol frontend.
+//! rotation/refresh, admission control, the submit/pump path, the
+//! line-protocol frontend, and request tracing / SLO introspection.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use fui_core::{ScoreParams, ScoreVariant};
 use fui_graph::{GraphBuilder, NodeId, SocialGraph};
@@ -264,6 +264,274 @@ fn line_protocol_round_trips() {
     assert!(ask("EPOCH", &mut line).starts_with("OK EPOCH "));
     assert!(ask("REC 0 nonsense", &mut line).starts_with("ERR "));
     assert!(ask("BOGUS", &mut line).starts_with("ERR "));
+
+    writeln!(writer, "QUIT").expect("write");
+    server.shutdown();
+}
+
+/// Serialises the tests below that flip the global obs level / trace
+/// sample rate (tests in this binary run in parallel threads).
+fn obs_guard() -> MutexGuard<'static, ()> {
+    static M: Mutex<()> = Mutex::new(());
+    M.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores level + sample on drop, so a failing assertion can't leak
+/// `Full`/sampled state into the other tests.
+struct TraceSession;
+
+impl TraceSession {
+    fn start(sample: f64) -> TraceSession {
+        fui_obs::set_level(fui_obs::Level::Full);
+        fui_obs::trace::set_sample(sample);
+        fui_obs::trace::clear();
+        TraceSession
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        fui_obs::trace::set_sample(0.0);
+        fui_obs::set_level(fui_obs::Level::Counters);
+    }
+}
+
+#[test]
+fn trace_slowest_decomposition_sums_exactly() {
+    let _g = obs_guard();
+    let _session = TraceSession::start(1.0);
+    let svc = service(ServiceConfig::default());
+    // Mixed workload through the queue so queue wait is real: two
+    // rounds over 8 users (second round hits the cache). top_n 6 is
+    // this test's fingerprint — while the obs level is Full, requests
+    // from concurrently running tests also land in the global ring.
+    let reqs: Vec<Request> = (0..8u32)
+        .chain(0..8u32)
+        .map(|u| Request {
+            user: NodeId(u),
+            topic: Topic::Technology,
+            top_n: 6,
+        })
+        .collect();
+    let tickets: Vec<_> = reqs
+        .iter()
+        .map(|&r| svc.submit(r, None).expect("queue has room"))
+        .collect();
+    while svc.pump() > 0 {}
+    for t in tickets {
+        assert!(matches!(t.wait(), Reply::Result(_)));
+    }
+
+    let slowest: Vec<_> = svc
+        .trace_slowest(usize::MAX)
+        .into_iter()
+        .filter(|t| t.meta.top_n == 6)
+        .take(5)
+        .collect();
+    assert_eq!(slowest.len(), 5, "16 traced requests on record");
+    for pair in slowest.windows(2) {
+        assert!(pair[0].total_ns >= pair[1].total_ns, "sorted slowest-first");
+    }
+    for t in &slowest {
+        let sum = t.parts.queue_ns + t.parts.assembly_ns + t.parts.compute_ns + t.parts.cache_ns;
+        // The acceptance bound is 1 %; the construction makes it exact.
+        assert_eq!(sum, t.total_ns, "decomposition must sum to the total");
+        assert!(
+            matches!(
+                t.outcome,
+                fui_obs::TraceOutcome::Ok | fui_obs::TraceOutcome::OkCached
+            ),
+            "all requests were answered, got {:?}",
+            t.outcome
+        );
+        assert!(!t.events.is_empty(), "timeline present");
+        let last = t.events.last().unwrap();
+        assert_eq!(last.kind, fui_obs::TraceEventKind::Finish);
+        assert!(
+            t.events
+                .iter()
+                .any(|e| e.kind == fui_obs::TraceEventKind::Enqueue),
+            "queued requests record their admission"
+        );
+        for pair in t.events.windows(2) {
+            assert!(pair[0].at_ns <= pair[1].at_ns, "timeline is ordered");
+        }
+    }
+}
+
+#[test]
+fn sheds_are_attributed_to_their_cause() {
+    let _g = obs_guard();
+    let _session = TraceSession::start(1.0);
+    let cfg = ServiceConfig {
+        queue_capacity: 4,
+        ..ServiceConfig::default()
+    };
+    let svc = service(cfg);
+    // top_n 37 is this test's fingerprint in the shared trace ring;
+    // counter deltas from concurrently running tests make the global
+    // aggregates lower bounds only — the ring filter is the exact
+    // check, plus `service.shed.disconnect`, which only this test can
+    // drive (nothing else drops a service with queued requests).
+    let req = Request {
+        user: NodeId(0),
+        topic: Topic::Technology,
+        top_n: 37,
+    };
+    let queue_full = fui_obs::counter("service.shed.queue_full");
+    let disconnect = fui_obs::counter("service.shed.disconnect");
+    let aggregate = fui_obs::counter("service.shed");
+    let (qf0, dc0, ag0) = (queue_full.get(), disconnect.get(), aggregate.get());
+
+    // Overfill the queue: 6 submits against capacity 4.
+    let tickets: Vec<_> = (0..6).filter_map(|_| svc.submit(req, None).ok()).collect();
+    assert_eq!(tickets.len(), 4);
+    assert!(queue_full.get() - qf0 >= 2, "two queue-full sheds counted");
+
+    // Drop the service with the four accepted requests still queued:
+    // every ticket must resolve Overloaded and count as a disconnect.
+    drop(svc);
+    for t in tickets {
+        assert!(matches!(t.wait(), Reply::Overloaded));
+    }
+    assert_eq!(disconnect.get() - dc0, 4, "four disconnect sheds");
+    assert!(aggregate.get() - ag0 >= 6, "aggregate covers both causes");
+
+    // The queue-full sheds surface in the trace ring with their cause.
+    let causes: Vec<fui_obs::TraceOutcome> = fui_obs::trace::slowest(usize::MAX)
+        .into_iter()
+        .filter(|t| t.meta.top_n == 37)
+        .map(|t| t.outcome)
+        .collect();
+    assert_eq!(
+        causes
+            .iter()
+            .filter(|o| **o == fui_obs::TraceOutcome::ShedQueueFull)
+            .count(),
+        2,
+        "queue-full sheds are traced; got {causes:?}"
+    );
+    // Disconnect sheds die holding their capture (the queue entry was
+    // dropped before anything could finish it), so they are counted
+    // but not ring-traced — exactly 2 records with this fingerprint
+    // confirms that.
+    assert_eq!(causes.len(), 2);
+}
+
+#[test]
+fn slo_report_is_consistent_with_the_latency_histogram() {
+    let _g = obs_guard();
+    let _session = TraceSession::start(0.0);
+    let svc = service(ServiceConfig::default());
+    let reqs: Vec<Request> = (0..6u32)
+        .map(|u| Request {
+            user: NodeId(u),
+            topic: Topic::Technology,
+            top_n: 5,
+        })
+        .collect();
+    for r in svc.call_many(&reqs) {
+        assert!(matches!(r, Reply::Result(_)));
+    }
+    let report = svc.slo();
+    assert!(report.sampled >= 6, "six requests recorded since baseline");
+    // Burn rate must be exactly the histogram's over-target fraction
+    // scaled by the budget — the report is internally consistent...
+    let expected = if report.sampled > 0 {
+        (report.over_target as f64 / report.sampled as f64) / 0.01
+    } else {
+        0.0
+    };
+    assert!((report.latency_burn - expected).abs() < 1e-9);
+    assert!((report.latency_budget_remaining - (1.0 - expected)).abs() < 1e-9);
+    // ...and consistent with the underlying histogram: the window's
+    // over-target count can never exceed the cumulative one.
+    let hist = fui_obs::hist("service.request_latency");
+    assert!(report.over_target <= hist.count_above(report.latency_target_ns));
+    assert!(report.sampled <= hist.count());
+    assert!(report.window_secs >= 0.0);
+}
+
+#[test]
+fn introspection_verbs_round_trip() {
+    let _g = obs_guard();
+    let _session = TraceSession::start(1.0);
+    let svc = Arc::new(service(ServiceConfig::default()));
+    let server = NetServer::start(Arc::clone(&svc), "127.0.0.1:0", NetConfig::default())
+        .expect("bind loopback");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let read_line = |reader: &mut BufReader<TcpStream>| {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_owned()
+    };
+
+    for u in 0..6 {
+        writeln!(writer, "REC {u} technology 4").expect("write");
+        assert!(read_line(&mut reader).starts_with("OK REC "));
+    }
+
+    // STATS: header advertises the line count; counters include the
+    // service family.
+    writeln!(writer, "STATS").expect("write");
+    let header = read_line(&mut reader);
+    let n: usize = header
+        .strip_prefix("OK STATS ")
+        .expect("stats header")
+        .parse()
+        .expect("line count");
+    assert!(n > 0);
+    let lines: Vec<String> = (0..n).map(|_| read_line(&mut reader)).collect();
+    assert!(lines
+        .iter()
+        .all(|l| { l.starts_with("C ") || l.starts_with("G ") || l.starts_with("H ") }));
+    assert!(lines.iter().any(|l| l.starts_with("C service.requests ")));
+    assert!(lines
+        .iter()
+        .any(|l| l.starts_with("H service.request_latency ")));
+
+    // SLO: one line, key=value.
+    writeln!(writer, "SLO").expect("write");
+    let slo = read_line(&mut reader);
+    assert!(slo.starts_with("OK SLO window_secs="), "got {slo:?}");
+    assert!(slo.contains(" latency_burn="));
+    assert!(slo.contains(" shed_budget_remaining="));
+
+    // TRACE 5: the acceptance criterion over the wire — five slowest
+    // requests, each decomposition summing to within 1 % of its total.
+    writeln!(writer, "TRACE 5").expect("write");
+    let header = read_line(&mut reader);
+    let k: usize = header
+        .strip_prefix("OK TRACE ")
+        .expect("trace header")
+        .parse()
+        .expect("trace count");
+    assert_eq!(k, 5, "six traced requests on record, asked for five");
+    for _ in 0..k {
+        let req_line = read_line(&mut reader);
+        assert!(req_line.starts_with("REQ id="), "got {req_line:?}");
+        let field = |name: &str| -> u64 {
+            req_line
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+                .unwrap_or_else(|| panic!("missing {name} in {req_line:?}"))
+                .parse()
+                .expect("numeric field")
+        };
+        let total = field("total_ns");
+        let sum =
+            field("queue_ns") + field("assembly_ns") + field("compute_ns") + field("cache_ns");
+        let tolerance = (total / 100).max(1);
+        assert!(
+            sum.abs_diff(total) <= tolerance,
+            "parts {sum} vs total {total} beyond 1 %"
+        );
+        for _ in 0..field("events") {
+            assert!(read_line(&mut reader).starts_with("EV "));
+        }
+    }
 
     writeln!(writer, "QUIT").expect("write");
     server.shutdown();

@@ -564,6 +564,139 @@ pub fn check_cached_matches_uncached(case: &GraphCase) -> Result<(), String> {
     Ok(())
 }
 
+/// Request tracing is *bit-invisible*: the same seeded serving
+/// interleaving (queries, follow/unfollow, rotations, refreshes and a
+/// submit burst past queue capacity) replayed at trace sample rates
+/// 0.0, 0.5 and 1.0 — with the obs level forced to `Full` so capture
+/// is actually live — must produce identical reply fingerprints (node
+/// ids, score bits, cached flags, epochs and shed sentinels). Tracing
+/// reads clocks and writes its own ring; if it ever influences a
+/// result, this catches it. (The CI conformance matrix runs this at
+/// `FUI_THREADS=1` and `FUI_THREADS=4`.)
+pub fn check_tracing_is_invisible(case: &GraphCase) -> Result<(), String> {
+    use fui_landmarks::EdgeChange;
+    use fui_service::{Reply, Request, Service, ServiceConfig};
+
+    // One full seeded interleaving against a fresh service; returns a
+    // bit-level fingerprint of every reply.
+    let fingerprint = || -> Result<Vec<u64>, String> {
+        let graph = case.graph();
+        let n = graph.num_nodes();
+        let mut rng = SeededRng::new(case.seed.rotate_left(33));
+        let landmarks: Vec<NodeId> = graph.nodes().step_by(3).collect();
+        let cfg = ServiceConfig {
+            max_batch: 4,
+            queue_capacity: 8,
+            cache_capacity: 64,
+            cache_shards: 4,
+            refresh_threshold: 0.02,
+            ..ServiceConfig::default()
+        };
+        let svc = Service::new(
+            graph,
+            SimMatrix::opencalais(),
+            fixed_depth_params(0.8, 0.25),
+            ScoreVariant::Full,
+            landmarks,
+            n,
+            cfg,
+        );
+        let gen_req = |rng: &mut SeededRng| Request {
+            user: NodeId(rng.below(n as u64) as u32),
+            topic: *rng.pick(&Topic::ALL[..4]),
+            top_n: 1 + rng.below(n as u64) as usize,
+        };
+        let mut bits = Vec::new();
+        let digest = |reply: Reply, bits: &mut Vec<u64>| -> Result<(), String> {
+            match reply {
+                Reply::Result(s) => {
+                    bits.push(s.epoch);
+                    bits.push(u64::from(s.cached));
+                    for &(v, score) in s.recommendations.iter() {
+                        bits.push(u64::from(v.0));
+                        bits.push(score.to_bits());
+                    }
+                }
+                Reply::Overloaded => bits.push(u64::MAX),
+                Reply::Rejected(_) => {
+                    return Err(format!("unexpected rejection ({})", case.repro()))
+                }
+            }
+            Ok(())
+        };
+        for _ in 0..24u32 {
+            match rng.below(10) {
+                0..=4 => digest(svc.call(gen_req(&mut rng)), &mut bits)?,
+                5 | 6 => {
+                    let u = NodeId(rng.below(n as u64) as u32);
+                    let v = NodeId(rng.below(n as u64) as u32);
+                    if u != v {
+                        let change = if rng.below(2) == 0 {
+                            EdgeChange::insert(u, v, crate::gen::gen_topicset(&mut rng))
+                        } else {
+                            EdgeChange::remove(u, v, Default::default())
+                        };
+                        svc.record(change)
+                            .map_err(|e| format!("record failed: {e} ({})", case.repro()))?;
+                    }
+                }
+                7 => {
+                    bits.push(svc.rotate());
+                }
+                8 => {
+                    bits.push(svc.refresh() as u64);
+                }
+                // Submit burst past queue capacity: shed pattern is
+                // part of the fingerprint too.
+                _ => {
+                    let reqs: Vec<Request> = (0..12).map(|_| gen_req(&mut rng)).collect();
+                    let mut tickets = Vec::new();
+                    for &req in &reqs {
+                        match svc.submit(req, None) {
+                            Ok(t) => tickets.push(t),
+                            Err(_) => bits.push(u64::MAX),
+                        }
+                    }
+                    while svc.pump() > 0 {}
+                    for t in tickets {
+                        digest(t.wait(), &mut bits)?;
+                    }
+                }
+            }
+        }
+        Ok(bits)
+    };
+
+    // Force capture live (tracing below Full is inert by design), then
+    // restore the caller's level whatever happens.
+    let prev_level = fui_obs::level();
+    fui_obs::set_level(fui_obs::Level::Full);
+    let result = (|| {
+        let mut baseline: Option<Vec<u64>> = None;
+        for rate in [0.0, 0.5, 1.0] {
+            fui_obs::trace::set_sample(rate);
+            let bits = fingerprint()?;
+            match &baseline {
+                None => baseline = Some(bits),
+                Some(base) if *base != bits => {
+                    return Err(format!(
+                        "replies diverged between FUI_TRACE_SAMPLE=0.0 and {rate} \
+                         ({} vs {} fingerprint words, {})",
+                        base.len(),
+                        bits.len(),
+                        case.repro()
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    })();
+    fui_obs::trace::set_sample(0.0);
+    fui_obs::set_level(prev_level);
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,6 +715,7 @@ mod tests {
                     ("pool", check_pool_width_invariance(&case, 4)),
                     ("workspace", check_workspace_reuse_matches_fresh(&case)),
                     ("service-cache", check_cached_matches_uncached(&case)),
+                    ("tracing", check_tracing_is_invisible(&case)),
                 ] {
                     r.unwrap_or_else(|e| panic!("{name} on {preset:?}/{seed}: {e}"));
                 }

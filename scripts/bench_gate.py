@@ -35,6 +35,15 @@ driver writes with `--manifest`:
            run's exec_threads param (one workspace per pool worker,
            zero per-query allocation).
 
+  trace    Gate tracing invisibility on the serving cell: a fully
+           sampled FUI_OBS=full serve_micro run (--traced) must agree
+           exactly with a FUI_OBS=counters run (--plain) on every
+           thread-invariant serving counter, the traced run must have
+           committed ring records (trace.committed > 0) while the
+           plain one committed none, and every slowest-trace entry in
+           the traced manifest's trace block must decompose: queue +
+           assembly + compute + cache within 1% of its total_ns.
+
 Exit codes: 0 pass, 1 gate failure, 2 usage/IO error.
 """
 
@@ -255,6 +264,48 @@ def cmd_serve(args):
     report("serve", failures, f"{args.fresh} vs {args.baseline}")
 
 
+def cmd_trace(args):
+    traced = load(args.traced)
+    plain = load(args.plain)
+    # Tracing must be invisible to the deterministic serving counters:
+    # full recording with every request sampled may not move a single
+    # tracked value relative to the counters-only run.
+    failures = diff_counters(
+        plain, traced, "plain", "traced", names=SERVE_TRACKED_COUNTERS
+    )
+    committed = counter(traced, "trace.committed")
+    if not committed:
+        failures.append(
+            "counter trace.committed: fully-sampled run committed no traces"
+        )
+    leaked = counter(plain, "trace.committed")
+    if leaked:
+        failures.append(
+            f"counter trace.committed: counters-only run wrote {leaked} "
+            f"ring records (tracing must be inert below FUI_OBS=full)"
+        )
+    # Decomposition sanity over the manifest's trace summary: the four
+    # latency parts of each slowest-trace entry must sum to its
+    # end-to-end total within 1%.
+    slowest = traced.get("trace", {}).get("slowest", [])
+    if not slowest:
+        failures.append(
+            "trace block: fully-sampled manifest carries no slowest traces"
+        )
+    for i, entry in enumerate(slowest):
+        total = int(entry.get("total_ns", 0))
+        parts = sum(
+            int(entry.get(k, 0))
+            for k in ("queue_ns", "assembly_ns", "compute_ns", "cache_ns")
+        )
+        if abs(parts - total) > max(total // 100, 1):
+            failures.append(
+                f"trace {entry.get('id', i)}: parts sum {parts} ns vs "
+                f"total {total} ns drifts past the 1% decomposition bound"
+            )
+    report("trace", failures, f"{args.traced} (traced) vs {args.plain} (plain)")
+
+
 def cmd_speedup(args):
     serial = load(args.serial)
     parallel = load(args.parallel)
@@ -354,6 +405,13 @@ def main():
         help="skip the wall-time check (counters + accounting + p99 only)",
     )
     serve.set_defaults(func=cmd_serve)
+
+    trace = sub.add_parser(
+        "trace", help="fully-sampled tracing leaves the serving counters alone"
+    )
+    trace.add_argument("--traced", required=True)
+    trace.add_argument("--plain", required=True)
+    trace.set_defaults(func=cmd_trace)
 
     speedup = sub.add_parser("speedup", help="parallel beats serial on a span")
     speedup.add_argument("--serial", required=True)

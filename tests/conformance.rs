@@ -141,6 +141,19 @@ fn serving_cache_is_invisible() {
     });
 }
 
+/// Tracing invisibility: the same seeded serving interleaving replayed
+/// at `FUI_TRACE_SAMPLE` 0.0 / 0.5 / 1.0 (obs level forced to `Full`
+/// so capture is live) must produce bit-identical reply fingerprints —
+/// node ids, score bits, cached flags, epochs and shed patterns. The
+/// CI conformance matrix runs this binary at `FUI_THREADS=1` and
+/// `FUI_THREADS=4`, covering both widths.
+#[test]
+fn tracing_is_invisible() {
+    run_suite("conformance_trace", 12, |case| {
+        invariants::check_tracing_is_invisible(case)
+    });
+}
+
 /// Mutation sanity: a deliberate off-by-one injected into a copy of
 /// the authority normalizer must be *caught* by the oracle on every
 /// instance where it is observable — proof the harness has teeth.

@@ -44,6 +44,9 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
             vec![("propagate_micro".into(), exp::propagate_micro::run(scale))]
         }
         "serve_micro" => vec![("serve_micro".into(), exp::serve_micro::run(scale))],
+        // Paper-scale cell: explicit opt-in only — a 1M+-node build
+        // has no place in the laptop-friendly `all` sweep.
+        "table5_large" => vec![("table5_large".into(), exp::table5_large::run(scale))],
         "all" => {
             let ids = [
                 "table2",
@@ -82,6 +85,8 @@ fn manifest_for(id: &str, scale: &ExperimentScale) -> obs::RunManifest {
         .param_int("landmarks", scale.landmarks as i64)
         .param_int("query_nodes", scale.query_nodes as i64)
         .param_int("trials", scale.trials as i64)
+        .param_int("large_nodes", scale.large_nodes as i64)
+        .param_float("large_avg_out", scale.large_avg_out)
         .param_str("seed", format!("{:#x}", scale.seed))
 }
 

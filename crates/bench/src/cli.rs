@@ -29,6 +29,7 @@ pub const KNOWN_IDS: &[&str] = &[
     "popularity",
     "propagate_micro",
     "serve_micro",
+    "table5_large",
     "all",
 ];
 
@@ -39,6 +40,8 @@ usage: experiments [<id>...] [flags]
 ids:    table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
         table3 table5 table6 sweep dynamic distrib trank_dt sig
         popularity propagate_micro serve_micro all   (default: all)
+        table5_large   paper-scale 1M+-node streamed-CSR cell
+                       (explicit only — never part of `all`)
 
 flags:  --full            paper-shaped densities (slow)
         --smoke           tiny smoke-test scale

@@ -43,6 +43,13 @@ pub struct ExperimentScale {
     /// Link-prediction trials averaged per figure (the paper averages
     /// 100; single-core default is smaller).
     pub trials: usize,
+    /// Node count of the `table5_large` streamed graph. Stays at 1M+
+    /// in every tier — the cell exists to exercise paper scale; only
+    /// the edge budget varies between smoke and full.
+    pub large_nodes: usize,
+    /// Average out-degree of the `table5_large` streamed graph (smoke:
+    /// 8, full: 50 — the paper crawl's 57.8 regime).
+    pub large_avg_out: f64,
     /// Master seed.
     pub seed: u64,
 }
@@ -58,6 +65,8 @@ impl Default for ExperimentScale {
             landmarks: 30,
             query_nodes: 40,
             trials: 3,
+            large_nodes: 1_000_000,
+            large_avg_out: 8.0,
             seed: 0xEDB7_2016,
         }
     }
@@ -75,6 +84,7 @@ impl ExperimentScale {
             landmarks: 100,
             query_nodes: 100,
             trials: 5,
+            large_avg_out: 50.0,
             ..ExperimentScale::default()
         }
     }

@@ -19,6 +19,7 @@
 //! | [`popularity::run`] | extra — PageRank vs TwitterRank vs Tr popularity decomposition |
 //! | [`propagate_micro::run`] | extra — zero-allocation propagation micro-cell gated by CI (`bench_gate.py micro`) |
 //! | [`serve_micro::run`] | extra — online serving closed loop (queries × updates × rotations) gated by CI (`bench_gate.py serve`) |
+//! | [`table5_large::run`] | extra — paper-scale (1M+ node) streamed-CSR preprocess/query cell gated by CI (`bench_gate.py large`); not part of `all` |
 
 pub mod distrib;
 pub mod dynamic;
@@ -35,4 +36,5 @@ pub mod sig;
 pub mod sweep;
 pub mod table2;
 pub mod table3;
+pub mod table5_large;
 pub mod trank_dt;

@@ -20,16 +20,17 @@
 //! refreshed periodically. [`AuthorityIndex`] materialises all of it in
 //! one pass over the in-CSR.
 
-use fui_graph::{NodeId, SocialGraph};
+use fui_graph::{NodeColumns, NodeId, SocialGraph};
 use fui_taxonomy::{Topic, NUM_TOPICS};
 
-/// Dense authority index: one score per (node, topic).
+/// Dense authority index: one score per (node, topic), stored as
+/// [`NodeColumns`] structure-of-arrays arenas (stride [`NUM_TOPICS`]).
 #[derive(Clone, Debug)]
 pub struct AuthorityIndex {
-    /// `auth[v * NUM_TOPICS + t]`.
-    auth: Vec<f64>,
-    /// `|Γv(t)|`, same layout.
-    followers_on: Vec<u32>,
+    /// `auth(v, t)` columns.
+    auth: NodeColumns<f64>,
+    /// `|Γv(t)|` columns, same layout.
+    followers_on: NodeColumns<u32>,
     /// `max_v |Γv(t)|` per topic.
     max_followers_on: [u32; NUM_TOPICS],
 }
@@ -106,8 +107,8 @@ impl AuthorityIndex {
             auth.extend_from_slice(&chunk);
         }
         AuthorityIndex {
-            auth,
-            followers_on,
+            auth: NodeColumns::from_vec(auth, NUM_TOPICS),
+            followers_on: NodeColumns::from_vec(followers_on, NUM_TOPICS),
             max_followers_on,
         }
     }
@@ -115,20 +116,19 @@ impl AuthorityIndex {
     /// `auth(v, t)`.
     #[inline]
     pub fn auth(&self, v: NodeId, t: Topic) -> f64 {
-        self.auth[v.index() * NUM_TOPICS + t.index()]
+        self.auth.at(v, t.index())
     }
 
     /// The full per-topic authority row of `v` (indexed by topic).
     #[inline]
     pub fn auth_row(&self, v: NodeId) -> &[f64] {
-        let base = v.index() * NUM_TOPICS;
-        &self.auth[base..base + NUM_TOPICS]
+        self.auth.row(v)
     }
 
     /// `|Γv(t)|` — followers of `v` interested in `t`.
     #[inline]
     pub fn followers_on(&self, v: NodeId, t: Topic) -> u32 {
-        self.followers_on[v.index() * NUM_TOPICS + t.index()]
+        self.followers_on.at(v, t.index())
     }
 
     /// `max_v |Γv(t)|` — the per-topic global maximum.
@@ -139,7 +139,12 @@ impl AuthorityIndex {
 
     /// Number of nodes covered.
     pub fn num_nodes(&self) -> usize {
-        self.auth.len() / NUM_TOPICS
+        self.auth.num_nodes()
+    }
+
+    /// Bytes held by the score and count arenas.
+    pub fn size_bytes(&self) -> usize {
+        self.auth.size_bytes() + self.followers_on.size_bytes()
     }
 
     /// Applies one follow/unfollow incrementally — the paper's point
@@ -160,9 +165,9 @@ impl AuthorityIndex {
         added: bool,
         total_followers_after: usize,
     ) {
-        let base = followee.index() * NUM_TOPICS;
+        let frow = self.followers_on.row_mut(followee);
         for t in labels.iter() {
-            let slot = &mut self.followers_on[base + t.index()];
+            let slot = &mut frow[t.index()];
             if added {
                 *slot += 1;
                 self.max_followers_on[t.index()] = self.max_followers_on[t.index()].max(*slot);
@@ -172,8 +177,8 @@ impl AuthorityIndex {
         }
         // Recompute the followee's authority row from the counts.
         for t in 0..NUM_TOPICS {
-            let on_t = self.followers_on[base + t];
-            self.auth[base + t] = if on_t == 0 || total_followers_after == 0 {
+            let on_t = self.followers_on.at(followee, t);
+            self.auth.row_mut(followee)[t] = if on_t == 0 || total_followers_after == 0 {
                 0.0
             } else {
                 let local = f64::from(on_t) / total_followers_after as f64;
@@ -195,7 +200,7 @@ impl AuthorityIndex {
     pub fn refresh_maxima(&mut self, in_degrees: &[usize]) {
         assert_eq!(in_degrees.len(), self.num_nodes(), "one in-degree per node");
         let n = self.num_nodes();
-        let followers = &self.followers_on;
+        let followers = self.followers_on.as_slice();
         let chunk_maxima: Vec<[u32; NUM_TOPICS]> = fui_exec::par_ranges(n, BUILD_CHUNK, |r| {
             let mut m = [0u32; NUM_TOPICS];
             for v in r {
@@ -212,10 +217,10 @@ impl AuthorityIndex {
             }
         }
         for (v, &in_deg) in in_degrees.iter().enumerate() {
-            let base = v * NUM_TOPICS;
+            let v_id = NodeId(v as u32);
             for t in 0..NUM_TOPICS {
-                let on_t = self.followers_on[base + t];
-                self.auth[base + t] = if on_t == 0 || in_deg == 0 {
+                let on_t = self.followers_on.at(v_id, t);
+                self.auth.row_mut(v_id)[t] = if on_t == 0 || in_deg == 0 {
                     0.0
                 } else {
                     let local = f64::from(on_t) / in_deg as f64;
@@ -230,7 +235,10 @@ impl AuthorityIndex {
     /// The `k` highest-authority nodes on `t`, best first.
     pub fn top_authorities(&self, t: Topic, k: usize) -> Vec<(NodeId, f64)> {
         let mut v: Vec<(NodeId, f64)> = (0..self.num_nodes())
-            .map(|i| (NodeId(i as u32), self.auth[i * NUM_TOPICS + t.index()]))
+            .map(|i| {
+                let id = NodeId(i as u32);
+                (id, self.auth.at(id, t.index()))
+            })
             .filter(|&(_, a)| a > 0.0)
             .collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("authority is not NaN"));

@@ -82,6 +82,7 @@ struct PropMetrics {
     simrows_built: obs::Counter,
     frontier_peak: obs::Gauge,
     residual: obs::Gauge,
+    workspace_peak_bytes: obs::Gauge,
     frontier_size: obs::Hist,
 }
 
@@ -101,6 +102,7 @@ fn prop_metrics() -> &'static PropMetrics {
         simrows_built: obs::counter("propagate.simrows.built"),
         frontier_peak: obs::gauge("propagate.frontier_peak"),
         residual: obs::gauge("propagate.residual"),
+        workspace_peak_bytes: obs::gauge("propagate.workspace.peak_bytes"),
         frontier_size: obs::hist("propagate.frontier_size"),
     })
 }
@@ -275,6 +277,13 @@ impl PropWorkspace {
             self.cur_sig.resize(n * tc, 0.0);
             self.next_sig.resize(n * tc, 0.0);
         }
+        if grew {
+            // High-water mark of this workspace's arenas, recorded only
+            // when they actually grow so steady-state reuse stays free.
+            metrics
+                .workspace_peak_bytes
+                .record_max(self.size_bytes() as f64);
+        }
 
         // O(1) membership reset: bump the generation. On the (rare)
         // wrap back to 0 the stamps are rewound so no stale slot can
@@ -303,6 +312,29 @@ impl PropWorkspace {
             self.level_epoch = 1;
         }
         self.level_epoch
+    }
+
+    /// Bytes currently held by the workspace arenas (membership stamps,
+    /// accumulators, level buffers, frontier and topic tables). The
+    /// per-run high-water mark is mirrored into the
+    /// `propagate.workspace.peak_bytes` gauge.
+    pub fn size_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.seen.capacity() + self.in_next.capacity()) * size_of::<u32>()
+            + (self.acc_sigma.capacity()
+                + self.acc_tb.capacity()
+                + self.acc_tab.capacity()
+                + self.cur_sig.capacity()
+                + self.next_sig.capacity()
+                + self.cur_tb.capacity()
+                + self.next_tb.capacity()
+                + self.cur_tab.capacity()
+                + self.next_tab.capacity())
+                * size_of::<f64>()
+            + (self.frontier.capacity() + self.next_frontier.capacity()) * size_of::<u32>()
+            + self.reached.capacity() * size_of::<NodeId>()
+            + self.topics.capacity() * size_of::<Topic>()
+            + self.topic_idx.capacity() * size_of::<usize>()
     }
 
     /// Converts the last run into an owned [`Propagation`], consuming

@@ -69,6 +69,60 @@ impl TwitterConfig {
     }
 }
 
+/// Parameters of the streaming preferential-attachment generator
+/// ([`crate::stream`]) — the paper-scale path. Deliberately leaner than
+/// [`TwitterConfig`]: homophily/triadic rewiring and tweet synthesis
+/// need `O(N)` dense profile state or `O(E)` adjacency lookback, which
+/// the streaming path trades away for bounded memory.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Number of accounts.
+    pub nodes: usize,
+    /// Target average out-degree.
+    pub avg_out_degree: f64,
+    /// Zipf exponent of topic popularity.
+    pub topic_zipf_s: f64,
+    /// Maximum number of topics in an account's interest profile.
+    pub max_topics_per_user: usize,
+    /// Probability a followee is drawn in-degree-proportionally
+    /// (vs. uniformly from the emitted prefix).
+    pub pa_strength: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            nodes: 1_000_000,
+            avg_out_degree: 50.0,
+            topic_zipf_s: 0.95,
+            max_topics_per_user: 3,
+            pa_strength: 0.55,
+            seed: 0x0005_ca1e_5eed,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// The default configuration scaled to `nodes` accounts.
+    pub fn scaled(nodes: usize) -> StreamConfig {
+        StreamConfig {
+            nodes,
+            ..StreamConfig::default()
+        }
+    }
+
+    /// The CI smoke tier: still ≥1M nodes (the scale claim under test)
+    /// but a thinner edge budget so the cell fits in CI minutes.
+    pub fn smoke() -> StreamConfig {
+        StreamConfig {
+            avg_out_degree: 8.0,
+            ..StreamConfig::default()
+        }
+    }
+}
+
 /// Parameters of the DBLP-like author-citation generator.
 #[derive(Clone, Debug)]
 pub struct DblpConfig {

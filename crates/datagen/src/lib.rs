@@ -13,6 +13,10 @@
 //! * [`dblp`] — community-structured citation graph: denser, more
 //!   uniform top in-degree, and explicit self-citation clusters (the
 //!   phenomena the paper invokes to explain Figures 6–8);
+//! * [`stream`] — the paper-scale path: a streaming preferential-
+//!   attachment generator that emits 1M+-node graphs straight into the
+//!   CSR arenas with `O(N)` scratch (no intermediate edge list), seeded
+//!   and byte-identical to the batch construction path;
 //! * [`label`] — end-to-end labeled datasets, either by running the
 //!   full topic-extraction pipeline of `fui-textmine` or by direct
 //!   ground-truth labeling for fast tests;
@@ -25,9 +29,11 @@
 pub mod config;
 pub mod dblp;
 pub mod label;
+pub mod stream;
 pub mod twitter;
 pub mod util;
 
-pub use config::{DblpConfig, TwitterConfig};
+pub use config::{DblpConfig, StreamConfig, TwitterConfig};
 pub use label::{build_labeled, label_direct, LabeledDataset};
+pub use stream::{generate_batch, generate_streaming, StreamedGraph};
 pub use twitter::GeneratedDataset;

@@ -1,8 +1,43 @@
-//! Incremental construction of a [`SocialGraph`].
+//! Construction of a [`SocialGraph`]: batch edge-list building and
+//! per-node streaming straight into the CSR arenas.
 
 use fui_taxonomy::TopicSet;
 
-use crate::csr::{NodeId, SocialGraph};
+use crate::csr::{LabelInterner, NodeId, SocialGraph};
+
+/// Builds the in-CSR (sources + label ids) as the counting-sort
+/// transpose of finished out arenas. Scratch is one `u32` cursor per
+/// node; everything else lands directly in the returned arrays.
+fn transpose_out_csr(
+    n: usize,
+    out_offsets: &[u32],
+    out_targets: &[NodeId],
+    out_labels: &[u16],
+) -> (Vec<u32>, Vec<NodeId>, Vec<u16>) {
+    let m = out_targets.len();
+    let mut in_offsets = vec![0u32; n + 1];
+    for &v in out_targets {
+        in_offsets[v.index() + 1] += 1;
+    }
+    for i in 0..n {
+        in_offsets[i + 1] += in_offsets[i];
+    }
+    let mut cursor = in_offsets.clone();
+    let mut in_sources = vec![NodeId(0); m];
+    let mut in_labels = vec![0u16; m];
+    // Scanning followers in ascending id order keeps each node's
+    // follower list sorted — the order every consumer relies on.
+    for u in 0..n {
+        for pos in out_offsets[u] as usize..out_offsets[u + 1] as usize {
+            let v = out_targets[pos].index();
+            let slot = cursor[v] as usize;
+            in_sources[slot] = NodeId(u as u32);
+            in_labels[slot] = out_labels[pos];
+            cursor[v] += 1;
+        }
+    }
+    (in_offsets, in_sources, in_labels)
+}
 
 /// Builder accumulating nodes and labeled edges, then packing them into
 /// the dual-CSR [`SocialGraph`].
@@ -96,45 +131,177 @@ impl GraphBuilder {
             }
         });
         let m = self.edges.len();
+        u32::try_from(m).expect("edge count fits in u32");
 
-        // Out direction: edges are already sorted by follower.
-        let mut out_offsets = vec![0usize; n + 1];
+        // Out direction: edges are already sorted by follower. Labels
+        // are interned in this canonical scan order, so the table is
+        // identical to the streaming builder's for the same graph.
+        let mut out_offsets = vec![0u32; n + 1];
         for &(u, _, _) in &self.edges {
             out_offsets[u.index() + 1] += 1;
         }
         for i in 0..n {
             out_offsets[i + 1] += out_offsets[i];
         }
+        let mut interner = LabelInterner::new();
         let mut out_targets = Vec::with_capacity(m);
         let mut out_labels = Vec::with_capacity(m);
         for &(_, v, l) in &self.edges {
             out_targets.push(v);
-            out_labels.push(l);
+            out_labels.push(interner.intern(l));
         }
 
-        // In direction: counting sort by followee.
-        let mut in_offsets = vec![0usize; n + 1];
-        for &(_, v, _) in &self.edges {
-            in_offsets[v.index() + 1] += 1;
-        }
-        for i in 0..n {
-            in_offsets[i + 1] += in_offsets[i];
-        }
-        let mut cursor = in_offsets.clone();
-        let mut in_sources = vec![NodeId(0); m];
-        let mut in_labels = vec![TopicSet::empty(); m];
-        for &(u, v, l) in &self.edges {
-            let slot = cursor[v.index()];
-            in_sources[slot] = u;
-            in_labels[slot] = l;
-            cursor[v.index()] += 1;
-        }
+        let (in_offsets, in_sources, in_labels) =
+            transpose_out_csr(n, &out_offsets, &out_targets, &out_labels);
 
         SocialGraph {
             node_labels: self.node_labels,
+            label_table: interner.into_table(),
             out_offsets,
             out_targets,
             out_labels,
+            in_offsets,
+            in_sources,
+            in_labels,
+        }
+    }
+}
+
+/// Streaming construction of a [`SocialGraph`]: nodes are pushed in id
+/// order, each with its full out-edge list, and land directly in the
+/// CSR arenas — no intermediate edge list is ever materialised, so peak
+/// memory is the final graph plus `O(nodes)` scratch.
+///
+/// This is the ingestion path for paper-scale synthetic graphs
+/// (`fui_datagen`'s streaming generator) and any edge source that can
+/// deliver edges grouped by follower. For the same logical graph the
+/// result is **byte-identical** to [`GraphBuilder`] (`PartialEq` on the
+/// graphs holds), which the testkit differential suite pins.
+///
+/// ```
+/// use fui_graph::{StreamingBuilder, Topic, TopicSet, NodeId};
+///
+/// let mut b = StreamingBuilder::new();
+/// let mut scratch = Vec::new();
+/// scratch.push((NodeId(1), TopicSet::single(Topic::Technology)));
+/// let alice = b.push_node(TopicSet::empty(), &mut scratch);
+/// scratch.clear();
+/// let bob = b.push_node(TopicSet::single(Topic::Technology), &mut scratch);
+/// let graph = b.finish();
+/// assert_eq!(graph.followees(alice), &[bob]);
+/// assert_eq!(graph.followers(bob), &[alice]);
+/// ```
+#[derive(Default)]
+pub struct StreamingBuilder {
+    node_labels: Vec<TopicSet>,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<NodeId>,
+    out_labels: Vec<u16>,
+    interner: LabelInterner,
+    /// Highest target id seen, validated against the node count in
+    /// [`finish`](Self::finish) (forward references are allowed while
+    /// streaming).
+    max_target: u32,
+}
+
+impl StreamingBuilder {
+    /// Creates an empty streaming builder.
+    pub fn new() -> StreamingBuilder {
+        StreamingBuilder {
+            out_offsets: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// Creates a streaming builder with the out arenas sized up front —
+    /// the bounded-memory entry point when node and edge counts are
+    /// known (e.g. from a sampled degree sequence), avoiding every
+    /// reallocation spike during the stream.
+    pub fn with_capacity(nodes: usize, edges: usize) -> StreamingBuilder {
+        let mut offsets = Vec::with_capacity(nodes + 1);
+        offsets.push(0);
+        StreamingBuilder {
+            node_labels: Vec::with_capacity(nodes),
+            out_offsets: offsets,
+            out_targets: Vec::with_capacity(edges),
+            out_labels: Vec::with_capacity(edges),
+            interner: LabelInterner::new(),
+            max_target: 0,
+        }
+    }
+
+    /// Number of nodes pushed so far.
+    pub fn num_nodes(&self) -> usize {
+        self.node_labels.len()
+    }
+
+    /// Number of out-edges appended so far (after per-node dedup).
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Every edge target appended so far, in arena order. Preferential
+    /// attachment samplers draw from this slice directly: picking a
+    /// uniform position is picking a node proportional to its current
+    /// in-degree, with no separate repeated-target pool.
+    pub fn targets_so_far(&self) -> &[NodeId] {
+        &self.out_targets
+    }
+
+    /// Appends the next node (id `num_nodes()`) with its publisher
+    /// profile and out-edges. `edges` is caller-owned scratch: it is
+    /// sorted and deduplicated in place (duplicate targets merge by
+    /// label union, like [`GraphBuilder`]) and left that way, so one
+    /// buffer serves the whole stream.
+    ///
+    /// Targets may reference nodes not pushed yet; they are validated
+    /// in [`finish`](Self::finish).
+    ///
+    /// # Panics
+    /// Panics on a self-loop or if the edge count would overflow `u32`.
+    pub fn push_node(&mut self, labels: TopicSet, edges: &mut Vec<(NodeId, TopicSet)>) -> NodeId {
+        let id = NodeId(u32::try_from(self.node_labels.len()).expect("node count fits in u32"));
+        self.node_labels.push(labels);
+        edges.sort_unstable_by_key(|&(v, _)| v.0);
+        edges.dedup_by(|next, prev| {
+            if prev.0 == next.0 {
+                prev.1 = prev.1.union(next.1);
+                true
+            } else {
+                false
+            }
+        });
+        for &(v, l) in edges.iter() {
+            assert_ne!(v, id, "an account cannot follow itself");
+            self.max_target = self.max_target.max(v.0);
+            self.out_targets.push(v);
+            self.out_labels.push(self.interner.intern(l));
+        }
+        let total = u32::try_from(self.out_targets.len()).expect("edge count fits in u32");
+        self.out_offsets.push(total);
+        id
+    }
+
+    /// Validates targets and builds the in-CSR transpose (one counting
+    /// sort; `O(nodes)` scratch), yielding the finished graph.
+    ///
+    /// # Panics
+    /// Panics if any edge targets a node that was never pushed.
+    pub fn finish(self) -> SocialGraph {
+        let n = self.node_labels.len();
+        assert!(
+            self.out_targets.is_empty() || (self.max_target as usize) < n,
+            "edge targets node u{} but only {n} nodes were pushed",
+            self.max_target
+        );
+        let (in_offsets, in_sources, in_labels) =
+            transpose_out_csr(n, &self.out_offsets, &self.out_targets, &self.out_labels);
+        SocialGraph {
+            node_labels: self.node_labels,
+            label_table: self.interner.into_table(),
+            out_offsets: self.out_offsets,
+            out_targets: self.out_targets,
+            out_labels: self.out_labels,
             in_offsets,
             in_sources,
             in_labels,
@@ -206,5 +373,99 @@ mod tests {
         assert_eq!(total_out, g.num_edges());
         assert_eq!(total_in, g.num_edges());
         g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn streaming_matches_batch_builder_exactly() {
+        // Same logical graph through both construction paths: the
+        // arenas must compare equal field for field, interned label
+        // table included.
+        let topics = [Topic::Technology, Topic::Sports, Topic::Business];
+        let n = 40u32;
+        let edge_list = |u: u32| -> Vec<(NodeId, TopicSet)> {
+            let mut es = Vec::new();
+            for k in 1..=(u % 5) {
+                let v = (u + k * 7) % n;
+                if v != u {
+                    es.push((NodeId(v), TopicSet::single(topics[((u + k) % 3) as usize])));
+                }
+            }
+            // A deliberate duplicate target to exercise dedup.
+            if u % 6 == 0 && (u + 7) % n != u {
+                es.push((NodeId((u + 7) % n), TopicSet::single(Topic::War)));
+            }
+            es
+        };
+
+        let mut batch = GraphBuilder::new();
+        for u in 0..n {
+            batch.add_node(TopicSet::single(topics[(u % 3) as usize]));
+        }
+        for u in 0..n {
+            for (v, l) in edge_list(u) {
+                batch.add_edge(NodeId(u), v, l);
+            }
+        }
+        let expected = batch.build();
+
+        let mut streaming = StreamingBuilder::new();
+        let mut scratch = Vec::new();
+        for u in 0..n {
+            scratch.clear();
+            scratch.extend(edge_list(u));
+            streaming.push_node(TopicSet::single(topics[(u % 3) as usize]), &mut scratch);
+        }
+        let got = streaming.finish();
+        got.check_consistency().unwrap();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn streaming_allows_forward_references() {
+        let mut b = StreamingBuilder::new();
+        let mut scratch = vec![(NodeId(2), TopicSet::single(Topic::Social))];
+        b.push_node(TopicSet::empty(), &mut scratch);
+        scratch.clear();
+        b.push_node(TopicSet::empty(), &mut scratch);
+        scratch.clear();
+        b.push_node(TopicSet::empty(), &mut scratch);
+        let g = b.finish();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(NodeId(0), NodeId(2)));
+        g.check_consistency().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot follow itself")]
+    fn streaming_self_loop_rejected() {
+        let mut b = StreamingBuilder::new();
+        let mut scratch = vec![(NodeId(0), TopicSet::empty())];
+        b.push_node(TopicSet::empty(), &mut scratch);
+    }
+
+    #[test]
+    #[should_panic(expected = "but only")]
+    fn streaming_dangling_target_rejected_at_finish() {
+        let mut b = StreamingBuilder::new();
+        let mut scratch = vec![(NodeId(9), TopicSet::empty())];
+        b.push_node(TopicSet::empty(), &mut scratch);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn streaming_targets_so_far_tracks_emitted_edges() {
+        let mut b = StreamingBuilder::new();
+        let mut scratch = Vec::new();
+        b.push_node(TopicSet::empty(), &mut scratch);
+        scratch.push((NodeId(0), TopicSet::single(Topic::Social)));
+        b.push_node(TopicSet::empty(), &mut scratch);
+        scratch.clear();
+        scratch.push((NodeId(0), TopicSet::single(Topic::Social)));
+        scratch.push((NodeId(1), TopicSet::single(Topic::Social)));
+        b.push_node(TopicSet::empty(), &mut scratch);
+        assert_eq!(b.targets_so_far(), &[NodeId(0), NodeId(0), NodeId(1)]);
+        assert_eq!(b.num_edges(), 3);
+        let g = b.finish();
+        assert_eq!(g.in_degree(NodeId(0)), 2);
     }
 }

@@ -1,0 +1,135 @@
+//! Structure-of-arrays per-node score columns.
+//!
+//! Scorers keep one value per (node, column) — authority per topic,
+//! follower counts per topic, sigma accumulators per queried topic.
+//! [`NodeColumns`] is the shared flat container for that shape: a
+//! single arena of `nodes × stride` values, row-major by node, so a
+//! node's row is one contiguous cache line ([`row`](NodeColumns::row))
+//! and whole-column passes are linear scans. It replaces hand-rolled
+//! `v * STRIDE + c` arithmetic in the consumers (the authority index,
+//! propagation readouts) with one audited implementation.
+
+use crate::csr::NodeId;
+
+/// Flat structure-of-arrays storage: `stride` values per node, laid out
+/// row-major (`[v * stride + c]`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeColumns<T> {
+    data: Vec<T>,
+    stride: usize,
+}
+
+impl<T: Copy + Default> NodeColumns<T> {
+    /// A zeroed (default-valued) arena for `nodes` rows of `stride`
+    /// columns.
+    pub fn zeroed(nodes: usize, stride: usize) -> NodeColumns<T> {
+        NodeColumns {
+            data: vec![T::default(); nodes * stride],
+            stride,
+        }
+    }
+
+    /// Wraps an existing row-major arena.
+    ///
+    /// # Panics
+    /// Panics if the data length is not a multiple of a nonzero
+    /// `stride`.
+    pub fn from_vec(data: Vec<T>, stride: usize) -> NodeColumns<T> {
+        assert!(stride > 0, "stride must be nonzero");
+        assert_eq!(
+            data.len() % stride,
+            0,
+            "arena length {} is not a whole number of {stride}-wide rows",
+            data.len()
+        );
+        NodeColumns { data, stride }
+    }
+
+    /// Columns per node.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of node rows.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.data.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    /// The contiguous row of node `v`.
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &[T] {
+        let base = v.index() * self.stride;
+        &self.data[base..base + self.stride]
+    }
+
+    /// Mutable row of node `v`.
+    #[inline]
+    pub fn row_mut(&mut self, v: NodeId) -> &mut [T] {
+        let base = v.index() * self.stride;
+        &mut self.data[base..base + self.stride]
+    }
+
+    /// Value at (node, column).
+    #[inline]
+    pub fn at(&self, v: NodeId, c: usize) -> T {
+        debug_assert!(c < self.stride, "column {c} out of stride {}", self.stride);
+        self.data[v.index() * self.stride + c]
+    }
+
+    /// Mutable value at (node, column).
+    #[inline]
+    pub fn at_mut(&mut self, v: NodeId, c: usize) -> &mut T {
+        debug_assert!(c < self.stride, "column {c} out of stride {}", self.stride);
+        &mut self.data[v.index() * self.stride + c]
+    }
+
+    /// The whole arena, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable whole arena, row-major.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Bytes held by the arena.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_contiguous_and_indexed() {
+        let mut c: NodeColumns<f64> = NodeColumns::zeroed(3, 4);
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.stride(), 4);
+        *c.at_mut(NodeId(1), 2) = 7.5;
+        assert_eq!(c.at(NodeId(1), 2), 7.5);
+        assert_eq!(c.row(NodeId(1)), &[0.0, 0.0, 7.5, 0.0]);
+        c.row_mut(NodeId(2)).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.as_slice()[8..], [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.size_bytes(), 3 * 4 * 8);
+    }
+
+    #[test]
+    fn from_vec_round_trips() {
+        let c = NodeColumns::from_vec(vec![1u32, 2, 3, 4, 5, 6], 3);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.row(NodeId(1)), &[4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number")]
+    fn ragged_arena_rejected() {
+        let _ = NodeColumns::from_vec(vec![1u8, 2, 3], 2);
+    }
+}

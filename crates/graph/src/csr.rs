@@ -10,11 +10,30 @@
 //!   (the *followers* `Γu`) — this is what the authority scores
 //!   `|Γu|, |Γu(t)|` are counted from.
 //!
-//! Every edge carries its topic label set in both copies so either
-//! direction can be scanned without indirection.
+//! # Compact layout
+//!
+//! Every arena is sized for the paper's operating point (millions of
+//! nodes, tens of millions of edges), so the layout is deliberately
+//! narrow:
+//!
+//! * CSR offsets are `u32`, not `usize` — the edge count must fit in
+//!   `u32` (the paper's 125M-edge Twitter graph does, with headroom);
+//! * edge labels are **interned**: each distinct [`TopicSet`] is stored
+//!   once in a shared label table and every edge carries a `u16` id
+//!   into it, in both copies. Real follow graphs have a tiny number of
+//!   distinct label sets relative to edges, so this turns 4 bytes per
+//!   edge per direction into 2 while keeping label reads one indexed
+//!   load away.
+//!
+//! The steady-state cost is therefore ~12 bytes per node
+//! (`node_labels` + two offset arrays) and ~12 bytes per edge (target
+//! id + label id, twice), which [`SocialGraph::memory_footprint`]
+//! reports exactly.
 
 use fui_taxonomy::{Topic, TopicSet};
+use std::collections::HashMap;
 use std::fmt;
+use std::ops::Range;
 
 /// Identifier of a user account: a dense index in `0..graph.num_nodes()`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
@@ -44,23 +63,126 @@ pub struct EdgeRef {
     pub labels: TopicSet,
 }
 
+/// Interns distinct edge label sets into a shared table of first-seen
+/// order; both builders and [`SocialGraph::relabel`] go through this so
+/// logically-equal graphs get byte-identical label arenas.
+#[derive(Default)]
+pub(crate) struct LabelInterner {
+    table: Vec<TopicSet>,
+    ids: HashMap<u32, u16>,
+}
+
+impl LabelInterner {
+    pub(crate) fn new() -> LabelInterner {
+        LabelInterner::default()
+    }
+
+    /// The id of `labels`, allocating the next table slot on first
+    /// sight.
+    ///
+    /// # Panics
+    /// Panics if a 65537th distinct label set shows up — the `u16`
+    /// per-edge id would overflow. (18 topics admit 2^18 subsets in
+    /// principle; observed follow graphs use a few hundred.)
+    pub(crate) fn intern(&mut self, labels: TopicSet) -> u16 {
+        if let Some(&id) = self.ids.get(&labels.mask()) {
+            return id;
+        }
+        let id = u16::try_from(self.table.len())
+            .expect("more than 65536 distinct edge label sets; widen the interned label id");
+        self.table.push(labels);
+        self.ids.insert(labels.mask(), id);
+        id
+    }
+
+    pub(crate) fn into_table(self) -> Vec<TopicSet> {
+        self.table
+    }
+}
+
+/// Exact memory accounting of a [`SocialGraph`]'s arenas, split into
+/// node-proportional and edge-proportional bytes so bench manifests can
+/// gate `graph.bytes_per_node` / `graph.bytes_per_edge` ceilings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Number of nodes covered.
+    pub nodes: usize,
+    /// Number of edges covered.
+    pub edges: usize,
+    /// Node-proportional bytes: per-node labels plus both offset
+    /// arrays.
+    pub node_bytes: usize,
+    /// Edge-proportional bytes: adjacency targets/sources plus the
+    /// interned label-id runs, both directions.
+    pub edge_bytes: usize,
+    /// The shared interned label table (one [`TopicSet`] per distinct
+    /// edge label set; amortised over the whole graph).
+    pub label_table_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// All arenas together.
+    pub fn total_bytes(&self) -> usize {
+        self.node_bytes + self.edge_bytes + self.label_table_bytes
+    }
+
+    /// Node-proportional bytes per node (0 for an empty graph).
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.node_bytes as f64 / self.nodes as f64
+        }
+    }
+
+    /// Edge-proportional bytes per edge (0 for an edgeless graph).
+    pub fn bytes_per_edge(&self) -> f64 {
+        if self.edges == 0 {
+            0.0
+        } else {
+            self.edge_bytes as f64 / self.edges as f64
+        }
+    }
+}
+
 /// Immutable directed labeled graph in dual-CSR form.
 ///
-/// Construct it through [`crate::GraphBuilder`].
-#[derive(Clone)]
+/// Construct it through [`crate::GraphBuilder`] (edge-list batch) or
+/// [`crate::StreamingBuilder`] (per-node streaming, bounded scratch).
+/// Both produce byte-identical arenas for the same logical graph, which
+/// `PartialEq` compares directly.
+#[derive(Clone, PartialEq)]
 pub struct SocialGraph {
     pub(crate) node_labels: Vec<TopicSet>,
+    /// Shared table of distinct edge label sets, first-seen order over
+    /// the sorted out-edge scan.
+    pub(crate) label_table: Vec<TopicSet>,
     // Out direction: who each node follows.
-    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_offsets: Vec<u32>,
     pub(crate) out_targets: Vec<NodeId>,
-    pub(crate) out_labels: Vec<TopicSet>,
+    pub(crate) out_labels: Vec<u16>,
     // In direction: who follows each node.
-    pub(crate) in_offsets: Vec<usize>,
+    pub(crate) in_offsets: Vec<u32>,
     pub(crate) in_sources: Vec<NodeId>,
-    pub(crate) in_labels: Vec<TopicSet>,
+    pub(crate) in_labels: Vec<u16>,
 }
 
 impl SocialGraph {
+    #[inline]
+    fn out_range(&self, u: NodeId) -> Range<usize> {
+        self.out_offsets[u.index()] as usize..self.out_offsets[u.index() + 1] as usize
+    }
+
+    #[inline]
+    fn in_range(&self, u: NodeId) -> Range<usize> {
+        self.in_offsets[u.index()] as usize..self.in_offsets[u.index() + 1] as usize
+    }
+
+    #[inline]
+    fn label(&self, id: u16) -> TopicSet {
+        self.label_table[id as usize]
+    }
+
     /// Number of user accounts.
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -71,6 +193,11 @@ impl SocialGraph {
     #[inline]
     pub fn num_edges(&self) -> usize {
         self.out_targets.len()
+    }
+
+    /// Number of distinct edge label sets in the shared table.
+    pub fn num_label_sets(&self) -> usize {
+        self.label_table.len()
     }
 
     /// Iterator over all node ids.
@@ -93,35 +220,38 @@ impl SocialGraph {
     /// "publishers of u").
     #[inline]
     pub fn out_degree(&self, u: NodeId) -> usize {
-        self.out_offsets[u.index() + 1] - self.out_offsets[u.index()]
+        (self.out_offsets[u.index() + 1] - self.out_offsets[u.index()]) as usize
     }
 
     /// Number of followers of `u` — `|Γu|` (in-degree).
     #[inline]
     pub fn in_degree(&self, u: NodeId) -> usize {
-        self.in_offsets[u.index() + 1] - self.in_offsets[u.index()]
+        (self.in_offsets[u.index() + 1] - self.in_offsets[u.index()]) as usize
     }
 
     /// The accounts `u` follows (targets of out-edges), as a slice.
     #[inline]
     pub fn followees(&self, u: NodeId) -> &[NodeId] {
-        &self.out_targets[self.out_offsets[u.index()]..self.out_offsets[u.index() + 1]]
+        &self.out_targets[self.out_range(u)]
     }
 
     /// The followers of `u` — the set `Γu` (sources of in-edges).
     #[inline]
     pub fn followers(&self, u: NodeId) -> &[NodeId] {
-        &self.in_sources[self.in_offsets[u.index()]..self.in_offsets[u.index() + 1]]
+        &self.in_sources[self.in_range(u)]
     }
 
     /// Labeled out-edges of `u`: `(followee, edge labels)` pairs.
     #[inline]
     pub fn out_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
-        let range = self.out_offsets[u.index()]..self.out_offsets[u.index() + 1];
+        let range = self.out_range(u);
         self.out_targets[range.clone()]
             .iter()
             .zip(&self.out_labels[range])
-            .map(|(&node, &labels)| EdgeRef { node, labels })
+            .map(|(&node, &id)| EdgeRef {
+                node,
+                labels: self.label(id),
+            })
     }
 
     /// Labeled out-edges of `u` together with their global CSR edge
@@ -129,30 +259,41 @@ impl SocialGraph {
     /// scorers to attach per-edge caches without hashing.
     #[inline]
     pub fn out_edges_indexed(&self, u: NodeId) -> impl Iterator<Item = (usize, EdgeRef)> + '_ {
-        let range = self.out_offsets[u.index()]..self.out_offsets[u.index() + 1];
+        let range = self.out_range(u);
         let start = range.start;
         self.out_targets[range.clone()]
             .iter()
             .zip(&self.out_labels[range])
             .enumerate()
-            .map(move |(i, (&node, &labels))| (start + i, EdgeRef { node, labels }))
+            .map(move |(i, (&node, &id))| {
+                (
+                    start + i,
+                    EdgeRef {
+                        node,
+                        labels: self.label(id),
+                    },
+                )
+            })
     }
 
     /// The label of the out-edge at a global CSR position (as yielded
     /// by [`out_edges_indexed`](Self::out_edges_indexed)).
     #[inline]
     pub fn out_edge_label_at(&self, pos: usize) -> TopicSet {
-        self.out_labels[pos]
+        self.label(self.out_labels[pos])
     }
 
     /// Labeled in-edges of `u`: `(follower, edge labels)` pairs.
     #[inline]
     pub fn in_edges(&self, u: NodeId) -> impl Iterator<Item = EdgeRef> + '_ {
-        let range = self.in_offsets[u.index()]..self.in_offsets[u.index() + 1];
+        let range = self.in_range(u);
         self.in_sources[range.clone()]
             .iter()
             .zip(&self.in_labels[range])
-            .map(|(&node, &labels)| EdgeRef { node, labels })
+            .map(|(&node, &id)| EdgeRef {
+                node,
+                labels: self.label(id),
+            })
     }
 
     /// Number of followers of `u` on topic `t` — `|Γu(t)|`: in-edges
@@ -182,28 +323,37 @@ impl SocialGraph {
 
     /// Rewrites every edge label with `f(follower, followee, old)` and
     /// every node label with `g(node, old)`, keeping both CSR copies
-    /// consistent. Used by the topic-extraction pipeline to replace
-    /// generator ground truth with classifier-predicted labels.
+    /// consistent and re-interning the shared label table from scratch.
+    /// Used by the topic-extraction pipeline to replace generator
+    /// ground truth with classifier-predicted labels.
     pub fn relabel(
         &mut self,
         mut f: impl FnMut(NodeId, NodeId, TopicSet) -> TopicSet,
         mut g: impl FnMut(NodeId, TopicSet) -> TopicSet,
     ) {
+        // Re-intern out labels in scan order (the canonical order both
+        // builders use), reading old labels through the old table.
+        let old_table = std::mem::take(&mut self.label_table);
+        let mut interner = LabelInterner::new();
         for u in 0..self.num_nodes() {
             let u_id = NodeId(u as u32);
-            for i in self.out_offsets[u]..self.out_offsets[u + 1] {
-                self.out_labels[i] = f(u_id, self.out_targets[i], self.out_labels[i]);
+            for i in self.out_range(u_id) {
+                let old = old_table[self.out_labels[i] as usize];
+                self.out_labels[i] = interner.intern(f(u_id, self.out_targets[i], old));
             }
         }
-        // Mirror into the in-CSR; edge identity is (source, target).
+        self.label_table = interner.into_table();
+        // Mirror into the in-CSR; edge identity is (source, target), so
+        // each in slot copies the id of its matching out position.
         for v in 0..self.num_nodes() {
             let v_id = NodeId(v as u32);
-            for i in self.in_offsets[v]..self.in_offsets[v + 1] {
+            for i in self.in_range(v_id) {
                 let src = self.in_sources[i];
-                let label = self
-                    .edge_label(src, v_id)
+                let j = self
+                    .out_range(src)
+                    .find(|&j| self.out_targets[j] == v_id)
                     .expect("in-edge has a matching out-edge");
-                self.in_labels[i] = label;
+                self.in_labels[i] = self.out_labels[j];
             }
         }
         for u in 0..self.num_nodes() {
@@ -252,24 +402,48 @@ impl SocialGraph {
         builder.build()
     }
 
+    /// Exact memory accounting of the CSR arenas, split node- vs
+    /// edge-proportional — the source of the `graph.bytes_per_node` /
+    /// `graph.bytes_per_edge` bench gauges.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        use std::mem::size_of;
+        MemoryFootprint {
+            nodes: self.num_nodes(),
+            edges: self.num_edges(),
+            node_bytes: self.node_labels.len() * size_of::<TopicSet>()
+                + (self.out_offsets.len() + self.in_offsets.len()) * size_of::<u32>(),
+            edge_bytes: (self.out_targets.len() + self.in_sources.len()) * size_of::<NodeId>()
+                + (self.out_labels.len() + self.in_labels.len()) * size_of::<u16>(),
+            label_table_bytes: self.label_table.len() * size_of::<TopicSet>(),
+        }
+    }
+
     /// Approximate memory footprint of the CSR arrays in bytes.
     pub fn size_bytes(&self) -> usize {
-        use std::mem::size_of;
-        self.node_labels.len() * size_of::<TopicSet>()
-            + (self.out_offsets.len() + self.in_offsets.len()) * size_of::<usize>()
-            + (self.out_targets.len() + self.in_sources.len()) * size_of::<NodeId>()
-            + (self.out_labels.len() + self.in_labels.len()) * size_of::<TopicSet>()
+        self.memory_footprint().total_bytes()
     }
 
     /// Internal consistency check: the in-CSR must be the exact
-    /// transpose of the out-CSR, labels included. `O(E log E)`; meant
-    /// for tests and debug assertions.
+    /// transpose of the out-CSR, labels included, and every interned
+    /// label id must resolve. `O(E log E)`; meant for tests and debug
+    /// assertions.
     pub fn check_consistency(&self) -> Result<(), String> {
         if self.out_targets.len() != self.in_sources.len() {
             return Err(format!(
                 "edge count mismatch: {} out vs {} in",
                 self.out_targets.len(),
                 self.in_sources.len()
+            ));
+        }
+        let table_len = self.label_table.len();
+        if let Some(&id) = self
+            .out_labels
+            .iter()
+            .chain(&self.in_labels)
+            .find(|&&id| id as usize >= table_len)
+        {
+            return Err(format!(
+                "label id {id} out of range for table of {table_len}"
             ));
         }
         let mut out_edges: Vec<(u32, u32, u32)> = Vec::with_capacity(self.num_edges());
@@ -296,6 +470,7 @@ impl fmt::Debug for SocialGraph {
         f.debug_struct("SocialGraph")
             .field("nodes", &self.num_nodes())
             .field("edges", &self.num_edges())
+            .field("label_sets", &self.num_label_sets())
             .finish()
     }
 }
@@ -331,6 +506,31 @@ mod tests {
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_edges(), 5);
         g.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn labels_are_interned() {
+        let g = toy();
+        // 4 distinct label sets over 5 edges: {tech,busi}, {tech},
+        // {sports} (used twice), {social}.
+        assert_eq!(g.num_label_sets(), 4);
+    }
+
+    #[test]
+    fn memory_footprint_is_exact() {
+        let g = toy();
+        let fp = g.memory_footprint();
+        assert_eq!(fp.nodes, 4);
+        assert_eq!(fp.edges, 5);
+        // 4 node labels * 4B + 2 offset arrays of 5 u32s.
+        assert_eq!(fp.node_bytes, 4 * 4 + 2 * 5 * 4);
+        // 2 * (5 targets * 4B + 5 label ids * 2B).
+        assert_eq!(fp.edge_bytes, 2 * (5 * 4 + 5 * 2));
+        assert_eq!(fp.label_table_bytes, 4 * 4);
+        assert_eq!(fp.total_bytes(), g.size_bytes());
+        // Steady-state densities: 12B + O(1)/node, 12B/edge exactly.
+        assert!(fp.bytes_per_node() < 15.0);
+        assert!((fp.bytes_per_edge() - 12.0).abs() < 1e-9);
     }
 
     #[test]
@@ -428,6 +628,24 @@ mod tests {
             assert!(g.node_labels(u).contains(Topic::War));
         }
         g.check_consistency().unwrap();
+        // The table was re-interned down to the single surviving set.
+        assert_eq!(g.num_label_sets(), 1);
+    }
+
+    #[test]
+    fn rebuilt_graph_compares_equal() {
+        // Round-tripping through the edge iterator and the batch
+        // builder reproduces the arenas byte for byte (PartialEq spans
+        // every internal array, label table included).
+        let g = toy();
+        let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_edges());
+        for u in g.nodes() {
+            b.add_node(g.node_labels(u));
+        }
+        for (u, v, l) in g.edges() {
+            b.add_edge(u, v, l);
+        }
+        assert_eq!(g, b.build());
     }
 
     #[test]
@@ -435,6 +653,7 @@ mod tests {
         let g = GraphBuilder::new().build();
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_label_sets(), 0);
         g.check_consistency().unwrap();
     }
 }

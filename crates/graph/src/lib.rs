@@ -12,11 +12,19 @@
 //!
 //! * [`SocialGraph`] — immutable dual-CSR representation: one compressed
 //!   adjacency for out-edges (followees) and one for in-edges
-//!   (followers), each edge carrying its [`TopicSet`] label in both
-//!   copies. All score propagation, follower counting (`Γu(t)`) and BFS
+//!   (followers), `u32` offsets and targets with edge labels interned
+//!   as `u16` ids into a shared [`TopicSet`] table (~12 bytes per node
+//!   and per edge; [`SocialGraph::memory_footprint`] accounts for every
+//!   arena). All score propagation, follower counting (`Γu(t)`) and BFS
 //!   run directly on these flat arrays.
-//! * [`GraphBuilder`] — incremental construction, used by the dataset
-//!   generators.
+//! * [`GraphBuilder`] — incremental edge-list construction, used by the
+//!   dataset generators.
+//! * [`StreamingBuilder`] — per-node streaming straight into the CSR
+//!   arenas with bounded scratch, byte-identical output to the batch
+//!   builder; the ingestion path for paper-scale graphs.
+//! * [`NodeColumns`] — flat structure-of-arrays score columns (one
+//!   value per node × column), shared by the authority index and score
+//!   readouts.
 //! * [`bfs`] — k-vicinity exploration `Υk(λ)` (Section 4).
 //! * [`stats`] — the topological properties of Table 2.
 //! * [`spectral`] — power-iteration estimate of `σ_max(A)` for the
@@ -31,6 +39,7 @@
 pub mod bfs;
 pub mod builder;
 pub mod centrality;
+pub mod columns;
 pub mod components;
 pub mod csr;
 pub mod io;
@@ -38,8 +47,9 @@ pub mod spectral;
 pub mod stats;
 
 pub use bfs::{k_vicinity, KVicinity};
-pub use builder::GraphBuilder;
-pub use csr::{EdgeRef, NodeId, SocialGraph};
+pub use builder::{GraphBuilder, StreamingBuilder};
+pub use columns::NodeColumns;
+pub use csr::{EdgeRef, MemoryFootprint, NodeId, SocialGraph};
 pub use stats::GraphStats;
 
 // Re-export the label types so downstream crates can use a single

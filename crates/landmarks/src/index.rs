@@ -186,6 +186,18 @@ impl LandmarkIndex {
         self.entries.iter().map(LandmarkEntry::size_bytes).sum()
     }
 
+    /// Everything the index keeps resident, including the dense
+    /// per-node mask and slot arenas the stored-list accounting of
+    /// [`size_bytes`](Self::size_bytes) leaves out. At paper scale the
+    /// dense arenas dominate (5 bytes per graph node regardless of
+    /// landmark count) — this is the number capacity planning wants.
+    pub fn resident_bytes(&self) -> usize {
+        self.size_bytes()
+            + self.landmarks.len() * std::mem::size_of::<NodeId>()
+            + self.mask.len() * std::mem::size_of::<bool>()
+            + self.slot.len() * std::mem::size_of::<u32>()
+    }
+
     /// Recomputes one landmark's entry against a (possibly changed)
     /// graph — the refresh primitive of the dynamic-update policy
     /// (`crate::dynamic`). The propagator must cover a graph with the
@@ -377,6 +389,13 @@ mod tests {
         );
         let index = LandmarkIndex::build(&p, vec![NodeId(1)], 50);
         assert!(index.size_bytes() > 0);
+        // Resident accounting additionally covers the dense per-node
+        // arenas: 4 B slot + 1 B mask per graph node, plus the
+        // landmark list itself.
+        assert_eq!(
+            index.resident_bytes(),
+            index.size_bytes() + index.len() * 4 + index.mask().len() * 5
+        );
         assert_eq!(index.top_n(), 50);
     }
 }

@@ -73,9 +73,23 @@ pub struct SnapshotStore {
     current: RwLock<Arc<Snapshot>>,
 }
 
+/// Publishes the snapshot's memory story to the metrics registry: the
+/// compact-CSR per-node/per-edge footprint and the resident bytes of
+/// each serving-side index. Capacity dashboards read these instead of
+/// groping at RSS, which also counts transient build scratch.
+fn record_footprint(s: &Snapshot) {
+    let fp = s.graph.memory_footprint();
+    fui_obs::gauge("graph.bytes_per_node").set(fp.bytes_per_node());
+    fui_obs::gauge("graph.bytes_per_edge").set(fp.bytes_per_edge());
+    fui_obs::gauge("snapshot.graph.bytes").set(fp.total_bytes() as f64);
+    fui_obs::gauge("snapshot.authority.bytes").set(s.authority.size_bytes() as f64);
+    fui_obs::gauge("snapshot.landmarks.bytes").set(s.index.resident_bytes() as f64);
+}
+
 impl SnapshotStore {
     /// A store publishing `initial`.
     pub fn new(initial: Snapshot) -> SnapshotStore {
+        record_footprint(&initial);
         SnapshotStore {
             current: RwLock::new(Arc::new(initial)),
         }
@@ -89,6 +103,7 @@ impl SnapshotStore {
 
     /// Swaps in a strictly newer snapshot.
     pub fn publish(&self, next: Snapshot) {
+        record_footprint(&next);
         let mut cur = self.current.write().expect("snapshot store poisoned");
         assert!(
             next.epoch > cur.epoch,

@@ -1,0 +1,121 @@
+//! Differential + bounded-memory pins on the streaming CSR ingestion
+//! path, in their own test binary because the counting allocator below
+//! is process-global: a single sequential test function keeps the
+//! measurements unpolluted by concurrent tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use fui_datagen::{generate_batch, generate_streaming, StreamConfig};
+
+/// System allocator wrapped with live-bytes, peak-bytes and
+/// allocation-count accounting.
+struct CountingAlloc;
+
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(size: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            let old = layout.size();
+            let live = if new_size >= old {
+                LIVE.fetch_add(new_size - old, Ordering::Relaxed) + (new_size - old)
+            } else {
+                LIVE.fetch_sub(old - new_size, Ordering::Relaxed) - (old - new_size)
+            };
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns (peak bytes above the starting live set,
+/// allocation count).
+fn measured<T>(f: impl FnOnce() -> T) -> (T, usize, u64) {
+    let live_before = LIVE.load(Ordering::Relaxed);
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    PEAK.store(live_before, Ordering::Relaxed);
+    let out = f();
+    let peak = PEAK.load(Ordering::Relaxed) - live_before;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    (out, peak, allocs)
+}
+
+#[test]
+fn streaming_path_is_byte_identical_and_memory_bounded() {
+    // Mid-size seeded instance: big enough that an O(E) intermediate
+    // edge list would dominate the footprint, small enough for CI.
+    let cfg = StreamConfig {
+        nodes: 40_000,
+        avg_out_degree: 16.0,
+        seed: 0xD1FF_5EED,
+        ..StreamConfig::default()
+    };
+
+    // Differential pin: the streaming CSR path and the batch builder
+    // path must produce byte-identical graphs — every offset, target,
+    // interned label id and table entry (SocialGraph's PartialEq spans
+    // all arenas).
+    let (streamed, stream_peak, stream_allocs) = measured(|| generate_streaming(&cfg));
+    let (batch, batch_peak, _) = measured(|| generate_batch(&cfg));
+    assert_eq!(
+        streamed.graph, batch,
+        "streaming and batch construction diverged for seed {:#x}",
+        cfg.seed
+    );
+    assert!(
+        streamed.graph.num_edges() > 400_000,
+        "instance too small to pin memory"
+    );
+
+    // Bounded memory: the streaming path's peak is the finished graph
+    // plus O(N) scratch — nowhere near an extra O(E) edge list. The
+    // batch path, which does hold one, must peak strictly higher.
+    let final_bytes = streamed.graph.size_bytes();
+    let scratch_budget = cfg.nodes * 96 + (1 << 20);
+    assert!(
+        stream_peak < final_bytes + final_bytes / 2 + scratch_budget,
+        "streaming peak {stream_peak} B vs graph {final_bytes} B: \
+         an O(E) intermediate is back"
+    );
+    assert!(
+        stream_peak < batch_peak,
+        "streaming peak {stream_peak} B should undercut the \
+         edge-list batch path's {batch_peak} B"
+    );
+
+    // Allocation count stays O(log E) pre-sized vec growth, never
+    // per-edge or per-node boxing.
+    assert!(
+        stream_allocs < 1_000,
+        "streaming generator performed {stream_allocs} allocations \
+         for {} edges — a per-edge/per-node allocation crept in",
+        streamed.graph.num_edges()
+    );
+}

@@ -44,11 +44,30 @@ driver writes with `--manifest`:
            the traced manifest's trace block must decompose: queue +
            assembly + compute + cache within 1% of its total_ns.
 
+  large    Gate the table5_large paper-scale cell: its tracked
+           counters (graph size, batched queries, propagation work,
+           and the bit-exact score checksum) must equal the committed
+           baseline exactly, the graph must reach --min-nodes, the
+           memory-footprint gauges must be present with
+           graph.bytes_per_node / graph.bytes_per_edge under their
+           ceilings, and the datagen/preprocess/query spans must stay
+           within --time-tolerance percent of the baseline. Appends a
+           one-line footprint summary to $GITHUB_STEP_SUMMARY when
+           that variable is set.
+
+  selftest Run the gate's own pure-python test suite (no manifests on
+           disk needed). CI's lint job runs this so a broken gate
+           fails loudly instead of waving regressions through.
+
+In every comparing mode a tracked counter missing from either manifest
+is a hard failure, never a skip.
+
 Exit codes: 0 pass, 1 gate failure, 2 usage/IO error.
 """
 
 import argparse
 import json
+import os
 import sys
 
 # Deterministic work counters the gate pins exactly. exec.* queue and
@@ -118,6 +137,39 @@ SERVE_TRACKED_SPANS = [
     "serve_micro.drive",
 ]
 
+# Deterministic counters of the table5_large paper-scale cell. The
+# checksum_bits counter folds every returned recommendation score into
+# one u64, so a single flipped bit anywhere in the 1M-node pipeline
+# fails the gate.
+LARGE_TRACKED_COUNTERS = [
+    "table5_large.nodes",
+    "table5_large.edges",
+    "table5_large.batch_queries",
+    "table5_large.checksum_bits",
+    "propagate.calls",
+    "propagate.edges_relaxed",
+    "propagate.levels",
+    "landmark.pruned_at",
+    "landmark.composed_pairs",
+    "landmark.query.landmarks_met",
+    "query.candidates",
+]
+
+# table5_large spans under the wall-time regression check.
+LARGE_TRACKED_SPANS = [
+    "table5_large.datagen",
+    "table5_large.preprocess",
+    "table5_large.query",
+]
+
+# Memory-story gauges the large gate requires in the fresh manifest.
+LARGE_REQUIRED_GAUGES = [
+    "graph.bytes_per_node",
+    "graph.bytes_per_edge",
+    "datagen.stream.scratch_bytes",
+    "propagate.workspace.peak_bytes",
+]
+
 
 def load(path):
     try:
@@ -139,12 +191,19 @@ def counter(manifest, name):
     return manifest.get("counters", {}).get(name)
 
 
+def gauge(manifest, name):
+    return manifest.get("gauges", {}).get(name)
+
+
 def diff_counters(a, b, label_a, label_b, names=TRACKED_COUNTERS):
-    """Returns a list of human-readable drift messages."""
+    """Returns a list of human-readable drift messages. A tracked
+    counter absent from either manifest is a failure, never a skip."""
     failures = []
     for name in names:
         va, vb = counter(a, name), counter(b, name)
-        if va is None or vb is None:
+        if va is None and vb is None:
+            failures.append(f"counter {name}: missing from both manifests")
+        elif va is None or vb is None:
             missing = label_a if va is None else label_b
             failures.append(f"counter {name}: missing from {missing} manifest")
         elif va != vb:
@@ -306,6 +365,225 @@ def cmd_trace(args):
     report("trace", failures, f"{args.traced} (traced) vs {args.plain} (plain)")
 
 
+def large_failures(
+    fresh,
+    baseline,
+    *,
+    time_tolerance=50.0,
+    no_time=False,
+    min_nodes=1_000_000,
+    max_bytes_per_node=16.0,
+    max_bytes_per_edge=12.5,
+):
+    """Gate messages for the table5_large cell (pure, testable)."""
+    failures = diff_counters(
+        baseline, fresh, "baseline", "fresh", names=LARGE_TRACKED_COUNTERS
+    )
+    if not no_time:
+        failures += span_drift(baseline, fresh, LARGE_TRACKED_SPANS, time_tolerance)
+    nodes = counter(fresh, "table5_large.nodes")
+    if nodes is not None and nodes < min_nodes:
+        failures.append(
+            f"table5_large.nodes = {nodes} below the paper-scale floor "
+            f"of {min_nodes} — the cell is no longer testing 1M+-node scale"
+        )
+    for name in LARGE_REQUIRED_GAUGES:
+        if gauge(fresh, name) is None:
+            failures.append(f"gauge {name}: missing from fresh manifest")
+    for name, ceiling in (
+        ("graph.bytes_per_node", max_bytes_per_node),
+        ("graph.bytes_per_edge", max_bytes_per_edge),
+    ):
+        value = gauge(fresh, name)
+        if value is not None and float(value) > ceiling:
+            failures.append(
+                f"gauge {name} = {float(value):.3f} B exceeds the "
+                f"compact-CSR ceiling of {ceiling:.1f} B"
+            )
+    return failures
+
+
+def large_summary(fresh):
+    """One-line markdown footprint table for $GITHUB_STEP_SUMMARY."""
+
+    def fmt(value, pattern="{:.2f}"):
+        return pattern.format(float(value)) if value is not None else "?"
+
+    def span_s(path):
+        ms = span_total_ms(fresh, path)
+        return f"{ms / 1000.0:.2f}" if ms is not None else "?"
+
+    nodes = counter(fresh, "table5_large.nodes")
+    edges = counter(fresh, "table5_large.edges")
+    peak = gauge(fresh, "propagate.workspace.peak_bytes")
+    peak_mib = fmt(peak / (1024.0 * 1024.0) if peak is not None else None)
+    return (
+        "| cell | nodes | edges | B/node | B/edge | ws peak MiB "
+        "| datagen s | preprocess s | query s |\n"
+        "|---|---|---|---|---|---|---|---|---|\n"
+        f"| table5_large | {nodes if nodes is not None else '?'} "
+        f"| {edges if edges is not None else '?'} "
+        f"| {fmt(gauge(fresh, 'graph.bytes_per_node'))} "
+        f"| {fmt(gauge(fresh, 'graph.bytes_per_edge'))} "
+        f"| {peak_mib} "
+        f"| {span_s('table5_large.datagen')} "
+        f"| {span_s('table5_large.preprocess')} "
+        f"| {span_s('table5_large.query')} |\n"
+    )
+
+
+def cmd_large(args):
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = large_failures(
+        fresh,
+        baseline,
+        time_tolerance=args.time_tolerance,
+        no_time=args.no_time,
+        min_nodes=args.min_nodes,
+        max_bytes_per_node=args.max_bytes_per_node,
+        max_bytes_per_edge=args.max_bytes_per_edge,
+    )
+    summary = large_summary(fresh)
+    print(summary, end="")
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        try:
+            with open(step_summary, "a", encoding="utf-8") as f:
+                f.write("### table5_large footprint\n\n" + summary + "\n")
+        except OSError as e:
+            print(f"bench_gate: cannot append step summary: {e}", file=sys.stderr)
+    report("large", failures, f"{args.fresh} vs {args.baseline}")
+
+
+def _selftest_manifest(**overrides):
+    """A synthetic but structurally complete table5_large manifest."""
+    manifest = {
+        "params": {"exec_threads": 4},
+        "counters": {
+            "table5_large.nodes": 1_000_000,
+            "table5_large.edges": 8_000_000,
+            "table5_large.batch_queries": 2048,
+            "table5_large.checksum_bits": 4598824417830220797,
+            "propagate.calls": 2072,
+            "propagate.edges_relaxed": 145455,
+            "propagate.levels": 4172,
+            "landmark.pruned_at": 195,
+            "landmark.composed_pairs": 17481,
+            "landmark.query.landmarks_met": 5544,
+            "query.candidates": 44636,
+        },
+        "gauges": {
+            "graph.bytes_per_node": 12.0,
+            "graph.bytes_per_edge": 12.0,
+            "datagen.stream.scratch_bytes": 8_000_000.0,
+            "propagate.workspace.peak_bytes": 488_000_000.0,
+        },
+        "spans": [
+            {"path": "table5_large.datagen", "count": 1, "total_ms": 1000.0},
+            {"path": "table5_large.preprocess", "count": 1, "total_ms": 10000.0},
+            {"path": "table5_large.query", "count": 1, "total_ms": 200.0},
+        ],
+    }
+    for key, value in overrides.items():
+        section, name = key.split("/", 1)
+        if value is None:
+            manifest[section].pop(name, None)
+        elif section == "spans":
+            for span in manifest["spans"]:
+                if span["path"] == name:
+                    span["total_ms"] = value
+        else:
+            manifest[section][name] = value
+    return manifest
+
+
+def cmd_selftest(_args):
+    """Pure-python checks of the gate's own comparison logic."""
+    checks = 0
+
+    def expect(condition, what):
+        nonlocal checks
+        checks += 1
+        if not condition:
+            print(f"bench_gate selftest FAILED: {what}", file=sys.stderr)
+            sys.exit(1)
+
+    base = _selftest_manifest()
+
+    # Identical manifests pass every large check.
+    expect(large_failures(_selftest_manifest(), base) == [], "clean run must pass")
+
+    # Any tracked-counter drift is caught, bit-exact checksum included.
+    drifted = _selftest_manifest(**{"counters/table5_large.checksum_bits": 1})
+    expect(
+        any("checksum_bits" in f for f in large_failures(drifted, base)),
+        "checksum drift must fail",
+    )
+
+    # A tracked counter missing from either side is a failure, and a
+    # counter missing from both is still a failure, never a skip.
+    gone = _selftest_manifest(**{"counters/propagate.calls": None})
+    expect(
+        any("propagate.calls" in f and "missing" in f for f in large_failures(gone, base)),
+        "missing fresh counter must fail",
+    )
+    expect(
+        any("missing" in f for f in diff_counters(gone, base, "A", "B", names=["propagate.calls"])),
+        "missing counter must fail in check/equal mode",
+    )
+    both_gone = diff_counters(gone, gone, "A", "B", names=["propagate.calls"])
+    expect(
+        any("both" in f for f in both_gone),
+        "counter missing from both manifests must fail",
+    )
+
+    # Wall-time regression past tolerance fails; within tolerance passes.
+    slow = _selftest_manifest(**{"spans/table5_large.preprocess": 20000.0})
+    expect(
+        any("table5_large.preprocess" in f for f in large_failures(slow, base)),
+        "2x preprocess wall must fail the 50% tolerance",
+    )
+    near = _selftest_manifest(**{"spans/table5_large.preprocess": 11000.0})
+    expect(large_failures(near, base) == [], "+10% wall must pass the 50% tolerance")
+    expect(
+        span_drift(base, _selftest_manifest(), ["not.a.span"], 25.0) == [],
+        "span absent from both manifests is not drift",
+    )
+
+    # Footprint gauges: missing is a failure, ceilings are enforced.
+    no_gauge = _selftest_manifest(**{"gauges/graph.bytes_per_edge": None})
+    expect(
+        any("graph.bytes_per_edge" in f and "missing" in f for f in large_failures(no_gauge, base)),
+        "missing footprint gauge must fail",
+    )
+    fat = _selftest_manifest(**{"gauges/graph.bytes_per_edge": 24.0})
+    expect(
+        any("ceiling" in f for f in large_failures(fat, base)),
+        "bytes/edge over ceiling must fail",
+    )
+
+    # The paper-scale floor: a shrunken graph cannot pass.
+    small = _selftest_manifest(
+        **{
+            "counters/table5_large.nodes": 10_000,
+        }
+    )
+    small_base = _selftest_manifest(**{"counters/table5_large.nodes": 10_000})
+    expect(
+        any("paper-scale floor" in f for f in large_failures(small, small_base)),
+        "sub-1M graph must fail the floor",
+    )
+
+    # The step-summary line renders every column from a real manifest
+    # and degrades to placeholders instead of crashing on a sparse one.
+    summary = large_summary(base)
+    expect("1000000" in summary and "12.00" in summary, "summary renders values")
+    expect("?" in large_summary({}), "summary degrades on empty manifest")
+
+    print(f"bench_gate selftest OK ({checks} checks)")
+
+
 def cmd_speedup(args):
     serial = load(args.serial)
     parallel = load(args.parallel)
@@ -412,6 +690,49 @@ def main():
     trace.add_argument("--traced", required=True)
     trace.add_argument("--plain", required=True)
     trace.set_defaults(func=cmd_trace)
+
+    large = sub.add_parser(
+        "large", help="gate the table5_large paper-scale manifest cell"
+    )
+    large.add_argument("--fresh", required=True)
+    large.add_argument("--baseline", required=True)
+    large.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=50.0,
+        help="max allowed span wall-time regression, percent (default 50 "
+        "— the 1M-node spans run tens of seconds on shared CI runners)",
+    )
+    large.add_argument(
+        "--min-nodes",
+        type=int,
+        default=1_000_000,
+        help="minimum graph size the cell must build (default 1000000)",
+    )
+    large.add_argument(
+        "--max-bytes-per-node",
+        type=float,
+        default=16.0,
+        help="ceiling on graph.bytes_per_node (default 16)",
+    )
+    large.add_argument(
+        "--max-bytes-per-edge",
+        type=float,
+        default=12.5,
+        help="ceiling on graph.bytes_per_edge (default 12.5 — the "
+        "compact CSR stores 12 B per edge)",
+    )
+    large.add_argument(
+        "--no-time",
+        action="store_true",
+        help="skip the wall-time check (counters + footprint only)",
+    )
+    large.set_defaults(func=cmd_large)
+
+    selftest = sub.add_parser(
+        "selftest", help="run the gate's own pure-python test suite"
+    )
+    selftest.set_defaults(func=cmd_selftest)
 
     speedup = sub.add_parser("speedup", help="parallel beats serial on a span")
     speedup.add_argument("--serial", required=True)

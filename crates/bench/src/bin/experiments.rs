@@ -47,6 +47,9 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
         // Paper-scale cell: explicit opt-in only — a 1M+-node build
         // has no place in the laptop-friendly `all` sweep.
         "table5_large" => vec![("table5_large".into(), exp::table5_large::run(scale))],
+        // Durable warm-restart cell: rides the same streamed graph —
+        // explicit opt-in only, for the same reason.
+        "warmstart" => vec![("warmstart".into(), exp::warmstart::run(scale))],
         "all" => {
             let ids = [
                 "table2",

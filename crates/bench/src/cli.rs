@@ -30,6 +30,7 @@ pub const KNOWN_IDS: &[&str] = &[
     "propagate_micro",
     "serve_micro",
     "table5_large",
+    "warmstart",
     "all",
 ];
 
@@ -42,6 +43,8 @@ ids:    table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
         popularity propagate_micro serve_micro all   (default: all)
         table5_large   paper-scale 1M+-node streamed-CSR cell
                        (explicit only — never part of `all`)
+        warmstart      durable cold-build vs warm-restart cell on the
+                       table5 graph (explicit only — never part of `all`)
 
 flags:  --full            paper-shaped densities (slow)
         --smoke           tiny smoke-test scale

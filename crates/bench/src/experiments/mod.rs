@@ -20,6 +20,7 @@
 //! | [`propagate_micro::run`] | extra — zero-allocation propagation micro-cell gated by CI (`bench_gate.py micro`) |
 //! | [`serve_micro::run`] | extra — online serving closed loop (queries × updates × rotations) gated by CI (`bench_gate.py serve`) |
 //! | [`table5_large::run`] | extra — paper-scale (1M+ node) streamed-CSR preprocess/query cell gated by CI (`bench_gate.py large`); not part of `all` |
+//! | [`warmstart::run`] | extra — durable cold-build vs warm-restart cell on the table5 graph gated by CI (`bench_gate.py warmstart`); not part of `all` |
 
 pub mod distrib;
 pub mod dynamic;
@@ -38,3 +39,4 @@ pub mod table2;
 pub mod table3;
 pub mod table5_large;
 pub mod trank_dt;
+pub mod warmstart;

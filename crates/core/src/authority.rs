@@ -147,6 +147,40 @@ impl AuthorityIndex {
         self.auth.size_bytes() + self.followers_on.size_bytes()
     }
 
+    /// Borrows the raw arenas for serialisation: the `auth` column
+    /// slice, the `followers_on` column slice and the per-topic maxima.
+    pub fn to_parts(&self) -> (&[f64], &[u32], &[u32; NUM_TOPICS]) {
+        (
+            self.auth.as_slice(),
+            self.followers_on.as_slice(),
+            &self.max_followers_on,
+        )
+    }
+
+    /// Reassembles an index from raw arenas (the inverse of
+    /// [`Self::to_parts`], used by the durable snapshot codec).
+    ///
+    /// # Panics
+    /// Panics if either slice length is not a multiple of
+    /// [`NUM_TOPICS`] or the two arenas disagree on the node count —
+    /// callers are expected to have length-validated their input.
+    pub fn from_parts(
+        auth: Vec<f64>,
+        followers_on: Vec<u32>,
+        max_followers_on: [u32; NUM_TOPICS],
+    ) -> AuthorityIndex {
+        assert_eq!(
+            auth.len(),
+            followers_on.len(),
+            "authority arenas disagree on node count"
+        );
+        AuthorityIndex {
+            auth: NodeColumns::from_vec(auth, NUM_TOPICS),
+            followers_on: NodeColumns::from_vec(followers_on, NUM_TOPICS),
+            max_followers_on,
+        }
+    }
+
     /// Applies one follow/unfollow incrementally — the paper's point
     /// that "`|Γu|` and `|Γu(t)|` can be computed on local information
     /// of each user, without graph exploration": only the followee's

@@ -100,7 +100,7 @@ pub fn generate(cfg: &DblpConfig) -> GeneratedDataset {
     let mut pa_pool: Vec<u32> = (0..n as u32).collect();
     for a in 0..n as u32 {
         if rng.gen::<f64>() < 0.01 {
-            pa_pool.extend(std::iter::repeat_n(a, 15));
+            pa_pool.extend(std::iter::repeat(a).take(15));
         }
     }
     let mut order: Vec<u32> = (0..n as u32).collect();

@@ -162,7 +162,7 @@ pub fn generate(cfg: &TwitterConfig) -> GeneratedDataset {
     let mut pa_pool: Vec<u32> = (0..n as u32).collect();
     for v in 0..n as u32 {
         if rng.gen::<f64>() < 0.004 {
-            pa_pool.extend(std::iter::repeat_n(v, 60));
+            pa_pool.extend(std::iter::repeat(v).take(60));
         }
     }
     let mut order: Vec<u32> = (0..n as u32).collect();

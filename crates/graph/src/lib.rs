@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bfs;
 pub mod builder;
 pub mod centrality;

@@ -127,6 +127,34 @@ impl DynamicLandmarks {
         }
     }
 
+    /// Rebuilds the wrapper from persisted state: the index plus the
+    /// staleness accumulator and change counter a previous process had
+    /// reached. The topo lookup tables are derived from the index (they
+    /// are a pure function of the stored entries), so a restored
+    /// wrapper is bit-identical to one that lived through the same
+    /// mutation history in-process.
+    ///
+    /// # Panics
+    /// Panics if `staleness.len()` disagrees with the index length.
+    pub fn restore(
+        index: LandmarkIndex,
+        refresh_threshold: f64,
+        background_impact: f64,
+        staleness: Vec<f64>,
+        changes_seen: u64,
+    ) -> DynamicLandmarks {
+        assert_eq!(
+            staleness.len(),
+            index.len(),
+            "staleness vector disagrees with index length"
+        );
+        let mut dynamic =
+            DynamicLandmarks::with_policy(index, refresh_threshold, background_impact);
+        dynamic.staleness = staleness;
+        dynamic.changes_seen = changes_seen;
+        dynamic
+    }
+
     /// The wrapped index (stale entries included — queries tolerate
     /// them by design).
     pub fn index(&self) -> &LandmarkIndex {

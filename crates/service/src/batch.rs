@@ -151,6 +151,40 @@ impl Batcher {
     }
 }
 
+/// A dropped service (a restart, in practice) must account for every
+/// request still queued: each one is *sent* an explicit
+/// [`Reply::Overloaded`] and charged to `service.shed` /
+/// `service.shed.disconnect` right here. Without this, an entry whose
+/// ticket was never redeemed would vanish from the counters entirely —
+/// `answered + shed` would undercount accepted requests (the
+/// [`Ticket::wait`] disconnect arm only fires if the waiter asks).
+/// `wait` still backstops the send: a delivered `Overloaded` makes it
+/// return `Ok`, so nothing is double-counted.
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        let Ok(mut q) = self.queue.lock() else {
+            return;
+        };
+        for p in q.drain(..) {
+            self.shed.incr();
+            self.shed_disconnect.incr();
+            if let Some(cap) = p.trace {
+                let queue_ns =
+                    u64::try_from(cap.started_at().elapsed().as_nanos()).unwrap_or(u64::MAX);
+                cap.finish(
+                    trace_meta(&p.req),
+                    TraceOutcome::ShedDisconnect,
+                    LatencyParts {
+                        queue_ns,
+                        ..LatencyParts::default()
+                    },
+                );
+            }
+            let _ = p.tx.send(Reply::Overloaded);
+        }
+    }
+}
+
 /// The trace identity of a request (obs speaks indices, not topics).
 pub(crate) fn trace_meta(req: &Request) -> TraceMeta {
     TraceMeta {

@@ -46,12 +46,14 @@
 
 pub mod batch;
 pub mod cache;
+pub mod durable;
 pub mod net;
 pub mod service;
 pub mod snapshot;
 
 pub use batch::Ticket;
 pub use cache::{CacheKey, CacheStamp, ResultCache};
+pub use durable::{JournalOp, JournalRecord, SnapshotState};
 pub use net::{NetConfig, NetServer};
-pub use service::{Reply, Request, Served, Service, ServiceConfig};
+pub use service::{Reply, Request, RestoreError, Served, Service, ServiceConfig};
 pub use snapshot::{apply_changes, Snapshot, SnapshotStore};

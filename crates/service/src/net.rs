@@ -10,6 +10,8 @@
 //! ROTATE                              apply pending changes now
 //! REFRESH                             recompute stale landmarks now
 //! EPOCH                               current snapshot epoch
+//! SNAPSHOT                            persist a durable snapshot now
+//! RESTORE                             dry-run a warm restart from disk
 //! STATS                               dump every counter/gauge/histogram
 //! SLO                                 current burn rates / error budget
 //! TRACE <n>                           the n slowest traced requests
@@ -21,6 +23,7 @@
 //! ```text
 //! OK REC <epoch> <cached:0|1> <node>:<score> ...
 //! OK FOLLOW | OK UNFOLLOW | OK ROTATE <epoch> | OK REFRESH <n> | OK EPOCH <e>
+//! OK SNAPSHOT <seq> <bytes> | OK RESTORE epoch=<e> gen=<g> applied_seq=<s>
 //! OVERLOADED                          shed; retry later
 //! ERR <reason>
 //! ```
@@ -235,6 +238,18 @@ fn run_command(line: &str, service: &Service, cfg: NetConfig) -> Result<String, 
         "EPOCH" => {
             expect_end(parts)?;
             Ok(format!("OK EPOCH {}", service.snapshot().epoch))
+        }
+        "SNAPSHOT" => {
+            expect_end(parts)?;
+            let (seq, bytes) = service.persist().map_err(|e| e.to_string())?;
+            Ok(format!("OK SNAPSHOT {seq} {bytes}"))
+        }
+        "RESTORE" => {
+            expect_end(parts)?;
+            let (epoch, gen, applied) = service.restore_probe()?;
+            Ok(format!(
+                "OK RESTORE epoch={epoch} gen={gen} applied_seq={applied}"
+            ))
         }
         "STATS" => {
             expect_end(parts)?;

@@ -18,6 +18,8 @@
 //! gate both lean on this.
 
 use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -32,6 +34,7 @@ use fui_taxonomy::{SimMatrix, Topic};
 
 use crate::batch::{trace_meta, Batcher, Pending, Ticket};
 use crate::cache::{CacheKey, CacheStamp, ResultCache};
+use crate::durable::{self, JournalOp, JournalRecord, SnapshotState};
 use crate::snapshot::{apply_changes, Snapshot, SnapshotStore};
 
 /// One "who should I follow" query.
@@ -100,6 +103,51 @@ impl Default for ServiceConfig {
     }
 }
 
+/// How many snapshot files a durable service keeps on disk. More than
+/// one, so a torn newest file always has an older valid fallback
+/// (replayed forward through the journal).
+const KEEP_SNAPSHOTS: usize = 4;
+
+/// Why a warm restart could not produce a service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// Filesystem access to the durability directory failed.
+    Io(String),
+    /// No snapshot file in the directory decoded cleanly.
+    NoValidSnapshot,
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Io(e) => write!(f, "durability directory unusable: {e}"),
+            RestoreError::NoValidSnapshot => write!(f, "no valid snapshot on disk"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// The write side of durability: the directory and the open journal.
+struct DurableSink {
+    dir: PathBuf,
+    wal: std::fs::File,
+}
+
+impl DurableSink {
+    /// Appends one framed record and flushes it to the OS. Called
+    /// *before* the in-memory mutation it describes, so a crash at any
+    /// later point replays the mutation from disk.
+    fn append(&mut self, seq: u64, op: &JournalOp) -> std::io::Result<()> {
+        let frame = durable::encode_record(seq, op);
+        self.wal.write_all(&frame)?;
+        self.wal.flush()?;
+        fui_obs::counter("snapshot.persist.journal_appends").incr();
+        fui_obs::counter("snapshot.persist.journal_bytes").add(frame.len() as u64);
+        Ok(())
+    }
+}
+
 /// Mutable master state — mutations lock this, queries never do.
 struct Master {
     graph: Arc<SocialGraph>,
@@ -114,6 +162,12 @@ struct Master {
     slot_versions: Vec<u64>,
     params: ScoreParams,
     variant: ScoreVariant,
+    /// Journal position: every mutation with `seq <= applied_seq` is
+    /// reflected in this state. Advances on every mutation whether or
+    /// not the service is durable, so replay idempotence is uniform.
+    applied_seq: u64,
+    /// Present iff the service persists to disk.
+    durable: Option<DurableSink>,
 }
 
 impl Master {
@@ -128,6 +182,29 @@ impl Master {
             index: Arc::clone(&self.index),
             params: self.params,
             variant: self.variant,
+        }
+    }
+
+    /// The full durable image of this state.
+    fn snapshot_state(&self) -> SnapshotState {
+        let (auth, followers_on, maxima) = self.authority.to_parts();
+        SnapshotState {
+            applied_seq: self.applied_seq,
+            epoch: self.epoch,
+            graph_gen: self.graph_gen,
+            changes_seen: self.dynamic.changes_seen(),
+            params: self.params,
+            variant: self.variant,
+            slot_versions: self.slot_versions.clone(),
+            staleness: (0..self.slot_versions.len())
+                .map(|s| self.dynamic.staleness_at(s))
+                .collect(),
+            pending: self.pending.clone(),
+            graph: (*self.graph).clone(),
+            auth: auth.to_vec(),
+            followers_on: followers_on.to_vec(),
+            max_followers_on: *maxima,
+            index: self.dynamic.index().clone(),
         }
     }
 }
@@ -211,7 +288,13 @@ impl Service {
             slot_versions: vec![0; slots],
             params,
             variant,
+            applied_seq: 0,
+            durable: None,
         };
+        Service::assemble(master, cfg)
+    }
+
+    fn assemble(master: Master, cfg: ServiceConfig) -> Service {
         let store = SnapshotStore::new(master.snapshot());
         let metrics = ServiceMetrics::new();
         let batcher = Batcher::new(
@@ -228,6 +311,177 @@ impl Service {
             cfg,
             metrics,
         }
+    }
+
+    /// [`Service::new`], then durability: writes the epoch-0 snapshot
+    /// and an empty journal under `dir` (created if absent; any
+    /// previous journal there is truncated — use
+    /// [`restore`](Self::restore) to *resume* a directory). Every
+    /// subsequent [`record`](Self::record), [`rotate`](Self::rotate)
+    /// and [`refresh`](Self::refresh) write-ahead journals itself
+    /// before mutating, and rotation also persists a fresh snapshot,
+    /// so a warm restart replays `newest valid snapshot + journal
+    /// tail`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_durability(
+        graph: SocialGraph,
+        sim: SimMatrix,
+        params: ScoreParams,
+        variant: ScoreVariant,
+        landmarks: Vec<NodeId>,
+        stored_top_n: usize,
+        cfg: ServiceConfig,
+        dir: &Path,
+    ) -> std::io::Result<Service> {
+        let service = Service::new(graph, sim, params, variant, landmarks, stored_top_n, cfg);
+        std::fs::create_dir_all(dir)?;
+        {
+            let mut m = service.master.lock().expect("master poisoned");
+            durable::write_snapshot_atomic(dir, &m.snapshot_state())?;
+            let mut wal = std::fs::File::create(dir.join(durable::JOURNAL_FILE))?;
+            wal.write_all(durable::WAL_MAGIC)?;
+            m.durable = Some(DurableSink {
+                dir: dir.to_path_buf(),
+                wal,
+            });
+        }
+        Ok(service)
+    }
+
+    /// Warm restart: scans `dir` for the newest snapshot that decodes
+    /// cleanly *and* whose file name agrees with its header position
+    /// (each rejected candidate bumps `snapshot.persist.fallbacks`),
+    /// rebuilds the derived state the codec does not carry (similarity
+    /// rows, landmark topo lookups), replays the journal tail past the
+    /// snapshot's `applied_seq` (a torn final record is dropped and
+    /// truncated away), and re-attaches the journal for appending.
+    ///
+    /// The restored service publishes the same epoch / generation /
+    /// versions the killed one had and answers bit-identically to a
+    /// twin that never died — the chaos conformance suite holds it to
+    /// exactly that.
+    pub fn restore(
+        dir: &Path,
+        sim: SimMatrix,
+        cfg: ServiceConfig,
+    ) -> Result<Service, RestoreError> {
+        Service::restore_inner(dir, sim, cfg, true)
+    }
+
+    fn restore_inner(
+        dir: &Path,
+        sim: SimMatrix,
+        cfg: ServiceConfig,
+        attach: bool,
+    ) -> Result<Service, RestoreError> {
+        let io_err = |e: std::io::Error| RestoreError::Io(e.to_string());
+        let fallbacks = fui_obs::counter("snapshot.persist.fallbacks");
+        let mut chosen = None;
+        for (seq, path) in durable::list_snapshots(dir).map_err(io_err)? {
+            let read_sp = fui_obs::Span::enter("snapshot.restore.read");
+            let raw = std::fs::read(&path);
+            read_sp.finish();
+            let Ok(raw) = raw else {
+                fallbacks.incr();
+                continue;
+            };
+            match durable::decode_snapshot(bytes::Bytes::from(raw)) {
+                // A checksum-valid file whose name disagrees with its
+                // header position is semantically older than it claims
+                // (a stale copy) — fall back past it.
+                Ok(state) if state.applied_seq == seq => {
+                    chosen = Some(state);
+                    break;
+                }
+                Ok(_) | Err(_) => fallbacks.incr(),
+            }
+        }
+        let Some(state) = chosen else {
+            return Err(RestoreError::NoValidSnapshot);
+        };
+
+        let wal_path = dir.join(durable::JOURNAL_FILE);
+        let wal_raw = std::fs::read(&wal_path).unwrap_or_default();
+        let (records, valid_len, torn) = if wal_raw.is_empty() {
+            (Vec::new(), 0, None)
+        } else {
+            durable::decode_journal_prefix(&wal_raw)
+        };
+        if torn.is_some() {
+            fui_obs::counter("snapshot.persist.journal_torn").incr();
+        }
+
+        let derive_sp = fui_obs::Span::enter("snapshot.restore.derive");
+        let service = Service::from_state(state, sim, cfg);
+        derive_sp.finish();
+        let replayed = service.apply_journal(&records);
+        fui_obs::counter("snapshot.persist.replayed").add(replayed as u64);
+        fui_obs::counter("snapshot.persist.restores").incr();
+
+        if attach {
+            let wal = if valid_len < durable::WAL_MAGIC.len() {
+                // Missing or header-corrupt journal: start fresh.
+                let mut f = std::fs::File::create(&wal_path).map_err(io_err)?;
+                f.write_all(durable::WAL_MAGIC).map_err(io_err)?;
+                f
+            } else {
+                if torn.is_some() {
+                    // Drop the torn (never-acknowledged) tail so the
+                    // next append starts at a record boundary.
+                    let f = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&wal_path)
+                        .map_err(io_err)?;
+                    f.set_len(valid_len as u64).map_err(io_err)?;
+                }
+                std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&wal_path)
+                    .map_err(io_err)?
+            };
+            service.master.lock().expect("master poisoned").durable = Some(DurableSink {
+                dir: dir.to_path_buf(),
+                wal,
+            });
+        }
+        Ok(service)
+    }
+
+    /// Rebuilds a service around a decoded snapshot state. Similarity
+    /// rows and landmark topo lookups are recomputed (both are pure,
+    /// deterministic functions of the persisted state).
+    fn from_state(state: SnapshotState, sim: SimMatrix, cfg: ServiceConfig) -> Service {
+        let graph = Arc::new(state.graph);
+        let authority = Arc::new(AuthorityIndex::from_parts(
+            state.auth,
+            state.followers_on,
+            state.max_followers_on,
+        ));
+        let sim_rows = Arc::new(SimRowCache::build(&graph, &sim));
+        let dynamic = DynamicLandmarks::restore(
+            state.index.clone(),
+            cfg.refresh_threshold,
+            cfg.background_impact,
+            state.staleness,
+            state.changes_seen,
+        );
+        let master = Master {
+            graph,
+            authority,
+            sim_rows,
+            index: Arc::new(state.index),
+            sim,
+            dynamic,
+            pending: state.pending,
+            epoch: state.epoch,
+            graph_gen: state.graph_gen,
+            slot_versions: state.slot_versions,
+            params: state.params,
+            variant: state.variant,
+            applied_seq: state.applied_seq,
+            durable: None,
+        };
+        Service::assemble(master, cfg)
     }
 
     /// The configuration the service was built with.
@@ -492,6 +746,19 @@ impl Service {
         if change.follower == change.followee {
             return Err("self-follows are not representable".to_owned());
         }
+        let seq = m.applied_seq + 1;
+        if let Some(sink) = m.durable.as_mut() {
+            sink.append(seq, &JournalOp::Change(change))
+                .map_err(|e| format!("journal append failed: {e}"))?;
+        }
+        m.applied_seq = seq;
+        self.apply_change_inner(&mut m, change);
+        Ok(())
+    }
+
+    /// The in-memory effect of one (already journaled, already
+    /// validated) change — shared by the live path and journal replay.
+    fn apply_change_inner(&self, m: &mut Master, change: EdgeChange) {
         let slots = m.dynamic.index().len();
         let was: Vec<bool> = (0..slots).map(|s| m.dynamic.is_stale(s)).collect();
         m.dynamic.record(&change);
@@ -506,7 +773,6 @@ impl Service {
             m.epoch += 1;
             self.store.publish(m.snapshot());
         }
-        Ok(())
     }
 
     /// Number of changes recorded but not yet rotated in.
@@ -525,6 +791,22 @@ impl Service {
     pub fn rotate(&self) -> u64 {
         let _span = fui_obs::span!("service.rotate");
         let mut m = self.master.lock().expect("master poisoned");
+        let seq = m.applied_seq + 1;
+        if let Some(sink) = m.durable.as_mut() {
+            sink.append(seq, &JournalOp::Rotate)
+                .expect("journal append failed");
+        }
+        m.applied_seq = seq;
+        let epoch = self.rotate_inner(&mut m);
+        if m.durable.is_some() {
+            // A rotation rebuilt the expensive indices — checkpoint so
+            // a warm restart replays from here, not from scratch.
+            self.persist_locked(&mut m).expect("snapshot write failed");
+        }
+        epoch
+    }
+
+    fn rotate_inner(&self, m: &mut Master) -> u64 {
         self.metrics.rotations.incr();
         if !m.pending.is_empty() {
             let next = apply_changes(&m.graph, &m.pending);
@@ -546,8 +828,17 @@ impl Service {
     /// were refreshed.
     pub fn refresh(&self) -> usize {
         let _span = fui_obs::span!("service.refresh");
-        let mut guard = self.master.lock().expect("master poisoned");
-        let m = &mut *guard;
+        let mut m = self.master.lock().expect("master poisoned");
+        let seq = m.applied_seq + 1;
+        if let Some(sink) = m.durable.as_mut() {
+            sink.append(seq, &JournalOp::Refresh)
+                .expect("journal append failed");
+        }
+        m.applied_seq = seq;
+        self.refresh_inner(&mut m)
+    }
+
+    fn refresh_inner(&self, m: &mut Master) -> usize {
         let stale = m.dynamic.stale_slots();
         if stale.is_empty() {
             return 0;
@@ -569,6 +860,104 @@ impl Service {
         refreshed
     }
 
+    // ---- durability ----------------------------------------------
+
+    /// Replays journal records into the master state. Records at or
+    /// below the current `applied_seq` are skipped — replaying a tail
+    /// twice is bit-identical to replaying it once — and records whose
+    /// change no longer validates against the graph are counted on
+    /// `snapshot.persist.replay_rejected` rather than applied. Returns
+    /// how many records were applied. Replay never journals (the
+    /// records are already on disk).
+    pub fn apply_journal(&self, records: &[JournalRecord]) -> usize {
+        let mut m = self.master.lock().expect("master poisoned");
+        let mut applied = 0;
+        for r in records {
+            if r.seq <= m.applied_seq {
+                continue;
+            }
+            m.applied_seq = r.seq;
+            match r.op {
+                JournalOp::Change(change) => {
+                    let n = m.graph.num_nodes() as u32;
+                    if change.follower.0 >= n
+                        || change.followee.0 >= n
+                        || change.follower == change.followee
+                    {
+                        fui_obs::counter("snapshot.persist.replay_rejected").incr();
+                        continue;
+                    }
+                    self.apply_change_inner(&mut m, change);
+                }
+                JournalOp::Rotate => {
+                    self.rotate_inner(&mut m);
+                }
+                JournalOp::Refresh => {
+                    self.refresh_inner(&mut m);
+                }
+            }
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Writes a full snapshot of the current master state to the
+    /// durability directory (atomic temp-file + rename), pruning all
+    /// but the newest `KEEP_SNAPSHOTS` files. Returns the journal
+    /// position the snapshot captures and its encoded size. Errors
+    /// with `Unsupported` on a non-durable service.
+    pub fn persist(&self) -> std::io::Result<(u64, usize)> {
+        let mut m = self.master.lock().expect("master poisoned");
+        self.persist_locked(&mut m)
+    }
+
+    fn persist_locked(&self, m: &mut Master) -> std::io::Result<(u64, usize)> {
+        let Some(dir) = m.durable.as_ref().map(|s| s.dir.clone()) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "service is not durable",
+            ));
+        };
+        let state = m.snapshot_state();
+        let (_, bytes) = durable::write_snapshot_atomic(&dir, &state)?;
+        prune_snapshots(&dir);
+        Ok((state.applied_seq, bytes))
+    }
+
+    /// Dry-run warm restart against this service's own durability
+    /// directory: decodes the newest valid snapshot, replays the
+    /// journal tail into a throwaway twin (nothing on disk is touched)
+    /// and reports `(epoch, graph_gen, applied_seq)` the twin reached.
+    /// A healthy directory reports exactly this service's live values.
+    pub fn restore_probe(&self) -> Result<(u64, u64, u64), String> {
+        let (dir, sim) = {
+            let m = self.master.lock().expect("master poisoned");
+            let Some(sink) = m.durable.as_ref() else {
+                return Err("service is not durable".to_owned());
+            };
+            (sink.dir.clone(), m.sim.clone())
+        };
+        let probe =
+            Service::restore_inner(&dir, sim, self.cfg, false).map_err(|e| e.to_string())?;
+        let snap = probe.snapshot();
+        let applied = probe.applied_seq();
+        Ok((snap.epoch, snap.graph_gen, applied))
+    }
+
+    /// Journal position of the last applied mutation.
+    pub fn applied_seq(&self) -> u64 {
+        self.master.lock().expect("master poisoned").applied_seq
+    }
+
+    /// Whether this service journals and snapshots to disk.
+    pub fn is_durable(&self) -> bool {
+        self.master
+            .lock()
+            .expect("master poisoned")
+            .durable
+            .is_some()
+    }
+
     // ---- introspection -------------------------------------------
 
     /// Takes an SLO checkpoint and reports current burn rates over the
@@ -583,6 +972,17 @@ impl Service {
     /// unless tracing is active — see [`fui_obs::trace`]).
     pub fn trace_slowest(&self, n: usize) -> Vec<RequestTrace> {
         fui_obs::trace::slowest(n)
+    }
+}
+
+/// Best-effort retention: keep the newest [`KEEP_SNAPSHOTS`] snapshot
+/// files, delete the rest. The journal is never truncated here, so any
+/// surviving snapshot plus the journal reaches the present state.
+fn prune_snapshots(dir: &Path) {
+    if let Ok(found) = durable::list_snapshots(dir) {
+        for (_, path) in found.into_iter().skip(KEEP_SNAPSHOTS) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 

@@ -411,11 +411,18 @@ fn sheds_are_attributed_to_their_cause() {
         2,
         "queue-full sheds are traced; got {causes:?}"
     );
-    // Disconnect sheds die holding their capture (the queue entry was
-    // dropped before anything could finish it), so they are counted
-    // but not ring-traced — exactly 2 records with this fingerprint
-    // confirms that.
-    assert_eq!(causes.len(), 2);
+    // Disconnect sheds are finished by the queue's drop-drain with
+    // their own cause — a restart with queued requests leaves a full
+    // audit trail, not silence.
+    assert_eq!(
+        causes
+            .iter()
+            .filter(|o| **o == fui_obs::TraceOutcome::ShedDisconnect)
+            .count(),
+        4,
+        "disconnect sheds are traced; got {causes:?}"
+    );
+    assert_eq!(causes.len(), 6);
 }
 
 #[test]

@@ -41,6 +41,12 @@
 //! * [`fuzz`] — deterministic byte-corruption helpers (truncation,
 //!   bit flips, over-length field splices) for decoder robustness
 //!   tests;
+//! * [`chaos`] — the crash/recovery conformance invariant: kill a
+//!   seeded durable-serving interleaving (optionally tearing the
+//!   newest snapshot mid-write or the journal tail mid-append),
+//!   warm-restart from disk, and bit-compare every post-recovery
+//!   answer against an uninterrupted twin — plus corrupt-snapshot
+//!   fixture builders for the warm-start fallback corpus;
 //! * [`seedlog`] — per-case seed logging mirrored into `fui-obs`
 //!   counters and written as a JSON run manifest, so any failing case
 //!   can be reproduced from its `(preset, seed)` pair alone.
@@ -51,6 +57,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod corpus;
 pub mod fuzz;
 pub mod gen;

@@ -55,6 +55,16 @@ driver writes with `--manifest`:
            one-line footprint summary to $GITHUB_STEP_SUMMARY when
            that variable is set.
 
+  warmstart
+           Gate the warmstart durable-restart cell: every cold/warm
+           counter pair (answered, bit-exact answer checksum, epoch,
+           generation, applied_seq) must be exactly equal — the
+           restored service answers bit-identically to the one that
+           built the index — the graph must reach --min-nodes, and the
+           warmstart.warm_restore span must beat warmstart.cold_build
+           by at least --min-speedup (default 5x: a warm restart that
+           rebuilds from scratch is not a warm restart).
+
   selftest Run the gate's own pure-python test suite (no manifests on
            disk needed). CI's lint job runs this so a broken gate
            fails loudly instead of waving regressions through.
@@ -160,6 +170,16 @@ LARGE_TRACKED_SPANS = [
     "table5_large.datagen",
     "table5_large.preprocess",
     "table5_large.query",
+]
+
+# Cold/warm counter pairs the warmstart gate pins to exact equality:
+# the restarted service must be the same service, bit for bit.
+WARMSTART_COUNTER_PAIRS = [
+    ("warmstart.cold_answered", "warmstart.warm_answered"),
+    ("warmstart.cold_checksum_bits", "warmstart.warm_checksum_bits"),
+    ("warmstart.cold_epoch", "warmstart.warm_epoch"),
+    ("warmstart.cold_gen", "warmstart.warm_gen"),
+    ("warmstart.cold_seq", "warmstart.warm_seq"),
 ]
 
 # Memory-story gauges the large gate requires in the fresh manifest.
@@ -403,6 +423,65 @@ def large_failures(
     return failures
 
 
+def warmstart_failures(fresh, *, min_speedup=5.0, min_nodes=1_000_000):
+    """Gate messages for the warmstart cell (pure, testable). Reads a
+    single manifest: the cell runs cold build and warm restore in one
+    process and reports them as paired counters + two spans."""
+    failures = []
+    for cold, warm in WARMSTART_COUNTER_PAIRS:
+        vc, vw = counter(fresh, cold), counter(fresh, warm)
+        if vc is None or vw is None:
+            missing = cold if vc is None else warm
+            failures.append(f"counter {missing}: missing from manifest")
+        elif vc != vw:
+            failures.append(
+                f"warm restart diverged: {cold}={vc} {warm}={vw} "
+                "(the restarted service must answer bit-identically)"
+            )
+    answered = counter(fresh, "warmstart.cold_answered")
+    if answered is not None and answered <= 0:
+        failures.append("warmstart.cold_answered = 0: the cell answered nothing")
+    nodes = counter(fresh, "warmstart.nodes")
+    if nodes is None:
+        failures.append("counter warmstart.nodes: missing from manifest")
+    elif nodes < min_nodes:
+        failures.append(
+            f"warmstart.nodes = {nodes} below the paper-scale floor of "
+            f"{min_nodes} — the cell is no longer testing the table5 graph"
+        )
+    cold_ms = span_total_ms(fresh, "warmstart.cold_build")
+    warm_ms = span_total_ms(fresh, "warmstart.warm_restore")
+    if cold_ms is None or warm_ms is None:
+        missing = "warmstart.cold_build" if cold_ms is None else "warmstart.warm_restore"
+        failures.append(f"span {missing}: missing from manifest")
+    elif warm_ms <= 0:
+        failures.append(f"span warmstart.warm_restore: total is {warm_ms} ms")
+    else:
+        ratio = cold_ms / warm_ms
+        if ratio < min_speedup:
+            failures.append(
+                f"warm restart only {ratio:.2f}x faster than cold build "
+                f"({cold_ms:.1f} ms vs {warm_ms:.1f} ms) "
+                f"< required {min_speedup:.1f}x"
+            )
+    return failures
+
+
+def cmd_warmstart(args):
+    fresh = load(args.fresh)
+    failures = warmstart_failures(
+        fresh, min_speedup=args.min_speedup, min_nodes=args.min_nodes
+    )
+    cold_ms = span_total_ms(fresh, "warmstart.cold_build")
+    warm_ms = span_total_ms(fresh, "warmstart.warm_restore")
+    if cold_ms is not None and warm_ms:
+        print(
+            f"bench_gate warmstart: cold {cold_ms:.1f} ms / "
+            f"warm {warm_ms:.1f} ms = {cold_ms / warm_ms:.2f}x"
+        )
+    report("warmstart", failures, args.fresh)
+
+
 def large_summary(fresh):
     """One-line markdown footprint table for $GITHUB_STEP_SUMMARY."""
 
@@ -498,6 +577,47 @@ def _selftest_manifest(**overrides):
     return manifest
 
 
+def _warmstart_manifest(**overrides):
+    """A synthetic but structurally complete warmstart manifest."""
+    manifest = {
+        "params": {"exec_threads": 4},
+        "counters": {
+            "warmstart.nodes": 1_000_000,
+            "warmstart.edges": 8_000_000,
+            "warmstart.cold_answered": 1024,
+            "warmstart.warm_answered": 1024,
+            "warmstart.cold_checksum_bits": 4612248968393252864,
+            "warmstart.warm_checksum_bits": 4612248968393252864,
+            "warmstart.cold_epoch": 3,
+            "warmstart.warm_epoch": 3,
+            "warmstart.cold_gen": 1,
+            "warmstart.warm_gen": 1,
+            "warmstart.cold_seq": 65,
+            "warmstart.warm_seq": 65,
+        },
+        "gauges": {},
+        "spans": [
+            {"path": "warmstart.datagen", "count": 1, "total_ms": 900.0},
+            {"path": "warmstart.cold_build", "count": 1, "total_ms": 30000.0},
+            {"path": "warmstart.warm_restore", "count": 1, "total_ms": 2000.0},
+        ],
+    }
+    for key, value in overrides.items():
+        section, name = key.split("/", 1)
+        if section == "spans":
+            if value is None:
+                manifest["spans"] = [s for s in manifest["spans"] if s["path"] != name]
+            else:
+                for span in manifest["spans"]:
+                    if span["path"] == name:
+                        span["total_ms"] = value
+        elif value is None:
+            manifest[section].pop(name, None)
+        else:
+            manifest[section][name] = value
+    return manifest
+
+
 def cmd_selftest(_args):
     """Pure-python checks of the gate's own comparison logic."""
     checks = 0
@@ -580,6 +700,50 @@ def cmd_selftest(_args):
     summary = large_summary(base)
     expect("1000000" in summary and "12.00" in summary, "summary renders values")
     expect("?" in large_summary({}), "summary degrades on empty manifest")
+
+    # Warmstart: identical cold/warm pairs at a 15x ratio pass cleanly.
+    ws = _warmstart_manifest()
+    expect(warmstart_failures(ws) == [], "clean warmstart run must pass")
+
+    # Any cold/warm pair divergence fails — the restarted service must
+    # answer bit-identically, checksum included.
+    ws_drift = _warmstart_manifest(**{"counters/warmstart.warm_checksum_bits": 1})
+    expect(
+        any("diverged" in f and "checksum_bits" in f for f in warmstart_failures(ws_drift)),
+        "warm checksum drift must fail",
+    )
+    ws_seq = _warmstart_manifest(**{"counters/warmstart.warm_seq": 64})
+    expect(
+        any("diverged" in f and "warm_seq" in f for f in warmstart_failures(ws_seq)),
+        "warm applied_seq drift must fail",
+    )
+
+    # A missing counter on either side is a failure, never a skip.
+    ws_gone = _warmstart_manifest(**{"counters/warmstart.warm_epoch": None})
+    expect(
+        any("warmstart.warm_epoch" in f and "missing" in f for f in warmstart_failures(ws_gone)),
+        "missing warm counter must fail",
+    )
+
+    # The 5x speedup floor: a slow restore or a missing span fails.
+    ws_slow = _warmstart_manifest(**{"spans/warmstart.warm_restore": 8000.0})
+    expect(
+        any("faster than cold build" in f for f in warmstart_failures(ws_slow)),
+        "sub-5x warm restore must fail",
+    )
+    ws_no_span = _warmstart_manifest(**{"spans/warmstart.warm_restore": None})
+    expect(
+        any("span warmstart.warm_restore" in f and "missing" in f
+            for f in warmstart_failures(ws_no_span)),
+        "missing warm_restore span must fail",
+    )
+
+    # The paper-scale floor applies to warmstart too.
+    ws_small = _warmstart_manifest(**{"counters/warmstart.nodes": 10_000})
+    expect(
+        any("paper-scale floor" in f for f in warmstart_failures(ws_small)),
+        "sub-1M warmstart graph must fail the floor",
+    )
 
     print(f"bench_gate selftest OK ({checks} checks)")
 
@@ -728,6 +892,27 @@ def main():
         help="skip the wall-time check (counters + footprint only)",
     )
     large.set_defaults(func=cmd_large)
+
+    warmstart = sub.add_parser(
+        "warmstart",
+        help="gate the durable warm-restart cell: warm restore beats a "
+        "cold rebuild and answers bit-identically",
+    )
+    warmstart.add_argument("--fresh", required=True, help="BENCH_warmstart.json")
+    warmstart.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="warm restore must be at least this many times faster than "
+        "the cold index build (default 5)",
+    )
+    warmstart.add_argument(
+        "--min-nodes",
+        type=int,
+        default=1_000_000,
+        help="minimum graph size the cell must build (default 1000000)",
+    )
+    warmstart.set_defaults(func=cmd_warmstart)
 
     selftest = sub.add_parser(
         "selftest", help="run the gate's own pure-python test suite"

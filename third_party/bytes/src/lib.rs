@@ -26,6 +26,20 @@ pub trait Buf {
     /// Panics if fewer than `n` bytes remain.
     fn advance(&mut self, n: usize);
 
+    /// Reads a single byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -50,6 +64,16 @@ pub trait Buf {
 pub trait BufMut {
     /// Appends a byte slice.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
 
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {

@@ -50,6 +50,9 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
         // Durable warm-restart cell: rides the same streamed graph —
         // explicit opt-in only, for the same reason.
         "warmstart" => vec![("warmstart".into(), exp::warmstart::run(scale))],
+        // Sharded-serving speedup cell: also rides the streamed graph
+        // (twice, in fact) — explicit opt-in only.
+        "shard_micro" => vec![("shard_micro".into(), exp::shard_micro::run(scale))],
         "all" => {
             let ids = [
                 "table2",

@@ -31,6 +31,7 @@ pub const KNOWN_IDS: &[&str] = &[
     "serve_micro",
     "table5_large",
     "warmstart",
+    "shard_micro",
     "all",
 ];
 
@@ -45,6 +46,9 @@ ids:    table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
                        (explicit only — never part of `all`)
         warmstart      durable cold-build vs warm-restart cell on the
                        table5 graph (explicit only — never part of `all`)
+        shard_micro    sharded scatter/gather serving speedup cell on
+                       the table5 graph (explicit only — never part of
+                       `all`)
 
 flags:  --full            paper-shaped densities (slow)
         --smoke           tiny smoke-test scale

@@ -21,6 +21,7 @@
 //! | [`serve_micro::run`] | extra — online serving closed loop (queries × updates × rotations) gated by CI (`bench_gate.py serve`) |
 //! | [`table5_large::run`] | extra — paper-scale (1M+ node) streamed-CSR preprocess/query cell gated by CI (`bench_gate.py large`); not part of `all` |
 //! | [`warmstart::run`] | extra — durable cold-build vs warm-restart cell on the table5 graph gated by CI (`bench_gate.py warmstart`); not part of `all` |
+//! | [`shard_micro::run`] | extra — sharded scatter/gather serving speedup cell on the table5 graph gated by CI (`bench_gate.py shard`); not part of `all` |
 
 pub mod distrib;
 pub mod dynamic;
@@ -33,6 +34,7 @@ pub mod linkpred;
 pub mod popularity;
 pub mod propagate_micro;
 pub mod serve_micro;
+pub mod shard_micro;
 pub mod sig;
 pub mod sweep;
 pub mod table2;

@@ -32,6 +32,8 @@
 //! * [`centrality`] — closeness/betweenness (exact and pivot-sampled),
 //!   used by the centrality-flavoured landmark selection strategies.
 //! * [`components`] — weak connectivity via union-find,
+//! * [`partition`] — deterministic node → shard owner maps with
+//!   cut-edge accounting, the substrate of sharded serving,
 //! * [`io`] — TSV edge-list interchange for plugging in real datasets.
 
 #![warn(missing_docs)]
@@ -44,12 +46,14 @@ pub mod columns;
 pub mod components;
 pub mod csr;
 pub mod io;
+pub mod partition;
 pub mod spectral;
 pub mod stats;
 
 pub use bfs::{k_vicinity, KVicinity};
 pub use builder::{GraphBuilder, StreamingBuilder};
 pub use columns::NodeColumns;
+pub use partition::{CutTable, Partition, PartitionStrategy};
 pub use csr::{EdgeRef, MemoryFootprint, NodeId, SocialGraph};
 pub use stats::GraphStats;
 

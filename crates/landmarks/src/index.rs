@@ -244,6 +244,36 @@ impl LandmarkIndex {
             top_n: top_n.min(self.top_n),
         }
     }
+
+    /// A shard slice: the same landmarks, mask and slots (so BFS
+    /// pruning, `is_landmark` and `slot_of` behave identically on
+    /// every shard), but every stored list filtered to the nodes
+    /// `keep` accepts, preserving list order. Sharded serving gives
+    /// each shard the slice of the candidates it owns; because the
+    /// per-topic and topological lists are filtered by the same
+    /// predicate, the query-time `in_topical` bookkeeping stays
+    /// consistent with the unsharded index.
+    pub fn filtered(&self, keep: impl Fn(NodeId) -> bool) -> LandmarkIndex {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| LandmarkEntry {
+                recs: e
+                    .recs
+                    .iter()
+                    .map(|l| l.iter().copied().filter(|s| keep(s.node)).collect())
+                    .collect(),
+                topo: e.topo.iter().copied().filter(|s| keep(s.node)).collect(),
+            })
+            .collect();
+        LandmarkIndex {
+            landmarks: self.landmarks.clone(),
+            entries,
+            mask: self.mask.clone(),
+            slot: self.slot.clone(),
+            top_n: self.top_n,
+        }
+    }
 }
 
 /// Runs Algorithm 1 for one landmark: propagate to convergence on all

@@ -44,5 +44,5 @@ pub use index::{LandmarkEntry, LandmarkIndex, ScoredNode};
 pub use partition::{
     place_landmarks_per_partition, simulate_query, Partitioning, QueryTransferStats,
 };
-pub use query::{ApproxRecommender, ApproxResult};
+pub use query::{ApproxRecommender, ApproxResult, Exploration};
 pub use strategy::Strategy;

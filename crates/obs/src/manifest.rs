@@ -200,7 +200,7 @@ impl RunManifest {
                 out,
                 "\n      {{\"id\": \"{}\", \"outcome\": \"{}\", \"total_ns\": {}, \
                  \"queue_ns\": {}, \"assembly_ns\": {}, \"compute_ns\": {}, \
-                 \"cache_ns\": {}, \"events\": {}}}",
+                 \"cache_ns\": {}, \"scatter_ns\": {}, \"events\": {}}}",
                 t.id,
                 t.outcome.as_str(),
                 t.total_ns,
@@ -208,6 +208,7 @@ impl RunManifest {
                 t.parts.assembly_ns,
                 t.parts.compute_ns,
                 t.parts.cache_ns,
+                t.parts.scatter_ns,
                 t.events.len(),
             );
         }

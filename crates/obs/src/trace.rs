@@ -54,8 +54,8 @@ pub const RING_CAPACITY: usize = 512;
 /// dropped (the decomposition fields still cover the full request).
 pub const MAX_EVENTS: usize = 12;
 
-/// Words per slot: 9 header words + 2 per event.
-const SLOT_WORDS: usize = 9 + 2 * MAX_EVENTS;
+/// Words per slot: 10 header words + 2 per event.
+const SLOT_WORDS: usize = 10 + 2 * MAX_EVENTS;
 
 /// Unique identity of one traced request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -203,7 +203,7 @@ pub struct TraceMeta {
     pub top_n: u32,
 }
 
-/// Latency decomposition of one request. The four parts are measured
+/// Latency decomposition of one request. The five parts are measured
 /// from one boundary-instant chain, so their sum *is* the recorded
 /// end-to-end latency (the `TRACE` acceptance bound leans on this).
 #[derive(Clone, Copy, Debug, Default)]
@@ -216,6 +216,9 @@ pub struct LatencyParts {
     pub compute_ns: u64,
     /// Result-cache probes, stamping and inserts.
     pub cache_ns: u64,
+    /// Sharded serving only: scatter-set planning plus the cross-shard
+    /// top-k merge. Unsharded paths record 0.
+    pub scatter_ns: u64,
 }
 
 impl LatencyParts {
@@ -225,6 +228,7 @@ impl LatencyParts {
             .saturating_add(self.assembly_ns)
             .saturating_add(self.compute_ns)
             .saturating_add(self.cache_ns)
+            .saturating_add(self.scatter_ns)
     }
 }
 
@@ -425,9 +429,10 @@ const W_QUEUE: usize = 3;
 const W_ASSEMBLY: usize = 4;
 const W_COMPUTE: usize = 5;
 const W_CACHE: usize = 6;
-const W_META: usize = 7; // user << 32 | topic << 16 | outcome << 8 | n_events
-const W_TOP_N: usize = 8;
-const W_EVENTS: usize = 9;
+const W_SCATTER: usize = 7;
+const W_META: usize = 8; // user << 32 | topic << 16 | outcome << 8 | n_events
+const W_TOP_N: usize = 9;
+const W_EVENTS: usize = 10;
 
 /// 56-bit mask for event args (the kind tag rides in the top byte).
 const ARG_MASK: u64 = (1 << 56) - 1;
@@ -463,6 +468,7 @@ fn commit_record(
     w[W_ASSEMBLY].store(parts.assembly_ns, Ordering::Relaxed);
     w[W_COMPUTE].store(parts.compute_ns, Ordering::Relaxed);
     w[W_CACHE].store(parts.cache_ns, Ordering::Relaxed);
+    w[W_SCATTER].store(parts.scatter_ns, Ordering::Relaxed);
     w[W_META].store(
         (u64::from(meta.user) << 32)
             | (u64::from(meta.topic) << 16)
@@ -516,6 +522,7 @@ fn read_slot(slot: &Slot) -> Option<RequestTrace> {
             assembly_ns: words[W_ASSEMBLY],
             compute_ns: words[W_COMPUTE],
             cache_ns: words[W_CACHE],
+            scatter_ns: words[W_SCATTER],
         },
         meta: TraceMeta {
             user: (meta_word >> 32) as u32,
@@ -651,7 +658,33 @@ mod tests {
             assembly_ns: a,
             compute_ns: c,
             cache_ns: h,
+            scatter_ns: 0,
         }
+    }
+
+    #[test]
+    fn scatter_segment_rides_the_exact_sum_and_the_ring() {
+        let _g = crate::serial_guard();
+        crate::set_level(crate::Level::Full);
+        set_sample(1.0);
+        clear();
+        let with_scatter = LatencyParts {
+            scatter_ns: 7,
+            ..parts(10, 20, 30, 40)
+        };
+        assert_eq!(with_scatter.total_ns(), 107);
+        let cap = TraceCapture::begin().expect("active");
+        let id = cap.id();
+        cap.finish(TraceMeta::default(), TraceOutcome::Ok, with_scatter);
+        let rec = slowest(8)
+            .into_iter()
+            .find(|r| r.id == id)
+            .expect("committed");
+        assert_eq!(rec.parts.scatter_ns, 7);
+        assert_eq!(rec.total_ns, 107);
+        crate::set_level(crate::Level::Counters);
+        set_sample(0.0);
+        clear();
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct CacheKey {
 /// Validity stamp recorded with a cached value.
 #[derive(Clone, Debug)]
 pub struct CacheStamp {
+    /// Shard the value was computed on. Slot indices are only unique
+    /// within one shard once the store is partitioned, so the stamp is
+    /// effectively a set of `(shard, slot, version)` triples: an entry
+    /// can only validate against its own shard's published snapshot.
+    pub shard: u32,
     /// Graph generation the value was computed under.
     pub graph_gen: u64,
     /// `(slot, version)` of every landmark the exploration met.
@@ -50,7 +55,8 @@ pub struct CacheStamp {
 
 impl CacheStamp {
     fn valid_for(&self, snap: &Snapshot) -> bool {
-        self.graph_gen == snap.graph_gen
+        self.shard == snap.shard
+            && self.graph_gen == snap.graph_gen
             && self
                 .met
                 .iter()
@@ -188,6 +194,10 @@ mod tests {
     use fui_taxonomy::{SimMatrix, TopicSet};
 
     fn snap(graph_gen: u64, slot_versions: Vec<u64>) -> Snapshot {
+        shard_snap(0, graph_gen, slot_versions)
+    }
+
+    fn shard_snap(shard: u32, graph_gen: u64, slot_versions: Vec<u64>) -> Snapshot {
         let mut b = GraphBuilder::new();
         b.add_node(TopicSet::empty());
         let graph = std::sync::Arc::new(b.build());
@@ -205,6 +215,7 @@ mod tests {
         );
         let index = std::sync::Arc::new(LandmarkIndex::build(&p, vec![], 10));
         Snapshot {
+            shard,
             epoch: 0,
             graph_gen,
             slot_versions,
@@ -237,6 +248,7 @@ mod tests {
             key(1),
             val(),
             CacheStamp {
+                shard: 0,
                 graph_gen: 0,
                 met: vec![],
             },
@@ -254,6 +266,7 @@ mod tests {
             key(1),
             val(),
             CacheStamp {
+                shard: 0,
                 graph_gen: 0,
                 met: vec![(0, 0)],
             },
@@ -262,6 +275,7 @@ mod tests {
             key(2),
             val(),
             CacheStamp {
+                shard: 0,
                 graph_gen: 0,
                 met: vec![(1, 0)],
             },
@@ -272,10 +286,54 @@ mod tests {
     }
 
     #[test]
+    fn refresh_on_one_shard_leaves_other_shards_entries_alive() {
+        // Sharded serving: each shard stamps entries with its own id,
+        // and staggered publication means shard B may still serve the
+        // pre-refresh slot versions after shard A already published
+        // bumped ones. A refresh that invalidates shard A's entries
+        // must leave shard B's untouched — and an entry can never
+        // validate against another shard's snapshot at all, even when
+        // the slot/version numbers happen to agree.
+        let cache_a = ResultCache::new(8, 2);
+        let cache_b = ResultCache::new(8, 2);
+        let stamp = |shard| CacheStamp {
+            shard,
+            graph_gen: 0,
+            met: vec![(0, 0)],
+        };
+        cache_a.insert(key(1), val(), stamp(0));
+        cache_b.insert(key(1), val(), stamp(1));
+
+        // Refresh bumps slot 0 fleet-wide; shard A has published the
+        // new versions, shard B's publish has not landed yet.
+        let snap_a = shard_snap(0, 0, vec![1]);
+        let snap_b = shard_snap(1, 0, vec![0]);
+        assert!(
+            cache_a.get(key(1), &snap_a).is_none(),
+            "shard A met the refreshed slot: dead"
+        );
+        assert!(
+            cache_b.get(key(1), &snap_b).is_some(),
+            "shard B still serves its pre-refresh snapshot: alive"
+        );
+
+        // Cross-shard validation is impossible by construction: shard
+        // B's entry against shard A's snapshot misses even where the
+        // version vector would match.
+        let alien = shard_snap(0, 0, vec![0]);
+        cache_b.insert(key(2), val(), stamp(1));
+        assert!(
+            cache_b.get(key(2), &alien).is_none(),
+            "stamp from shard 1 validated against shard 0"
+        );
+    }
+
+    #[test]
     fn lru_evicts_least_recently_used() {
         let cache = ResultCache::new(2, 1); // one shard, two entries
         let s = snap(0, vec![]);
         let stamp = || CacheStamp {
+            shard: 0,
             graph_gen: 0,
             met: vec![],
         };

@@ -18,9 +18,14 @@
 //! * [`service`] — the engine: deterministic [`Service::call`] /
 //!   [`Service::call_many`] plus the `submit`/`pump` pair, follow /
 //!   unfollow recording, [`Service::rotate`] and [`Service::refresh`];
+//! * [`shard`] / [`router`] — partitioned serving: N candidate-owning
+//!   shards (each its own snapshot store, result cache and admission
+//!   queue) behind a scatter/gather [`ShardedService`] that answers
+//!   bit-identically to the unsharded engine at any shard count, with
+//!   staggered per-shard rotation and per-shard WAL journaling;
 //! * [`net`] — a thin `std::net` line-protocol frontend for manual
-//!   poking (including the `STATS` / `SLO` / `TRACE` introspection
-//!   verbs); tests and benches use the in-process API.
+//!   poking (including the `STATS` / `SLO` / `TRACE` / `SHARDS`
+//!   introspection verbs); tests and benches use the in-process API.
 //!
 //! The whole path reports through `fui-obs`: `service.requests`,
 //! `service.shed` (with its `service.shed.{queue_full,deadline,
@@ -48,12 +53,16 @@ pub mod batch;
 pub mod cache;
 pub mod durable;
 pub mod net;
+pub mod router;
 pub mod service;
+pub mod shard;
 pub mod snapshot;
 
 pub use batch::Ticket;
 pub use cache::{CacheKey, CacheStamp, ResultCache};
 pub use durable::{JournalOp, JournalRecord, SnapshotState};
-pub use net::{NetConfig, NetServer};
+pub use net::{Backend, NetConfig, NetServer};
+pub use router::{ShardSpec, ShardedService};
 pub use service::{Reply, Request, RestoreError, Served, Service, ServiceConfig};
+pub use shard::{FleetStatus, ShardStatus};
 pub use snapshot::{apply_changes, Snapshot, SnapshotStore};

@@ -15,6 +15,7 @@
 //! STATS                               dump every counter/gauge/histogram
 //! SLO                                 current burn rates / error budget
 //! TRACE <n>                           the n slowest traced requests
+//! SHARDS                              per-shard fleet status rows
 //! QUIT                                close the connection
 //! ```
 //!
@@ -42,17 +43,28 @@
 //!        shed=<..> shed_burn=<..> shed_budget_remaining=<..>   (one line)
 //! OK TRACE <k>                        then, per request, a REQ line:
 //!   REQ id=<hex> user=<u> topic=<name> top_n=<n> outcome=<o> total_ns=<t>
-//!       queue_ns=<q> assembly_ns=<a> compute_ns=<c> cache_ns=<h> events=<m>
+//!       queue_ns=<q> assembly_ns=<a> compute_ns=<c> cache_ns=<h>
+//!       scatter_ns=<x> events=<m>
 //!   followed by its m timeline lines:  EV <at_ns> <kind> <arg>
+//! OK SHARDS <n> strategy=<s> cut_edges=<c>   then n per-shard rows:
+//!   S <id> epoch=<e> gen=<g> queue=<q> pending=<p> busy_ns=<b>
+//!     cache=<c> owned=<o> edge_mass=<m> requests=<r> shed=<s>
+//!     queue_full=<qf> deadline=<dl> latency_burn=<lb> shed_burn=<sb>
 //! ```
 //!
 //! `TRACE` returns requests only while tracing is active
 //! (`FUI_OBS=full` with `FUI_TRACE_SAMPLE` > 0); the queue / assembly
-//! / compute / cache parts of each `REQ` line sum to its `total_ns`
-//! exactly (assembly is defined as the remainder).
+//! / compute / cache / scatter parts of each `REQ` line sum to its
+//! `total_ns` exactly (assembly is defined as the remainder; scatter
+//! is 0 on an unsharded backend).
 //!
 //! Scores print with Rust's shortest-round-trip `f64` formatting, so a
 //! client parsing them back gets the exact served bits.
+//!
+//! The server is generic over [`Backend`]: the unsharded [`Service`]
+//! and the sharded [`crate::ShardedService`] fleet answer the same
+//! verb set (`SHARDS` on a plain service renders one `"unsharded"`
+//! row).
 //!
 //! `REC` goes through the micro-batching queue: the handler submits
 //! and blocks on its ticket while a window thread pumps the service
@@ -71,9 +83,114 @@ use std::time::{Duration, Instant};
 
 use fui_graph::NodeId;
 use fui_landmarks::EdgeChange;
+use fui_obs::{RequestTrace, SloReport};
 use fui_taxonomy::{Topic, TopicSet};
 
+use crate::batch::Ticket;
+use crate::router::ShardedService;
 use crate::service::{Reply, Request, Service};
+use crate::shard::FleetStatus;
+
+/// The engine operations the line protocol needs — implemented by the
+/// unsharded [`Service`] and the sharded [`ShardedService`], so one
+/// [`NetServer`] fronts either.
+pub trait Backend: Send + Sync + 'static {
+    /// Enqueues a request for the pump thread.
+    fn submit(&self, req: Request, deadline: Option<Instant>) -> Result<Ticket, Reply>;
+    /// Drains and answers one batch; returns how many it answered.
+    fn pump(&self) -> usize;
+    /// Records one follow/unfollow.
+    fn record(&self, change: EdgeChange) -> Result<(), String>;
+    /// Applies pending changes; returns the new epoch.
+    fn rotate(&self) -> u64;
+    /// Recomputes stale landmarks; returns how many.
+    fn refresh(&self) -> usize;
+    /// Currently published epoch.
+    fn epoch(&self) -> u64;
+    /// Persists a durable snapshot now.
+    fn persist(&self) -> std::io::Result<(u64, usize)>;
+    /// Dry-run warm restart; `(epoch, graph_gen, applied_seq)`.
+    fn restore_probe(&self) -> Result<(u64, u64, u64), String>;
+    /// SLO checkpoint over the rolling window.
+    fn slo(&self) -> SloReport;
+    /// The `n` slowest recently traced requests.
+    fn trace_slowest(&self, n: usize) -> Vec<RequestTrace>;
+    /// Per-shard status rows (one `"unsharded"` row on a plain
+    /// service).
+    fn shards(&self) -> FleetStatus;
+}
+
+impl Backend for Service {
+    fn submit(&self, req: Request, deadline: Option<Instant>) -> Result<Ticket, Reply> {
+        Service::submit(self, req, deadline)
+    }
+    fn pump(&self) -> usize {
+        Service::pump(self)
+    }
+    fn record(&self, change: EdgeChange) -> Result<(), String> {
+        Service::record(self, change)
+    }
+    fn rotate(&self) -> u64 {
+        Service::rotate(self)
+    }
+    fn refresh(&self) -> usize {
+        Service::refresh(self)
+    }
+    fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+    fn persist(&self) -> std::io::Result<(u64, usize)> {
+        Service::persist(self)
+    }
+    fn restore_probe(&self) -> Result<(u64, u64, u64), String> {
+        Service::restore_probe(self)
+    }
+    fn slo(&self) -> SloReport {
+        Service::slo(self)
+    }
+    fn trace_slowest(&self, n: usize) -> Vec<RequestTrace> {
+        Service::trace_slowest(self, n)
+    }
+    fn shards(&self) -> FleetStatus {
+        self.fleet_status()
+    }
+}
+
+impl Backend for ShardedService {
+    fn submit(&self, req: Request, deadline: Option<Instant>) -> Result<Ticket, Reply> {
+        ShardedService::submit(self, req, deadline)
+    }
+    fn pump(&self) -> usize {
+        ShardedService::pump(self)
+    }
+    fn record(&self, change: EdgeChange) -> Result<(), String> {
+        ShardedService::record(self, change)
+    }
+    fn rotate(&self) -> u64 {
+        ShardedService::rotate(self)
+    }
+    fn refresh(&self) -> usize {
+        ShardedService::refresh(self)
+    }
+    fn epoch(&self) -> u64 {
+        ShardedService::epoch(self)
+    }
+    fn persist(&self) -> std::io::Result<(u64, usize)> {
+        ShardedService::persist(self)
+    }
+    fn restore_probe(&self) -> Result<(u64, u64, u64), String> {
+        ShardedService::restore_probe(self)
+    }
+    fn slo(&self) -> SloReport {
+        ShardedService::slo(self)
+    }
+    fn trace_slowest(&self, n: usize) -> Vec<RequestTrace> {
+        ShardedService::trace_slowest(self, n)
+    }
+    fn shards(&self) -> FleetStatus {
+        self.status()
+    }
+}
 
 /// Frontend tuning.
 #[derive(Clone, Copy, Debug)]
@@ -106,7 +223,11 @@ pub struct NetServer {
 impl NetServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
     /// accept loop plus the batch-window pump thread.
-    pub fn start(service: Arc<Service>, addr: &str, cfg: NetConfig) -> std::io::Result<NetServer> {
+    pub fn start<B: Backend>(
+        service: Arc<B>,
+        addr: &str,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -121,7 +242,7 @@ impl NetServer {
                     }
                     let Ok(stream) = stream else { continue };
                     let service = Arc::clone(&service);
-                    std::thread::spawn(move || handle(stream, &service, cfg));
+                    std::thread::spawn(move || handle(stream, &*service, cfg));
                 }
             })
         };
@@ -164,7 +285,7 @@ impl NetServer {
     }
 }
 
-fn handle(stream: TcpStream, service: &Service, cfg: NetConfig) {
+fn handle<B: Backend>(stream: TcpStream, service: &B, cfg: NetConfig) {
     let Ok(peer_read) = stream.try_clone() else {
         return;
     };
@@ -186,14 +307,14 @@ fn handle(stream: TcpStream, service: &Service, cfg: NetConfig) {
     }
 }
 
-fn dispatch(line: &str, service: &Service, cfg: NetConfig) -> String {
+fn dispatch<B: Backend>(line: &str, service: &B, cfg: NetConfig) -> String {
     match run_command(line, service, cfg) {
         Ok(ok) => ok,
         Err(err) => format!("ERR {err}"),
     }
 }
 
-fn run_command(line: &str, service: &Service, cfg: NetConfig) -> Result<String, String> {
+fn run_command<B: Backend>(line: &str, service: &B, cfg: NetConfig) -> Result<String, String> {
     let mut parts = line.split_ascii_whitespace();
     let verb = parts.next().unwrap_or("").to_ascii_uppercase();
     match verb.as_str() {
@@ -237,7 +358,7 @@ fn run_command(line: &str, service: &Service, cfg: NetConfig) -> Result<String, 
         }
         "EPOCH" => {
             expect_end(parts)?;
-            Ok(format!("OK EPOCH {}", service.snapshot().epoch))
+            Ok(format!("OK EPOCH {}", service.epoch()))
         }
         "SNAPSHOT" => {
             expect_end(parts)?;
@@ -266,6 +387,10 @@ fn run_command(line: &str, service: &Service, cfg: NetConfig) -> Result<String, 
             };
             expect_end(parts)?;
             Ok(render_traces(service.trace_slowest(n)))
+        }
+        "SHARDS" => {
+            expect_end(parts)?;
+            Ok(render_shards(service.shards()))
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -319,7 +444,8 @@ fn render_traces(traces: Vec<fui_obs::RequestTrace>) -> String {
         let topic = Topic::try_from_index(t.meta.topic as usize).map_or("?", |topic| topic.name());
         out.push_str(&format!(
             "\nREQ id={} user={} topic={} top_n={} outcome={} total_ns={} \
-             queue_ns={} assembly_ns={} compute_ns={} cache_ns={} events={}",
+             queue_ns={} assembly_ns={} compute_ns={} cache_ns={} scatter_ns={} \
+             events={}",
             t.id,
             t.meta.user,
             topic,
@@ -330,11 +456,45 @@ fn render_traces(traces: Vec<fui_obs::RequestTrace>) -> String {
             t.parts.assembly_ns,
             t.parts.compute_ns,
             t.parts.cache_ns,
+            t.parts.scatter_ns,
             t.events.len(),
         ));
         for e in &t.events {
             out.push_str(&format!("\nEV {} {} {}", e.at_ns, e.kind.as_str(), e.arg));
         }
+    }
+    out
+}
+
+fn render_shards(status: FleetStatus) -> String {
+    let mut out = format!(
+        "OK SHARDS {} strategy={} cut_edges={} crit_ns={}",
+        status.shards.len(),
+        status.strategy,
+        status.cut_edges,
+        status.crit_ns,
+    );
+    for s in &status.shards {
+        out.push_str(&format!(
+            "\nS {} epoch={} gen={} queue={} pending={} busy_ns={} cache={} \
+             owned={} edge_mass={} requests={} shed={} queue_full={} deadline={} \
+             latency_burn={:.6} shed_burn={:.6}",
+            s.id,
+            s.epoch,
+            s.graph_gen,
+            s.queue_depth,
+            s.pending_changes,
+            s.busy_ns,
+            s.cache_entries,
+            s.owned_nodes,
+            s.edge_mass,
+            s.requests,
+            s.shed,
+            s.shed_queue_full,
+            s.shed_deadline,
+            s.latency_burn,
+            s.shed_burn,
+        ));
     }
     out
 }

@@ -1,0 +1,1461 @@
+//! The sharded fleet: N candidate-partitioned serving lanes behind one
+//! scatter/gather router.
+//!
+//! # Why candidate partitioning is bit-exact
+//!
+//! A recommendation score is a per-candidate `f64` accumulation: direct
+//! contributions from the bounded exploration plus composition terms
+//! through landmark entries. [`ShardedService`] partitions the
+//! *candidate space* — every node is owned by exactly one shard (a
+//! deterministic [`Partition`] over the node-id space) — and each shard
+//! accumulates the full sum for exactly its owned candidates, in the
+//! exact unsharded order:
+//!
+//! * the shard's [`LandmarkIndex::filtered`] slice keeps the full
+//!   landmark mask and slot table (so exploration, pruning and the
+//!   met-landmark set are identical on every shard) but filters the
+//!   inverted lists to owned candidates;
+//! * the recommender's `candidate_mask` filters direct contributions
+//!   the same way.
+//!
+//! Per-shard top-k lists therefore rank *disjoint* candidate sets, and
+//! merging them through [`select_top_k`]'s total order (score
+//! descending, id ascending) reproduces the unsharded answer bit for
+//! bit — including at score ties. The graph, authority index and
+//! similarity rows are **shared** (`Arc`) across shards: what is
+//! partitioned is the per-candidate accumulation and index mass, not
+//! the read-only graph state.
+//!
+//! # Scatter sets
+//!
+//! A query `(u, t)` only needs the shards that can contribute a
+//! candidate: shards owning a node of `u`'s `explore_depth`-hop
+//! out-vicinity (direct contributions — answered by the [`CutTable`]
+//! without touching second-hop adjacency), shards whose slice has any
+//! stored list for topic `t`, and shards with any topological list.
+//! Composition-heavy configurations thus scatter wide (often all N) —
+//! `service.shard.fanout` records the truth — while vicinity-dominated
+//! queries stay narrow. When the plan has raced a publish (pinned
+//! epochs disagree with the plan's), the router falls back to
+//! all-shard scatter, which is always exact: extra shards only ever
+//! contribute candidates they own.
+//!
+//! # Staggered rotation
+//!
+//! Mutations journal and apply once at the fleet master (staleness
+//! accounting must be shard-count-invariant for answers to be), but
+//! every publish walks the shards in *staggered* order — most pending
+//! recorded changes first, shard id breaking ties — swapping one
+//! shard's snapshot pointer at a time with no fleet-wide pause.
+//! In-flight queries keep whatever mix of pinned snapshots they hold.
+//!
+//! # Durability
+//!
+//! One fleet directory holds the snapshots (same codec as the
+//! unsharded [`Service`](crate::Service)) and a fleet journal carrying
+//! `Rotate`/`Refresh`; each shard gets `shard-NNNN/journal.fuiwal`
+//! carrying the `Change` records it owns. A change touching a cut edge
+//! is journaled to **both** endpoint owners' WALs; restore merges all
+//! journals by sequence number (duplicates collapse), so one torn
+//! shard WAL loses nothing the twin still holds. The partition and the
+//! slices are pure functions of the restored graph — they are
+//! re-derived, never persisted — and a directory written by any shard
+//! count restores under any other: sharding is answer-invisible.
+
+use std::cmp::Reverse;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use fui_core::topk::select_top_k;
+use fui_core::{AuthorityIndex, PropWorkspace, Propagator, ScoreParams, ScoreVariant, SimRowCache};
+use fui_graph::{CutTable, NodeId, Partition, PartitionStrategy, SocialGraph};
+use fui_landmarks::{ApproxRecommender, DynamicLandmarks, EdgeChange, Exploration, LandmarkIndex};
+use fui_obs::{
+    Counter, LatencyParts, RequestTrace, SloReport, TraceCapture, TraceEventKind, TraceOutcome,
+};
+use fui_taxonomy::{SimMatrix, Topic};
+
+use crate::batch::{trace_meta, Pending, Ticket};
+use crate::cache::CacheStamp;
+use crate::durable::{self, JournalOp, JournalRecord, SnapshotState};
+use crate::service::{
+    key_of, prune_snapshots, validate, Reply, Request, RestoreError, Served, ServiceConfig,
+    ServiceMetrics,
+};
+use crate::shard::{FleetStatus, Shard};
+use crate::snapshot::{apply_changes, Snapshot};
+
+/// How a [`ShardedService`] splits the candidate space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of shards (1 ..= [`fui_graph::partition::MAX_SHARDS`]).
+    pub shards: usize,
+    /// Owner-map strategy.
+    pub strategy: PartitionStrategy,
+}
+
+impl Default for ShardSpec {
+    fn default() -> ShardSpec {
+        ShardSpec {
+            shards: 1,
+            strategy: PartitionStrategy::Hash,
+        }
+    }
+}
+
+impl ShardSpec {
+    /// A spec with `shards` shards under `strategy`.
+    pub fn new(shards: usize, strategy: PartitionStrategy) -> ShardSpec {
+        ShardSpec { shards, strategy }
+    }
+}
+
+/// Subdirectory of the fleet durability dir holding shard `s`'s WAL.
+fn shard_dir(dir: &Path, s: u32) -> PathBuf {
+    dir.join(format!("shard-{s:04}"))
+}
+
+/// Fleet-wide `service.shard.*` handles (the per-shard `.N.` handles
+/// live on each [`Shard`]).
+struct FleetMetrics {
+    svc: ServiceMetrics,
+    /// Total shards scattered to, over all requests.
+    fanout: Counter,
+    /// Per-shard query executions (one request on three shards = 3).
+    queries: Counter,
+    /// Shared explorations run (one per missed query per pinned
+    /// generation — `queries / explorations` is the exploration
+    /// dedup factor the scatter/gather router buys).
+    explorations: Counter,
+    /// Cross-shard top-k merges performed.
+    merges: Counter,
+    /// Cut edges counted at each scatter-plan build (cumulative over
+    /// rebuilds — the bench gate asserts exact equality of the sum).
+    cut_edges: Counter,
+}
+
+impl FleetMetrics {
+    fn new() -> FleetMetrics {
+        FleetMetrics {
+            svc: ServiceMetrics::new(),
+            fanout: fui_obs::counter("service.shard.fanout"),
+            queries: fui_obs::counter("service.shard.queries"),
+            explorations: fui_obs::counter("service.shard.explorations"),
+            merges: fui_obs::counter("service.shard.merges"),
+            cut_edges: fui_obs::counter("service.shard.cut_edges"),
+        }
+    }
+}
+
+/// The precomputed scatter decision state, rebuilt under the master
+/// lock on every rotate/refresh and epoch-stamped on every publish so
+/// the read path can tell whether it matches its pinned snapshots.
+struct ScatterPlan {
+    /// Epoch this plan was built for — must equal the pinned epoch of
+    /// *every* scattered-to snapshot for the narrow plan to be exact.
+    epoch: u64,
+    /// Cut-edge replication table for the plan's graph generation.
+    cut: Arc<CutTable>,
+    /// Cut-edge count for the plan's graph generation.
+    cut_edges: u64,
+    /// Bitmask of all live shards.
+    all: u64,
+    /// Per topic: shards whose slice stores any list for it.
+    topic: Vec<u64>,
+    /// Shards whose slice stores any topological list.
+    topo: u64,
+    /// Exploration deeper than the cut table covers (depth > 2): the
+    /// vicinity term degenerates to all-shard.
+    deep: bool,
+}
+
+impl ScatterPlan {
+    fn build(
+        epoch: u64,
+        cut: Arc<CutTable>,
+        cut_edges: u64,
+        slices: &[Arc<LandmarkIndex>],
+        deep: bool,
+    ) -> ScatterPlan {
+        let n = slices.len();
+        let all = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+        let mut topic = vec![0u64; Topic::ALL.len()];
+        let mut topo = 0u64;
+        for (s, slice) in slices.iter().enumerate() {
+            let bit = 1u64 << s;
+            for slot in 0..slice.len() {
+                let e = slice.entry_at(slot);
+                for (t, recs) in e.recs.iter().enumerate() {
+                    if !recs.is_empty() {
+                        topic[t] |= bit;
+                    }
+                }
+                if !e.topo.is_empty() {
+                    topo |= bit;
+                }
+            }
+        }
+        ScatterPlan {
+            epoch,
+            cut,
+            cut_edges,
+            all,
+            topic,
+            topo,
+            deep,
+        }
+    }
+
+    /// The shards query `(u, t)` must reach. `lo`/`hi` are the min/max
+    /// epochs of the pinned snapshots: any disagreement with the plan's
+    /// epoch means a publish raced this batch, and the router scatters
+    /// everywhere (always exact, never narrow).
+    fn scatter(&self, graph: &SocialGraph, u: NodeId, t: Topic, lo: u64, hi: u64) -> u64 {
+        if lo != hi || self.epoch != hi {
+            return self.all;
+        }
+        let vicinity = if self.deep {
+            self.all
+        } else {
+            self.cut.two_hop(graph, u)
+        };
+        (vicinity | self.topic[t.index()] | self.topo) & self.all
+    }
+}
+
+/// The write side of fleet durability: fleet snapshots + fleet journal
+/// (`Rotate`/`Refresh`), one change journal per shard.
+struct FleetSink {
+    dir: PathBuf,
+    wal: std::fs::File,
+    shard_wals: Vec<std::fs::File>,
+}
+
+fn append_frame(f: &mut std::fs::File, frame: &[u8]) -> std::io::Result<()> {
+    f.write_all(frame)?;
+    f.flush()?;
+    fui_obs::counter("snapshot.persist.journal_appends").incr();
+    fui_obs::counter("snapshot.persist.journal_bytes").add(frame.len() as u64);
+    Ok(())
+}
+
+impl FleetSink {
+    /// Journals a fleet-wide op (rotate/refresh) to the fleet WAL.
+    fn append_fleet(&mut self, seq: u64, op: &JournalOp) -> std::io::Result<()> {
+        append_frame(&mut self.wal, &durable::encode_record(seq, op))
+    }
+
+    /// Journals a change to its owning shard's WAL — and to the other
+    /// endpoint's owner too when the edge is cut, so either WAL alone
+    /// can torn-tail without losing the record.
+    fn append_change(
+        &mut self,
+        seq: u64,
+        change: EdgeChange,
+        a: usize,
+        b: usize,
+    ) -> std::io::Result<()> {
+        let frame = durable::encode_record(seq, &JournalOp::Change(change));
+        append_frame(&mut self.shard_wals[a], &frame)?;
+        if b != a {
+            append_frame(&mut self.shard_wals[b], &frame)?;
+        }
+        Ok(())
+    }
+}
+
+/// Mutable fleet master state — one lock, never taken by queries.
+/// Mirrors the unsharded service's master exactly (same staleness
+/// accounting, same epoch discipline — answers must not depend on the
+/// shard count) plus the per-shard index slices derived from it.
+struct FleetMaster {
+    graph: Arc<SocialGraph>,
+    authority: Arc<AuthorityIndex>,
+    sim_rows: Arc<SimRowCache>,
+    index: Arc<LandmarkIndex>,
+    /// Ownership-filtered projections of `index`, one per shard.
+    slices: Vec<Arc<LandmarkIndex>>,
+    sim: SimMatrix,
+    dynamic: DynamicLandmarks,
+    pending: Vec<EdgeChange>,
+    epoch: u64,
+    graph_gen: u64,
+    slot_versions: Vec<u64>,
+    params: ScoreParams,
+    variant: ScoreVariant,
+    applied_seq: u64,
+    durable: Option<FleetSink>,
+}
+
+impl FleetMaster {
+    fn shard_snapshot(&self, s: usize) -> Snapshot {
+        Snapshot {
+            shard: s as u32,
+            epoch: self.epoch,
+            graph_gen: self.graph_gen,
+            slot_versions: self.slot_versions.clone(),
+            graph: Arc::clone(&self.graph),
+            authority: Arc::clone(&self.authority),
+            sim_rows: Arc::clone(&self.sim_rows),
+            index: Arc::clone(&self.slices[s]),
+            params: self.params,
+            variant: self.variant,
+        }
+    }
+
+    /// The full durable image — identical layout to the unsharded
+    /// service's (the codec does not know about shards; the partition
+    /// is re-derived at restore).
+    fn snapshot_state(&self) -> SnapshotState {
+        let (auth, followers_on, maxima) = self.authority.to_parts();
+        SnapshotState {
+            applied_seq: self.applied_seq,
+            epoch: self.epoch,
+            graph_gen: self.graph_gen,
+            changes_seen: self.dynamic.changes_seen(),
+            params: self.params,
+            variant: self.variant,
+            slot_versions: self.slot_versions.clone(),
+            staleness: (0..self.slot_versions.len())
+                .map(|s| self.dynamic.staleness_at(s))
+                .collect(),
+            pending: self.pending.clone(),
+            graph: (*self.graph).clone(),
+            auth: auth.to_vec(),
+            followers_on: followers_on.to_vec(),
+            max_followers_on: *maxima,
+            index: self.dynamic.index().clone(),
+        }
+    }
+}
+
+fn build_slices(index: &Arc<LandmarkIndex>, partition: &Partition) -> Vec<Arc<LandmarkIndex>> {
+    if partition.shards() == 1 {
+        return vec![Arc::clone(index)];
+    }
+    (0..partition.shards() as u32)
+        .map(|s| Arc::new(index.filtered(|v| partition.owner(v) == s)))
+        .collect()
+}
+
+/// N partitioned serving lanes behind a scatter/gather router. The
+/// public surface mirrors [`Service`](crate::Service) verb for verb and
+/// answers bit-identically to it at every shard count — the
+/// `service-sharded` conformance invariant holds it to exactly that.
+pub struct ShardedService {
+    master: Mutex<FleetMaster>,
+    shards: Vec<Shard>,
+    partition: Arc<Partition>,
+    plan: RwLock<Arc<ScatterPlan>>,
+    /// Node-id bound for owner lookups (node count never changes).
+    nodes: usize,
+    cfg: ServiceConfig,
+    metrics: FleetMetrics,
+    /// One propagation workspace per pool worker, persistent across
+    /// batches. At paper scale a workspace is a multi-hundred-MB
+    /// allocation; paying it per scattered compute task turns the
+    /// parallel path into an mmap/page-fault storm that runs *slower*
+    /// than one thread. Reuse is answer-invisible (the workspace
+    /// sparse-resets between queries — the `service-workspace`
+    /// conformance invariant pins that).
+    workspaces: fui_exec::WorkerLocal<PropWorkspace>,
+    /// Cumulative scatter/gather critical path: per batch, the wall
+    /// time minus all parallel-lane busy time plus, per parallel
+    /// region (probe, explore, compose), the slowest lane's — the
+    /// batch latency on a host with at least as many cores as shards.
+    /// Exact when the lanes actually ran serially (`FUI_THREADS=1`);
+    /// with real parallelism it is clamped below wall. On a one-shard
+    /// fleet every region has one lane, so this equals served wall
+    /// time. [`FleetStatus::crit_ns`] surfaces it.
+    crit_ns: AtomicU64,
+}
+
+impl ShardedService {
+    /// Builds a fleet over `graph`: one shared precompute (authority,
+    /// similarity rows, landmark index — identical to the unsharded
+    /// build), then `spec.shards` ownership slices of it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        graph: SocialGraph,
+        sim: SimMatrix,
+        params: ScoreParams,
+        variant: ScoreVariant,
+        landmarks: Vec<NodeId>,
+        stored_top_n: usize,
+        cfg: ServiceConfig,
+        spec: ShardSpec,
+    ) -> ShardedService {
+        let graph = Arc::new(graph);
+        let authority = Arc::new(AuthorityIndex::build(&graph));
+        let sim_rows = Arc::new(SimRowCache::build(&graph, &sim));
+        let propagator =
+            Propagator::with_sim_cache(&graph, &authority, Arc::clone(&sim_rows), params, variant);
+        let index = LandmarkIndex::build_auto(&propagator, landmarks, stored_top_n);
+        let dynamic = DynamicLandmarks::with_policy(
+            index.clone(),
+            cfg.refresh_threshold,
+            cfg.background_impact,
+        );
+        let index = Arc::new(index);
+        let slots = index.len();
+        let master = FleetMaster {
+            graph,
+            authority,
+            sim_rows,
+            index,
+            slices: Vec::new(),
+            sim,
+            dynamic,
+            pending: Vec::new(),
+            epoch: 0,
+            graph_gen: 0,
+            slot_versions: vec![0; slots],
+            params,
+            variant,
+            applied_seq: 0,
+            durable: None,
+        };
+        ShardedService::assemble(master, cfg, spec)
+    }
+
+    fn assemble(mut master: FleetMaster, cfg: ServiceConfig, spec: ShardSpec) -> ShardedService {
+        assert!(
+            (1..=fui_graph::partition::MAX_SHARDS).contains(&spec.shards),
+            "shard count {} out of range",
+            spec.shards
+        );
+        let partition = Arc::new(Partition::build(&master.graph, spec.shards, spec.strategy));
+        master.slices = build_slices(&master.index, &partition);
+        let metrics = FleetMetrics::new();
+        let cut = Arc::new(partition.cut_table(&master.graph));
+        let cut_edges = partition.cut_edges_in(&master.graph);
+        metrics.cut_edges.add(cut_edges);
+        let plan = ScatterPlan::build(
+            master.epoch,
+            cut,
+            cut_edges,
+            &master.slices,
+            cfg.explore_depth > 2,
+        );
+        let shards: Vec<Shard> = (0..spec.shards)
+            .map(|s| {
+                Shard::new(
+                    s as u32,
+                    master.shard_snapshot(s),
+                    Arc::new(partition.owned_mask(s as u32)),
+                    partition.edge_mass()[s],
+                    &cfg,
+                    &metrics.svc,
+                )
+            })
+            .collect();
+        // A restored fleet re-derives each shard's staggered-rotation
+        // priority from the still-pending changes it carries.
+        for c in &master.pending {
+            let a = partition.owner(c.follower) as usize;
+            let b = partition.owner(c.followee) as usize;
+            shards[a].pending.fetch_add(1, Ordering::SeqCst);
+            if b != a {
+                shards[b].pending.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let nodes = master.graph.num_nodes();
+        ShardedService {
+            master: Mutex::new(master),
+            shards,
+            partition,
+            plan: RwLock::new(Arc::new(plan)),
+            nodes,
+            cfg,
+            metrics,
+            workspaces: fui_exec::WorkerLocal::new(),
+            crit_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// [`ShardedService::new`], then durability: the fleet snapshot
+    /// and journal plus one `shard-NNNN/` change journal per shard,
+    /// all under `dir`. See the module docs for the layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_durability(
+        graph: SocialGraph,
+        sim: SimMatrix,
+        params: ScoreParams,
+        variant: ScoreVariant,
+        landmarks: Vec<NodeId>,
+        stored_top_n: usize,
+        cfg: ServiceConfig,
+        spec: ShardSpec,
+        dir: &Path,
+    ) -> std::io::Result<ShardedService> {
+        let fleet =
+            ShardedService::new(graph, sim, params, variant, landmarks, stored_top_n, cfg, spec);
+        std::fs::create_dir_all(dir)?;
+        {
+            let mut m = fleet.master.lock().expect("fleet master poisoned");
+            durable::write_snapshot_atomic(dir, &m.snapshot_state())?;
+            let mut wal = std::fs::File::create(dir.join(durable::JOURNAL_FILE))?;
+            wal.write_all(durable::WAL_MAGIC)?;
+            let mut shard_wals = Vec::with_capacity(fleet.shards.len());
+            for s in 0..fleet.shards.len() {
+                let sd = shard_dir(dir, s as u32);
+                std::fs::create_dir_all(&sd)?;
+                let mut w = std::fs::File::create(sd.join(durable::JOURNAL_FILE))?;
+                w.write_all(durable::WAL_MAGIC)?;
+                shard_wals.push(w);
+            }
+            m.durable = Some(FleetSink {
+                dir: dir.to_path_buf(),
+                wal,
+                shard_wals,
+            });
+        }
+        Ok(fleet)
+    }
+
+    /// Warm-restarts a fleet from `dir`: newest valid fleet snapshot,
+    /// then the fleet journal and every shard journal merged by
+    /// sequence number (a change on a cut edge sits in both endpoint
+    /// owners' WALs; the duplicate collapses). The partition and the
+    /// slices are re-derived from the restored graph — `spec` may even
+    /// differ from the writing fleet's, since sharding never shows in
+    /// answers. Torn journal tails are dropped and truncated exactly
+    /// like the unsharded restore.
+    pub fn restore(
+        dir: &Path,
+        sim: SimMatrix,
+        cfg: ServiceConfig,
+        spec: ShardSpec,
+    ) -> Result<ShardedService, RestoreError> {
+        ShardedService::restore_inner(dir, sim, cfg, spec, true)
+    }
+
+    fn restore_inner(
+        dir: &Path,
+        sim: SimMatrix,
+        cfg: ServiceConfig,
+        spec: ShardSpec,
+        attach: bool,
+    ) -> Result<ShardedService, RestoreError> {
+        let io_err = |e: std::io::Error| RestoreError::Io(e.to_string());
+        let fallbacks = fui_obs::counter("snapshot.persist.fallbacks");
+        let mut chosen = None;
+        for (seq, path) in durable::list_snapshots(dir).map_err(io_err)? {
+            let read_sp = fui_obs::Span::enter("snapshot.restore.read");
+            let raw = std::fs::read(&path);
+            read_sp.finish();
+            let Ok(raw) = raw else {
+                fallbacks.incr();
+                continue;
+            };
+            match durable::decode_snapshot(bytes::Bytes::from(raw)) {
+                Ok(state) if state.applied_seq == seq => {
+                    chosen = Some(state);
+                    break;
+                }
+                Ok(_) | Err(_) => fallbacks.incr(),
+            }
+        }
+        let Some(state) = chosen else {
+            return Err(RestoreError::NoValidSnapshot);
+        };
+
+        // One journal prefix per WAL: the fleet's, then each shard's.
+        let torn_counter = fui_obs::counter("snapshot.persist.journal_torn");
+        let mut wal_paths = vec![dir.join(durable::JOURNAL_FILE)];
+        for s in 0..spec.shards {
+            wal_paths.push(shard_dir(dir, s as u32).join(durable::JOURNAL_FILE));
+        }
+        let mut prefixes = Vec::with_capacity(wal_paths.len());
+        let mut merged: std::collections::BTreeMap<u64, JournalRecord> =
+            std::collections::BTreeMap::new();
+        for path in &wal_paths {
+            let raw = std::fs::read(path).unwrap_or_default();
+            let (records, valid_len, torn) = if raw.is_empty() {
+                (Vec::new(), 0, None)
+            } else {
+                durable::decode_journal_prefix(&raw)
+            };
+            if torn.is_some() {
+                torn_counter.incr();
+            }
+            for r in records {
+                merged.insert(r.seq, r);
+            }
+            prefixes.push((valid_len, torn.is_some()));
+        }
+        let records: Vec<JournalRecord> = merged.into_values().collect();
+
+        let derive_sp = fui_obs::Span::enter("snapshot.restore.derive");
+        let fleet = ShardedService::from_state(state, sim, cfg, spec);
+        derive_sp.finish();
+        let replayed = fleet.apply_journal(&records);
+        fui_obs::counter("snapshot.persist.replayed").add(replayed as u64);
+        fui_obs::counter("snapshot.persist.restores").incr();
+
+        if attach {
+            let reattach = |path: &Path, valid_len: usize, torn: bool| -> std::io::Result<_> {
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                if valid_len < durable::WAL_MAGIC.len() {
+                    // Missing or header-corrupt journal: start fresh.
+                    let mut f = std::fs::File::create(path)?;
+                    f.write_all(durable::WAL_MAGIC)?;
+                    Ok(f)
+                } else {
+                    if torn {
+                        // Drop the torn (never-acknowledged) tail so
+                        // the next append starts at a record boundary.
+                        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+                        f.set_len(valid_len as u64)?;
+                    }
+                    std::fs::OpenOptions::new().append(true).open(path)
+                }
+            };
+            let mut files = Vec::with_capacity(wal_paths.len());
+            for (path, &(valid_len, torn)) in wal_paths.iter().zip(&prefixes) {
+                files.push(reattach(path, valid_len, torn).map_err(io_err)?);
+            }
+            let wal = files.remove(0);
+            fleet.master.lock().expect("fleet master poisoned").durable = Some(FleetSink {
+                dir: dir.to_path_buf(),
+                wal,
+                shard_wals: files,
+            });
+        }
+        Ok(fleet)
+    }
+
+    fn from_state(
+        state: SnapshotState,
+        sim: SimMatrix,
+        cfg: ServiceConfig,
+        spec: ShardSpec,
+    ) -> ShardedService {
+        let graph = Arc::new(state.graph);
+        let authority = Arc::new(AuthorityIndex::from_parts(
+            state.auth,
+            state.followers_on,
+            state.max_followers_on,
+        ));
+        let sim_rows = Arc::new(SimRowCache::build(&graph, &sim));
+        let dynamic = DynamicLandmarks::restore(
+            state.index.clone(),
+            cfg.refresh_threshold,
+            cfg.background_impact,
+            state.staleness,
+            state.changes_seen,
+        );
+        let master = FleetMaster {
+            graph,
+            authority,
+            sim_rows,
+            index: Arc::new(state.index),
+            slices: Vec::new(),
+            sim,
+            dynamic,
+            pending: state.pending,
+            epoch: state.epoch,
+            graph_gen: state.graph_gen,
+            slot_versions: state.slot_versions,
+            params: state.params,
+            variant: state.variant,
+            applied_seq: state.applied_seq,
+            durable: None,
+        };
+        ShardedService::assemble(master, cfg, spec)
+    }
+
+    /// The configuration the fleet was built with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The spec the fleet was assembled under.
+    pub fn spec(&self) -> ShardSpec {
+        ShardSpec {
+            shards: self.shards.len(),
+            strategy: self.partition.strategy(),
+        }
+    }
+
+    /// Max epoch over the shards' published snapshots (all equal
+    /// outside a publish window).
+    pub fn epoch(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.store.load().epoch)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Graph generation of the published snapshots.
+    pub fn graph_gen(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.store.load().graph_gen)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Live result-cache entries, summed over shards.
+    pub fn cache_len(&self) -> usize {
+        self.shards.iter().map(|s| s.cache.len()).sum()
+    }
+
+    /// Total submission-queue depth, summed over shards.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.batcher.depth()).sum()
+    }
+
+    /// The shard owning `u` (out-of-range users route to shard 0 and
+    /// are rejected at validation).
+    fn owner_shard(&self, u: NodeId) -> usize {
+        if u.index() < self.nodes {
+            self.partition.owner(u) as usize
+        } else {
+            0
+        }
+    }
+
+    // ---- read path -----------------------------------------------
+
+    /// Answers one request synchronously.
+    pub fn call(&self, req: Request) -> Reply {
+        self.call_many(std::slice::from_ref(&req))
+            .pop()
+            .expect("one reply per request")
+    }
+
+    /// Answers a slice of requests synchronously, coalescing them into
+    /// `max_batch`-sized batches. Replies come back in request order.
+    pub fn call_many(&self, reqs: &[Request]) -> Vec<Reply> {
+        let mut replies = Vec::with_capacity(reqs.len());
+        for chunk in reqs.chunks(self.cfg.max_batch.max(1)) {
+            let traces = chunk.iter().map(|_| TraceCapture::begin()).collect();
+            replies.extend(self.answer_batch(chunk, traces));
+        }
+        replies
+    }
+
+    /// Enqueues a request on its owner shard's queue for the next
+    /// [`pump`](Self::pump), shedding immediately if that queue is at
+    /// capacity (the shed is charged to the owner shard).
+    pub fn submit(&self, req: Request, deadline: Option<Instant>) -> Result<Ticket, Reply> {
+        let s = self.owner_shard(req.user);
+        let r = self.shards[s]
+            .batcher
+            .submit(req, deadline, TraceCapture::begin());
+        if r.is_err() {
+            self.shards[s].shed.incr();
+            self.shards[s].shed_queue_full.incr();
+        }
+        r
+    }
+
+    /// Drains up to `max_batch` requests from every shard's queue
+    /// (shard id ascending), sheds the expired ones against their
+    /// owner shard, and answers the rest as one scattered batch.
+    /// Returns how many requests it answered.
+    pub fn pump(&self) -> usize {
+        let now = Instant::now();
+        let mut live: Vec<Pending> = Vec::new();
+        for shard in &self.shards {
+            for p in shard.batcher.drain(self.cfg.max_batch) {
+                if p.deadline.is_some_and(|d| now > d) {
+                    self.metrics.svc.shed.incr();
+                    self.metrics.svc.shed_deadline.incr();
+                    shard.shed.incr();
+                    shard.shed_deadline.incr();
+                    if let Some(cap) = p.trace {
+                        let queue_ns = u64::try_from(
+                            now.saturating_duration_since(cap.started_at()).as_nanos(),
+                        )
+                        .unwrap_or(u64::MAX);
+                        cap.finish(
+                            trace_meta(&p.req),
+                            TraceOutcome::ShedDeadline,
+                            LatencyParts {
+                                queue_ns,
+                                ..LatencyParts::default()
+                            },
+                        );
+                    }
+                    let _ = p.tx.send(Reply::Overloaded);
+                } else {
+                    live.push(p);
+                }
+            }
+        }
+        let total = live.len();
+        if total == 0 {
+            return total;
+        }
+        let reqs: Vec<Request> = live.iter().map(|p| p.req).collect();
+        let traces = live.iter_mut().map(|p| p.trace.take()).collect();
+        let replies = self.answer_batch(&reqs, traces);
+        for (p, reply) in live.into_iter().zip(replies) {
+            let _ = p.tx.send(reply);
+        }
+        total
+    }
+
+    /// Answers one batch: plan scatter sets against the pinned
+    /// snapshots, probe each scattered shard's cache, run the misses as
+    /// one `fui-exec` fan-out *over shards* (queries are serial within
+    /// a shard task — shards, not queries, are the unit of
+    /// parallelism, so the reduction order is width-invariant), then
+    /// merge per-shard partials through [`select_top_k`].
+    ///
+    /// A traced request's decomposition gains a `scatter` segment
+    /// (scatter planning + cross-shard merge); the parts still sum to
+    /// the recorded total exactly (assembly is the remainder).
+    fn answer_batch(&self, reqs: &[Request], traces: Vec<Option<TraceCapture>>) -> Vec<Reply> {
+        let started = Instant::now();
+        let _span = fui_obs::span!("service.request");
+        let snaps: Vec<Arc<Snapshot>> = self.shards.iter().map(|s| s.store.load()).collect();
+        let plan = Arc::clone(&self.plan.read().expect("scatter plan poisoned"));
+        let lo = snaps.iter().map(|s| s.epoch).min().unwrap_or(0);
+        let hi = snaps.iter().map(|s| s.epoch).max().unwrap_or(0);
+        self.metrics.svc.requests.add(reqs.len() as u64);
+        self.metrics.svc.batch_size.record(reqs.len() as u64);
+
+        let mut traces = traces;
+        let tracing = traces.iter().any(Option::is_some);
+        if tracing {
+            for cap in traces.iter_mut().flatten() {
+                cap.event(TraceEventKind::BatchJoin, reqs.len() as u64);
+                cap.event(TraceEventKind::SnapshotPin, hi);
+            }
+        }
+        let mut cache_ns = 0u64;
+        let mut compute_ns = 0u64;
+        let mut scatter_ns = 0u64;
+        let clock = |on: bool| if on { Some(Instant::now()) } else { None };
+        let lap = |t0: Option<Instant>, acc: &mut u64| {
+            if let Some(t0) = t0 {
+                *acc += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+        };
+
+        // Per-region lane accounting for the critical path: each
+        // parallel region (probe, explore, compose) contributes its
+        // lanes' total busy time and its slowest lane's. The batch's
+        // critical path is `elapsed − Σ busy + Σ per-region max` —
+        // what the batch costs on a host with `cores ≥ shards`, exact
+        // when the lanes ran serially (`FUI_THREADS=1`).
+        let mut lane_sum = 0u64;
+        let mut lane_max = 0u64;
+
+        // Phase 1: validate + scatter planning.
+        let mut replies: Vec<Option<Reply>> = (0..reqs.len()).map(|_| None).collect();
+        let mut scattered: Vec<Vec<usize>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let t0 = clock(tracing);
+        for (i, req) in reqs.iter().enumerate() {
+            if let Err(why) = validate(req, &snaps[0]) {
+                replies[i] = Some(Reply::Rejected(why));
+                continue;
+            }
+            let mask = plan.scatter(&snaps[0].graph, req.user, req.topic, lo, hi);
+            self.metrics.fanout.add(u64::from(mask.count_ones()));
+            for (s, shard) in self.shards.iter().enumerate() {
+                if mask & (1 << s) != 0 {
+                    shard.requests.incr();
+                    scattered[s].push(i);
+                }
+            }
+        }
+        lap(t0, &mut scatter_ns);
+
+        // Phase 2: per-shard cache probes — one parallel lane per
+        // scattered shard. Probing is lane work (stamp validation
+        // walks the met-landmark list), so the router never
+        // serializes it across shards.
+        let probe_shards: Vec<usize> = scattered
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(s, _)| s)
+            .collect();
+        let t0 = clock(tracing);
+        let probed: Vec<(Vec<Option<Arc<Vec<(NodeId, f64)>>>>, u64)> =
+            fui_exec::par_map(&probe_shards, |&s| {
+                let lane = Instant::now();
+                let shard = &self.shards[s];
+                let out: Vec<Option<Arc<Vec<(NodeId, f64)>>>> = scattered[s]
+                    .iter()
+                    .map(|&i| shard.cache.get(key_of(&reqs[i]), &snaps[s]))
+                    .collect();
+                let busy = u64::try_from(lane.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                shard.busy_ns.fetch_add(busy, Ordering::Relaxed);
+                (out, busy)
+            });
+        lane_sum += probed.iter().map(|p| p.1).sum::<u64>();
+        lane_max += probed.iter().map(|p| p.1).max().unwrap_or(0);
+
+        // One slot per (request, scattered shard), shard id ascending.
+        struct Slot {
+            shard: usize,
+            hit: bool,
+            value: Option<Arc<Vec<(NodeId, f64)>>>,
+        }
+        let mut slots: Vec<Vec<Slot>> = (0..reqs.len()).map(|_| Vec::new()).collect();
+        let mut tasks: Vec<(usize, Vec<usize>)> =
+            (0..self.shards.len()).map(|s| (s, Vec::new())).collect();
+        for (&s, (values, _)) in probe_shards.iter().zip(&probed) {
+            for (&i, value) in scattered[s].iter().zip(values) {
+                if value.is_none() {
+                    tasks[s].1.push(i);
+                }
+                slots[i].push(Slot {
+                    shard: s,
+                    hit: value.is_some(),
+                    value: value.clone(),
+                });
+            }
+        }
+        if tracing {
+            for i in 0..reqs.len() {
+                if replies[i].is_some() {
+                    continue;
+                }
+                let all_hit = slots[i].iter().all(|p| p.hit);
+                if let Some(cap) = traces[i].as_mut() {
+                    cap.event(TraceEventKind::CacheProbe, u64::from(all_hit));
+                }
+            }
+        }
+        lap(t0, &mut cache_ns);
+
+        // Phase 3: compute misses. Exploration never reads the
+        // candidate mask or the stored lists, and all slices of one
+        // index share the landmark mask and the graph `Arc` at a given
+        // generation (`build_slices`), so the router explores each
+        // missed query *once* per pinned generation (a staggered
+        // publish can pin shards at two generations mid-rotation) and
+        // every shard composes from the shared exploration — the
+        // redundancy that made a serial fleet cost `shards ×`
+        // exploration is gone. Exploration fans out over `shards`
+        // chunk lanes (a fleet's parallelism budget is its shard
+        // count); composition, stamping and cache inserts stay in the
+        // owning shard's lane.
+        let tasks: Vec<(usize, Vec<usize>)> =
+            tasks.into_iter().filter(|(_, v)| !v.is_empty()).collect();
+        if !tasks.is_empty() {
+            self.metrics
+                .queries
+                .add(tasks.iter().map(|(_, v)| v.len() as u64).sum());
+            if tracing {
+                for (_, idxs) in &tasks {
+                    for &i in idxs {
+                        if let Some(cap) = traces[i].as_mut() {
+                            cap.event(TraceEventKind::PropagateStart, idxs.len() as u64);
+                        }
+                    }
+                }
+            }
+            let t0 = clock(tracing);
+            // (generation, representative shard, missed queries).
+            let mut groups: Vec<(u64, usize, Vec<usize>)> = Vec::new();
+            for (s, idxs) in &tasks {
+                let gen = snaps[*s].graph_gen;
+                let g = match groups.iter().position(|(og, _, _)| *og == gen) {
+                    Some(g) => g,
+                    None => {
+                        groups.push((gen, *s, Vec::new()));
+                        groups.len() - 1
+                    }
+                };
+                groups[g].2.extend(idxs.iter().copied());
+            }
+            for (_, _, qs) in &mut groups {
+                qs.sort_unstable();
+                qs.dedup();
+            }
+            self.metrics
+                .explorations
+                .add(groups.iter().map(|(_, _, qs)| qs.len() as u64).sum());
+            let width = self.shards.len().max(1);
+            let chunks: Vec<(usize, &[usize])> = groups
+                .iter()
+                .enumerate()
+                .flat_map(|(g, (_, _, qs))| {
+                    let per = qs.len().div_ceil(width).max(1);
+                    qs.chunks(per).map(move |c| (g, c))
+                })
+                .collect();
+            let explorations: Vec<(Vec<Exploration>, u64)> =
+                fui_exec::par_map(&chunks, |(g, qs)| {
+                    let lane = Instant::now();
+                    let snap = &snaps[groups[*g].1];
+                    let propagator = snap.propagator();
+                    let mut rec = ApproxRecommender::new(&propagator, &snap.index);
+                    rec.explore_depth = self.cfg.explore_depth;
+                    let mut ws = self.workspaces.get_or(PropWorkspace::new);
+                    let out: Vec<Exploration> = qs
+                        .iter()
+                        .map(|&i| rec.explore_with(&mut ws, reqs[i].user, reqs[i].topic))
+                        .collect();
+                    drop(ws);
+                    let busy = u64::try_from(lane.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    (out, busy)
+                });
+            lane_sum += explorations.iter().map(|e| e.1).sum::<u64>();
+            lane_max += explorations.iter().map(|e| e.1).max().unwrap_or(0);
+            let mut ex_of: HashMap<(usize, u64), Exploration> =
+                HashMap::with_capacity(explorations.iter().map(|(v, _)| v.len()).sum());
+            for ((g, qs), (out, _)) in chunks.iter().zip(explorations) {
+                let gen = groups[*g].0;
+                for (&i, ex) in qs.iter().zip(out) {
+                    ex_of.insert((i, gen), ex);
+                }
+            }
+
+            let computed: Vec<(Vec<Arc<Vec<(NodeId, f64)>>>, u64)> =
+                fui_exec::par_map(&tasks, |(s, idxs)| {
+                    let lane = Instant::now();
+                    let snap = &snaps[*s];
+                    let propagator = snap.propagator();
+                    let mut rec = ApproxRecommender::new(&propagator, &snap.index);
+                    rec.explore_depth = self.cfg.explore_depth;
+                    rec.candidate_mask = Some(self.shards[*s].owned.as_slice());
+                    let results: Vec<Arc<Vec<(NodeId, f64)>>> = idxs
+                        .iter()
+                        .map(|&i| {
+                            let ex = &ex_of[&(i, snap.graph_gen)];
+                            let result = rec.compose_from(ex, reqs[i].topic, reqs[i].top_n);
+                            // Stamping and caching are shard-local
+                            // serving duties, so they run inside the
+                            // shard's lane: the router's serial section
+                            // stays planning and merges only.
+                            let met: Vec<(u32, u64)> = result
+                                .met_landmarks
+                                .iter()
+                                .map(|&l| {
+                                    let slot =
+                                        snap.index.slot_of(l).expect("met node is a landmark");
+                                    (slot, snap.slot_versions[slot as usize])
+                                })
+                                .collect();
+                            let value = Arc::new(result.recommendations);
+                            self.shards[*s].cache.insert(
+                                key_of(&reqs[i]),
+                                Arc::clone(&value),
+                                CacheStamp {
+                                    shard: *s as u32,
+                                    graph_gen: snap.graph_gen,
+                                    met,
+                                },
+                            );
+                            value
+                        })
+                        .collect();
+                    let busy = u64::try_from(lane.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.shards[*s].busy_ns.fetch_add(busy, Ordering::Relaxed);
+                    (results, busy)
+                });
+            lane_sum += computed.iter().map(|c| c.1).sum::<u64>();
+            lane_max += computed.iter().map(|c| c.1).max().unwrap_or(0);
+            lap(t0, &mut compute_ns);
+
+            // Phase 4: hand each fresh partial to its reply slot.
+            let t0 = clock(tracing);
+            for ((s, idxs), (results, _)) in tasks.iter().zip(computed) {
+                for (&i, value) in idxs.iter().zip(results) {
+                    let slot = slots[i]
+                        .iter_mut()
+                        .find(|slot| slot.shard == *s)
+                        .expect("scattered slot exists");
+                    slot.value = Some(value);
+                }
+            }
+            lap(t0, &mut cache_ns);
+        }
+
+        // Phase 5: cross-shard merge. Per-shard partials rank disjoint
+        // owned candidates, so `select_top_k`'s total order reassembles
+        // the unsharded answer exactly.
+        let t0 = clock(tracing);
+        for (i, req) in reqs.iter().enumerate() {
+            if replies[i].is_some() {
+                continue;
+            }
+            let parts = &slots[i];
+            let cached = parts.iter().all(|p| p.hit);
+            let filled = |p: &Slot| Arc::clone(p.value.as_ref().expect("slot filled"));
+            let recommendations = if parts.len() == 1 {
+                filled(&parts[0])
+            } else {
+                self.metrics.merges.incr();
+                Arc::new(select_top_k(
+                    req.top_n,
+                    parts
+                        .iter()
+                        .flat_map(|p| p.value.as_ref().expect("slot filled").iter().copied()),
+                ))
+            };
+            replies[i] = Some(Reply::Result(Served {
+                recommendations,
+                epoch: hi,
+                cached,
+            }));
+        }
+        lap(t0, &mut scatter_ns);
+
+        let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.crit_ns.fetch_add(
+            elapsed.saturating_sub(lane_sum) + lane_max,
+            Ordering::Relaxed,
+        );
+        for _ in reqs {
+            self.metrics.svc.request_latency.record(elapsed);
+        }
+        if tracing {
+            let assembly_ns = elapsed
+                .saturating_sub(cache_ns)
+                .saturating_sub(compute_ns)
+                .saturating_sub(scatter_ns);
+            for (i, cap) in traces.into_iter().enumerate() {
+                let Some(cap) = cap else { continue };
+                let outcome = match replies[i].as_ref() {
+                    Some(Reply::Result(s)) if s.cached => TraceOutcome::OkCached,
+                    Some(Reply::Result(_)) => TraceOutcome::Ok,
+                    _ => TraceOutcome::Rejected,
+                };
+                let queue_ns = u64::try_from(
+                    started
+                        .saturating_duration_since(cap.started_at())
+                        .as_nanos(),
+                )
+                .unwrap_or(u64::MAX);
+                cap.finish(
+                    trace_meta(&reqs[i]),
+                    outcome,
+                    LatencyParts {
+                        queue_ns,
+                        assembly_ns,
+                        compute_ns,
+                        cache_ns,
+                        scatter_ns,
+                    },
+                );
+            }
+        }
+        replies
+            .into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    // ---- write path ----------------------------------------------
+
+    /// Records one follow/unfollow. Identical semantics to the
+    /// unsharded [`record`](crate::Service::record) — one fleet-wide
+    /// staleness account, so answers stay shard-count-invariant — plus
+    /// shard routing: the change journals to its owner shard's WAL (to
+    /// both owners when the edge is cut) and bumps the owners'
+    /// staggered-rotation priority.
+    pub fn record(&self, change: EdgeChange) -> Result<(), String> {
+        let mut m = self.master.lock().expect("fleet master poisoned");
+        let n = m.graph.num_nodes() as u32;
+        if change.follower.0 >= n || change.followee.0 >= n {
+            return Err(format!("edge endpoints out of range (graph has {n} nodes)"));
+        }
+        if change.follower == change.followee {
+            return Err("self-follows are not representable".to_owned());
+        }
+        let seq = m.applied_seq + 1;
+        let a = self.partition.owner(change.follower) as usize;
+        let b = self.partition.owner(change.followee) as usize;
+        if let Some(sink) = m.durable.as_mut() {
+            sink.append_change(seq, change, a, b)
+                .map_err(|e| format!("journal append failed: {e}"))?;
+        }
+        m.applied_seq = seq;
+        self.apply_change_inner(&mut m, change);
+        Ok(())
+    }
+
+    fn apply_change_inner(&self, m: &mut FleetMaster, change: EdgeChange) {
+        let a = self.partition.owner(change.follower) as usize;
+        let b = self.partition.owner(change.followee) as usize;
+        self.shards[a].pending.fetch_add(1, Ordering::SeqCst);
+        if b != a {
+            self.shards[b].pending.fetch_add(1, Ordering::SeqCst);
+        }
+        let slots = m.dynamic.index().len();
+        let was: Vec<bool> = (0..slots).map(|s| m.dynamic.is_stale(s)).collect();
+        m.dynamic.record(&change);
+        m.pending.push(change);
+        let newly: Vec<usize> = (0..slots)
+            .filter(|&s| !was[s] && m.dynamic.is_stale(s))
+            .collect();
+        if !newly.is_empty() {
+            for s in newly {
+                m.slot_versions[s] += 1;
+            }
+            m.epoch += 1;
+            // The slices and the cut table are unchanged — only the
+            // plan's epoch stamp moves with this publish.
+            self.bump_plan_epoch(m.epoch);
+            self.publish_all(m, false);
+        }
+    }
+
+    /// Number of changes recorded but not yet rotated in (fleet-wide).
+    pub fn pending_changes(&self) -> usize {
+        self.master.lock().expect("fleet master poisoned").pending.len()
+    }
+
+    /// Applies all pending edge changes and republishes every shard —
+    /// staggered, busiest first. Same semantics as the unsharded
+    /// [`rotate`](crate::Service::rotate); the cut table is rebuilt for
+    /// the new edge set. Returns the new epoch.
+    pub fn rotate(&self) -> u64 {
+        let _span = fui_obs::span!("service.rotate");
+        let mut m = self.master.lock().expect("fleet master poisoned");
+        let seq = m.applied_seq + 1;
+        if let Some(sink) = m.durable.as_mut() {
+            sink.append_fleet(seq, &JournalOp::Rotate)
+                .expect("journal append failed");
+        }
+        m.applied_seq = seq;
+        let epoch = self.rotate_inner(&mut m);
+        if m.durable.is_some() {
+            self.persist_locked(&mut m).expect("snapshot write failed");
+        }
+        epoch
+    }
+
+    fn rotate_inner(&self, m: &mut FleetMaster) -> u64 {
+        self.metrics.svc.rotations.incr();
+        if !m.pending.is_empty() {
+            let next = apply_changes(&m.graph, &m.pending);
+            m.pending.clear();
+            m.graph = Arc::new(next);
+            m.authority = Arc::new(AuthorityIndex::build(&m.graph));
+            m.sim_rows = Arc::new(SimRowCache::build(&m.graph, &m.sim));
+        }
+        m.graph_gen += 1;
+        m.epoch += 1;
+        self.rebuild_plan(m, true);
+        self.publish_all(m, true);
+        m.epoch
+    }
+
+    /// Recomputes every stale landmark, re-slices the refreshed index
+    /// per shard and republishes — staggered, no fleet-wide pause.
+    /// Returns how many entries were refreshed.
+    pub fn refresh(&self) -> usize {
+        let _span = fui_obs::span!("service.refresh");
+        let mut m = self.master.lock().expect("fleet master poisoned");
+        let seq = m.applied_seq + 1;
+        if let Some(sink) = m.durable.as_mut() {
+            sink.append_fleet(seq, &JournalOp::Refresh)
+                .expect("journal append failed");
+        }
+        m.applied_seq = seq;
+        self.refresh_inner(&mut m)
+    }
+
+    fn refresh_inner(&self, m: &mut FleetMaster) -> usize {
+        let stale = m.dynamic.stale_slots();
+        if stale.is_empty() {
+            return 0;
+        }
+        let propagator = Propagator::with_sim_cache(
+            &m.graph,
+            &m.authority,
+            Arc::clone(&m.sim_rows),
+            m.params,
+            m.variant,
+        );
+        let refreshed = m.dynamic.refresh_stale(&propagator);
+        for &s in &stale {
+            m.slot_versions[s] += 1;
+        }
+        m.index = Arc::new(m.dynamic.index().clone());
+        m.slices = build_slices(&m.index, &self.partition);
+        m.epoch += 1;
+        self.rebuild_plan(m, false);
+        self.publish_all(m, false);
+        refreshed
+    }
+
+    /// Swaps in a plan rebuilt from the master's current slices; the
+    /// cut table is recomputed only when the graph moved (`rebuild_cut`
+    /// — rotations), otherwise the existing table is reused.
+    fn rebuild_plan(&self, m: &FleetMaster, rebuild_cut: bool) {
+        let (cut, cut_edges) = if rebuild_cut {
+            let cut = Arc::new(self.partition.cut_table(&m.graph));
+            let cut_edges = self.partition.cut_edges_in(&m.graph);
+            self.metrics.cut_edges.add(cut_edges);
+            (cut, cut_edges)
+        } else {
+            let old = self.plan.read().expect("scatter plan poisoned");
+            (Arc::clone(&old.cut), old.cut_edges)
+        };
+        let plan = ScatterPlan::build(
+            m.epoch,
+            cut,
+            cut_edges,
+            &m.slices,
+            self.cfg.explore_depth > 2,
+        );
+        *self.plan.write().expect("scatter plan poisoned") = Arc::new(plan);
+    }
+
+    fn bump_plan_epoch(&self, epoch: u64) {
+        let mut w = self.plan.write().expect("scatter plan poisoned");
+        *w = Arc::new(ScatterPlan {
+            epoch,
+            cut: Arc::clone(&w.cut),
+            cut_edges: w.cut_edges,
+            all: w.all,
+            topic: w.topic.clone(),
+            topo: w.topo,
+            deep: w.deep,
+        });
+    }
+
+    /// Publishes every shard's snapshot for the master's current state,
+    /// staggered: shards with the most recorded-but-unrotated changes
+    /// publish first (ties toward the lowest id), one atomic pointer
+    /// swap each, never a fleet-wide pause. `reset_pending` (rotations)
+    /// clears each shard's counter as its publish lands.
+    fn publish_all(&self, m: &FleetMaster, reset_pending: bool) {
+        let mut order: Vec<usize> = (0..self.shards.len()).collect();
+        order.sort_by_key(|&s| (Reverse(self.shards[s].pending.load(Ordering::SeqCst)), s));
+        for s in order {
+            self.shards[s].store.publish(m.shard_snapshot(s));
+            self.shards[s].epoch_gauge.set(m.epoch as f64);
+            if reset_pending {
+                self.shards[s].pending.store(0, Ordering::SeqCst);
+            }
+        }
+    }
+
+    // ---- durability ----------------------------------------------
+
+    /// Replays merged journal records into the fleet master. Identical
+    /// semantics to the unsharded replay (skip at-or-below
+    /// `applied_seq`, reject changes that no longer validate, never
+    /// re-journal); returns how many records were applied.
+    pub fn apply_journal(&self, records: &[JournalRecord]) -> usize {
+        let mut m = self.master.lock().expect("fleet master poisoned");
+        let mut applied = 0;
+        for r in records {
+            if r.seq <= m.applied_seq {
+                continue;
+            }
+            m.applied_seq = r.seq;
+            match r.op {
+                JournalOp::Change(change) => {
+                    let n = m.graph.num_nodes() as u32;
+                    if change.follower.0 >= n
+                        || change.followee.0 >= n
+                        || change.follower == change.followee
+                    {
+                        fui_obs::counter("snapshot.persist.replay_rejected").incr();
+                        continue;
+                    }
+                    self.apply_change_inner(&mut m, change);
+                }
+                JournalOp::Rotate => {
+                    self.rotate_inner(&mut m);
+                }
+                JournalOp::Refresh => {
+                    self.refresh_inner(&mut m);
+                }
+            }
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Writes a fleet snapshot (atomic temp-file + rename) and prunes
+    /// old ones. Errors with `Unsupported` on a non-durable fleet.
+    pub fn persist(&self) -> std::io::Result<(u64, usize)> {
+        let mut m = self.master.lock().expect("fleet master poisoned");
+        self.persist_locked(&mut m)
+    }
+
+    fn persist_locked(&self, m: &mut FleetMaster) -> std::io::Result<(u64, usize)> {
+        let Some(dir) = m.durable.as_ref().map(|s| s.dir.clone()) else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "service is not durable",
+            ));
+        };
+        let state = m.snapshot_state();
+        let (_, bytes) = durable::write_snapshot_atomic(&dir, &state)?;
+        prune_snapshots(&dir);
+        Ok((state.applied_seq, bytes))
+    }
+
+    /// Dry-run warm restart against this fleet's own durability
+    /// directory (nothing on disk is touched); reports the `(epoch,
+    /// graph_gen, applied_seq)` a restored twin would reach.
+    pub fn restore_probe(&self) -> Result<(u64, u64, u64), String> {
+        let (dir, sim) = {
+            let m = self.master.lock().expect("fleet master poisoned");
+            let Some(sink) = m.durable.as_ref() else {
+                return Err("service is not durable".to_owned());
+            };
+            (sink.dir.clone(), m.sim.clone())
+        };
+        let probe = ShardedService::restore_inner(&dir, sim, self.cfg, self.spec(), false)
+            .map_err(|e| e.to_string())?;
+        let applied = probe.applied_seq();
+        Ok((probe.epoch(), probe.graph_gen(), applied))
+    }
+
+    /// Journal position of the last applied mutation.
+    pub fn applied_seq(&self) -> u64 {
+        self.master.lock().expect("fleet master poisoned").applied_seq
+    }
+
+    /// Whether this fleet journals and snapshots to disk.
+    pub fn is_durable(&self) -> bool {
+        self.master
+            .lock()
+            .expect("fleet master poisoned")
+            .durable
+            .is_some()
+    }
+
+    // ---- introspection -------------------------------------------
+
+    /// Fleet-wide SLO checkpoint (the latency and shed arms run on the
+    /// same `service.*` series the unsharded service uses).
+    pub fn slo(&self) -> SloReport {
+        self.metrics.svc.slo.observe()
+    }
+
+    /// The `n` slowest recently traced requests, slowest first.
+    pub fn trace_slowest(&self, n: usize) -> Vec<RequestTrace> {
+        fui_obs::trace::slowest(n)
+    }
+
+    /// Point-in-time fleet status: partitioner identity, current cut
+    /// size, one row per shard.
+    pub fn status(&self) -> FleetStatus {
+        FleetStatus {
+            strategy: self.partition.strategy().as_str(),
+            cut_edges: self.plan.read().expect("scatter plan poisoned").cut_edges,
+            crit_ns: self.crit_ns.load(Ordering::Relaxed),
+            shards: self.shards.iter().map(|s| s.status()).collect(),
+        }
+    }
+}

@@ -106,7 +106,7 @@ impl Default for ServiceConfig {
 /// How many snapshot files a durable service keeps on disk. More than
 /// one, so a torn newest file always has an older valid fallback
 /// (replayed forward through the journal).
-const KEEP_SNAPSHOTS: usize = 4;
+pub(crate) const KEEP_SNAPSHOTS: usize = 4;
 
 /// Why a warm restart could not produce a service.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -173,6 +173,7 @@ struct Master {
 impl Master {
     fn snapshot(&self) -> Snapshot {
         Snapshot {
+            shard: 0,
             epoch: self.epoch,
             graph_gen: self.graph_gen,
             slot_versions: self.slot_versions.clone(),
@@ -210,19 +211,21 @@ impl Master {
 }
 
 /// `service.*` handles resolved once at construction — the request
-/// hot path never takes the registry's name-lookup lock.
-struct ServiceMetrics {
-    requests: Counter,
-    shed: Counter,
-    shed_deadline: Counter,
-    rotations: Counter,
-    batch_size: Hist,
-    request_latency: Hist,
-    slo: SloTracker,
+/// hot path never takes the registry's name-lookup lock. Shared with
+/// the sharded router (same metric names, so dashboards and the bench
+/// gate see one serving surface either way).
+pub(crate) struct ServiceMetrics {
+    pub(crate) requests: Counter,
+    pub(crate) shed: Counter,
+    pub(crate) shed_deadline: Counter,
+    pub(crate) rotations: Counter,
+    pub(crate) batch_size: Hist,
+    pub(crate) request_latency: Hist,
+    pub(crate) slo: SloTracker,
 }
 
 impl ServiceMetrics {
-    fn new() -> ServiceMetrics {
+    pub(crate) fn new() -> ServiceMetrics {
         let requests = fui_obs::counter("service.requests");
         let shed = fui_obs::counter("service.shed");
         let request_latency = fui_obs::hist("service.request_latency");
@@ -678,6 +681,7 @@ impl Service {
                         key_of(&reqs[i]),
                         Arc::clone(&value),
                         CacheStamp {
+                            shard: snap.shard,
                             graph_gen: snap.graph_gen,
                             met,
                         },
@@ -719,6 +723,7 @@ impl Service {
                         assembly_ns,
                         compute_ns,
                         cache_ns,
+                        scatter_ns: 0,
                     },
                 );
             }
@@ -973,12 +978,43 @@ impl Service {
     pub fn trace_slowest(&self, n: usize) -> Vec<RequestTrace> {
         fui_obs::trace::slowest(n)
     }
+
+    /// The unsharded engine viewed as a one-shard fleet — what the
+    /// line-protocol `SHARDS` verb renders when the backend is a plain
+    /// service. Edge mass follows the partitioner's convention (every
+    /// edge charged to both endpoint owners — here the same shard).
+    pub fn fleet_status(&self) -> crate::shard::FleetStatus {
+        let snap = self.store.load();
+        let slo = self.metrics.slo.observe();
+        crate::shard::FleetStatus {
+            strategy: "unsharded",
+            cut_edges: 0,
+            crit_ns: 0,
+            shards: vec![crate::shard::ShardStatus {
+                id: 0,
+                epoch: snap.epoch,
+                graph_gen: snap.graph_gen,
+                queue_depth: self.batcher.depth(),
+                pending_changes: self.pending_changes() as u64,
+                busy_ns: 0,
+                cache_entries: self.cache.len(),
+                owned_nodes: snap.graph.num_nodes(),
+                edge_mass: 2 * snap.graph.num_edges() as u64,
+                requests: self.metrics.requests.get(),
+                shed: self.metrics.shed.get(),
+                shed_queue_full: fui_obs::counter("service.shed.queue_full").get(),
+                shed_deadline: self.metrics.shed_deadline.get(),
+                latency_burn: slo.latency_burn,
+                shed_burn: slo.shed_burn,
+            }],
+        }
+    }
 }
 
 /// Best-effort retention: keep the newest [`KEEP_SNAPSHOTS`] snapshot
 /// files, delete the rest. The journal is never truncated here, so any
 /// surviving snapshot plus the journal reaches the present state.
-fn prune_snapshots(dir: &Path) {
+pub(crate) fn prune_snapshots(dir: &Path) {
     if let Ok(found) = durable::list_snapshots(dir) {
         for (_, path) in found.into_iter().skip(KEEP_SNAPSHOTS) {
             let _ = std::fs::remove_file(path);
@@ -986,7 +1022,7 @@ fn prune_snapshots(dir: &Path) {
     }
 }
 
-fn key_of(req: &Request) -> CacheKey {
+pub(crate) fn key_of(req: &Request) -> CacheKey {
     CacheKey {
         user: req.user.0,
         topic: req.topic.index() as u8,
@@ -994,7 +1030,7 @@ fn key_of(req: &Request) -> CacheKey {
     }
 }
 
-fn validate(req: &Request, snap: &Snapshot) -> Result<(), String> {
+pub(crate) fn validate(req: &Request, snap: &Snapshot) -> Result<(), String> {
     if req.user.index() >= snap.graph.num_nodes() {
         return Err(format!(
             "unknown user {} (graph has {} nodes)",

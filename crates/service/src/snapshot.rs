@@ -29,6 +29,12 @@ use fui_taxonomy::TopicSet;
 
 /// One immutable, queryable publication of the serving state.
 pub struct Snapshot {
+    /// Which shard published this snapshot (0 on an unsharded
+    /// [`crate::Service`]). Cache stamps carry the same id, so an
+    /// entry computed on one shard can never validate against another
+    /// shard's slot-version vector — slot indices are only unique
+    /// within one shard once the store is partitioned.
+    pub shard: u32,
     /// Monotone publication counter (every publish bumps it).
     pub epoch: u64,
     /// Graph generation: bumped by [`crate::Service::rotate`] only.

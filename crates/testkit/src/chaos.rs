@@ -24,10 +24,10 @@
 
 use std::path::{Path, PathBuf};
 
-use fui_graph::NodeId;
+use fui_graph::{NodeId, PartitionStrategy};
 use fui_landmarks::EdgeChange;
 use fui_service::durable;
-use fui_service::{Reply, Request, Service, ServiceConfig};
+use fui_service::{Reply, Request, Service, ServiceConfig, ShardSpec, ShardedService};
 use fui_taxonomy::{SimMatrix, Topic};
 
 use crate::gen::{gen_topicset, GraphCase};
@@ -328,6 +328,197 @@ fn run_case(
         )));
     }
     Ok(())
+}
+
+// ---- sharded fleet crash recovery ------------------------------------
+
+/// A fresh durable 2-shard fleet over `case` rooted at `dir` — same
+/// landmarks, score parameters and [`chaos_cfg`] as
+/// [`durable_service`], partition strategy alternating by seed parity.
+pub fn durable_fleet(case: &GraphCase, dir: &Path) -> ShardedService {
+    let graph = case.graph();
+    let n = graph.num_nodes();
+    let landmarks: Vec<NodeId> = graph.nodes().step_by(3).collect();
+    ShardedService::with_durability(
+        graph,
+        SimMatrix::opencalais(),
+        fui_core::ScoreParams {
+            alpha: 0.8,
+            beta: 0.25,
+            tolerance: 1e-300,
+            max_depth: 64,
+        },
+        fui_core::ScoreVariant::Full,
+        landmarks,
+        n,
+        chaos_cfg(),
+        write_spec(case),
+        dir,
+    )
+    .expect("durable fleet build")
+}
+
+/// The spec the dying fleet writes under.
+fn write_spec(case: &GraphCase) -> ShardSpec {
+    let strategy = if case.seed % 2 == 0 {
+        PartitionStrategy::Hash
+    } else {
+        PartitionStrategy::DegreeAware
+    };
+    ShardSpec::new(2, strategy)
+}
+
+/// Applies one op to a fleet; returns the reply fingerprint for
+/// queries.
+fn apply_fleet_op(flt: &ShardedService, op: &Op) -> Option<Vec<u64>> {
+    match op {
+        Op::Query(req) => Some(fingerprint(&flt.call(*req))),
+        Op::Change(c) => {
+            flt.record(*c).expect("script changes are valid");
+            None
+        }
+        Op::Rotate => {
+            flt.rotate();
+            None
+        }
+        Op::Refresh => {
+            flt.refresh();
+            None
+        }
+    }
+}
+
+/// The sharded chaos invariant: a durable 2-shard fleet is killed at a
+/// seeded op index — sometimes with a partial record stuck on the
+/// fleet journal or on one *shard's* WAL tail (the cut-edge dual-write
+/// side) — warm-restarted, and every post-recovery reply must be
+/// bit-identical to an uninterrupted 2-shard twin. Half the cases
+/// restore under a *different* shard spec (1–4 shards, the other
+/// strategy): the partition is re-derived from the restored graph, so
+/// the re-spec must be answer-invisible too.
+pub fn check_fleet_crash_recovery_matches_twin(case: &GraphCase) -> Result<(), String> {
+    if case.num_nodes < 2 {
+        return Ok(());
+    }
+    let mut rng = SeededRng::new(case.seed.rotate_left(41));
+    let ops = gen_ops(case, &mut rng);
+    let kill_op = 1 + rng.below((ops.len() - 2) as u64) as usize;
+    let mangle = rng.below(3); // 0 clean, 1 torn shard WAL, 2 torn fleet WAL
+    let mangle_roll = rng.u64();
+    let write = write_spec(case);
+    let restore_spec = if rng.below(2) == 0 {
+        write
+    } else {
+        let other = match write.strategy {
+            PartitionStrategy::Hash => PartitionStrategy::DegreeAware,
+            PartitionStrategy::DegreeAware => PartitionStrategy::Hash,
+        };
+        ShardSpec::new(1 + rng.below(4) as usize, other)
+    };
+
+    let twin_dir = scratch_dir(case, "fleet-twin");
+    let victim_dir = scratch_dir(case, "fleet-victim");
+    let _ = std::fs::remove_dir_all(&twin_dir);
+    let _ = std::fs::remove_dir_all(&victim_dir);
+    let result = (|| -> Result<(), String> {
+        let ctx = |what: &str| {
+            format!(
+                "{what} (kill_op={kill_op}, mangle={mangle}, restore \
+                 {}x{}, {})",
+                restore_spec.shards,
+                restore_spec.strategy.as_str(),
+                case.repro()
+            )
+        };
+
+        let twin = durable_fleet(case, &twin_dir);
+        let mut twin_tail = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let fp = apply_fleet_op(&twin, op);
+            if i >= kill_op {
+                if let Some(fp) = fp {
+                    twin_tail.push(fp);
+                }
+            }
+        }
+
+        let victim = durable_fleet(case, &victim_dir);
+        for op in &ops[..kill_op] {
+            apply_fleet_op(&victim, op);
+        }
+        drop(victim);
+
+        match mangle {
+            0 => {}
+            torn => {
+                // A partial record on a journal tail — either a seeded
+                // shard's WAL (1) or the fleet journal (2); warm start
+                // must drop the never-acknowledged bytes.
+                let partial = durable::encode_record(u64::MAX, &durable::JournalOp::Rotate);
+                let cut = 1 + (mangle_roll as usize) % (partial.len() - 1);
+                let path = if torn == 1 {
+                    let s = mangle_roll % u64::from(write.shards as u32);
+                    victim_dir
+                        .join(format!("shard-{s:04}"))
+                        .join(durable::JOURNAL_FILE)
+                } else {
+                    victim_dir.join(durable::JOURNAL_FILE)
+                };
+                use std::io::Write;
+                let mut f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .map_err(|e| ctx(&format!("open {}: {e}", path.display())))?;
+                f.write_all(&partial[..cut])
+                    .map_err(|e| ctx(&format!("tear journal: {e}")))?;
+            }
+        }
+
+        let restored =
+            ShardedService::restore(&victim_dir, SimMatrix::opencalais(), chaos_cfg(), restore_spec)
+                .map_err(|e| ctx(&format!("restore failed: {e}")))?;
+
+        let mut victim_tail = Vec::new();
+        for op in &ops[kill_op..] {
+            if let Some(fp) = apply_fleet_op(&restored, op) {
+                victim_tail.push(fp);
+            }
+        }
+        if victim_tail != twin_tail {
+            return Err(ctx(&format!(
+                "post-recovery fleet replies diverged from the twin: \
+                 {victim_tail:?} vs {twin_tail:?}"
+            )));
+        }
+        if twin.epoch() != restored.epoch() || twin.graph_gen() != restored.graph_gen() {
+            return Err(ctx(&format!(
+                "final publication diverged: twin epoch={} gen={}, victim \
+                 epoch={} gen={}",
+                twin.epoch(),
+                twin.graph_gen(),
+                restored.epoch(),
+                restored.graph_gen()
+            )));
+        }
+        if twin.applied_seq() != restored.applied_seq() {
+            return Err(ctx(&format!(
+                "journal position diverged: twin {}, victim {}",
+                twin.applied_seq(),
+                restored.applied_seq()
+            )));
+        }
+        if twin.pending_changes() != restored.pending_changes() {
+            return Err(ctx(&format!(
+                "pending queue diverged: twin {}, victim {}",
+                twin.pending_changes(),
+                restored.pending_changes()
+            )));
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&twin_dir);
+    let _ = std::fs::remove_dir_all(&victim_dir);
+    result
 }
 
 // ---- corrupt snapshot fixture builders -------------------------------

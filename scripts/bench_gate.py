@@ -65,6 +65,18 @@ driver writes with `--manifest`:
            by at least --min-speedup (default 5x: a warm restart that
            rebuilds from scratch is not a warm restart).
 
+  shard    Gate the shard_micro sharded-serving cell: every
+           single/fleet counter pair (answered, bit-exact answer
+           checksum, epoch) must be exactly equal — partitioning the
+           recommender may never change an answer — the tracked
+           routing counters (scatter fan-out, per-shard queries,
+           merges, cut edges) must equal the committed baseline
+           exactly, the graph must reach --min-nodes, and the
+           shard_micro.drive_single span must be at least
+           --min-speedup times the shard_micro.drive_fleet span
+           (default 1.5x: a fleet that does not beat one shard is
+           not a fleet).
+
   selftest Run the gate's own pure-python test suite (no manifests on
            disk needed). CI's lint job runs this so a broken gate
            fails loudly instead of waving regressions through.
@@ -180,6 +192,45 @@ WARMSTART_COUNTER_PAIRS = [
     ("warmstart.cold_epoch", "warmstart.warm_epoch"),
     ("warmstart.cold_gen", "warmstart.warm_gen"),
     ("warmstart.cold_seq", "warmstart.warm_seq"),
+]
+
+# Single/fleet counter pairs the shard gate pins to exact equality:
+# the partitioned fleet must answer bit-identically to one shard.
+SHARD_COUNTER_PAIRS = [
+    ("shard_micro.single.answered", "shard_micro.fleet.answered"),
+    ("shard_micro.single.checksum_bits", "shard_micro.fleet.checksum_bits"),
+    ("shard_micro.single.epoch", "shard_micro.fleet.epoch"),
+]
+
+# Deterministic counters of the shard_micro cell pinned against the
+# committed baseline. The routing counters (fan-out, per-shard query
+# placement, merges, cut edges) are a function of the partition and
+# the scatter plan only, so any drift means the router changed
+# behaviour.
+SHARD_TRACKED_COUNTERS = [
+    "shard_micro.nodes",
+    "shard_micro.edges",
+    "shard_micro.cut_edges",
+    "shard_micro.rounds",
+    "shard_micro.rotations",
+    "shard_micro.single.answered",
+    "shard_micro.single.checksum_bits",
+    "shard_micro.fleet.answered",
+    "shard_micro.fleet.checksum_bits",
+    "shard_micro.single.shard_queries",
+    "shard_micro.single.explorations",
+    "shard_micro.single.fanout",
+    "shard_micro.single.merges",
+    "shard_micro.fleet.shard_queries",
+    "shard_micro.fleet.explorations",
+    "shard_micro.fleet.fanout",
+    "shard_micro.fleet.merges",
+]
+
+# shard_micro spans under the wall-time regression check.
+SHARD_TRACKED_SPANS = [
+    "shard_micro.drive_single",
+    "shard_micro.drive_fleet",
 ]
 
 # Memory-story gauges the large gate requires in the fresh manifest.
@@ -363,9 +414,10 @@ def cmd_trace(args):
             f"counter trace.committed: counters-only run wrote {leaked} "
             f"ring records (tracing must be inert below FUI_OBS=full)"
         )
-    # Decomposition sanity over the manifest's trace summary: the four
+    # Decomposition sanity over the manifest's trace summary: the five
     # latency parts of each slowest-trace entry must sum to its
-    # end-to-end total within 1%.
+    # end-to-end total within 1% (scatter_ns is 0 on the unsharded
+    # backend; the scatter/gather router fills it in).
     slowest = traced.get("trace", {}).get("slowest", [])
     if not slowest:
         failures.append(
@@ -375,7 +427,7 @@ def cmd_trace(args):
         total = int(entry.get("total_ns", 0))
         parts = sum(
             int(entry.get(k, 0))
-            for k in ("queue_ns", "assembly_ns", "compute_ns", "cache_ns")
+            for k in ("queue_ns", "assembly_ns", "compute_ns", "cache_ns", "scatter_ns")
         )
         if abs(parts - total) > max(total // 100, 1):
             failures.append(
@@ -465,6 +517,85 @@ def warmstart_failures(fresh, *, min_speedup=5.0, min_nodes=1_000_000):
                 f"< required {min_speedup:.1f}x"
             )
     return failures
+
+
+def shard_failures(
+    fresh,
+    baseline,
+    *,
+    time_tolerance=50.0,
+    no_time=False,
+    min_speedup=1.5,
+    min_nodes=1_000_000,
+):
+    """Gate messages for the shard_micro cell (pure, testable). The
+    cell drives a single-shard fleet and a partitioned fleet in one
+    process and reports them as paired counters + two drive spans."""
+    failures = diff_counters(
+        baseline, fresh, "baseline", "fresh", names=SHARD_TRACKED_COUNTERS
+    )
+    if not no_time:
+        failures += span_drift(baseline, fresh, SHARD_TRACKED_SPANS, time_tolerance)
+    for single, fleet in SHARD_COUNTER_PAIRS:
+        vs, vf = counter(fresh, single), counter(fresh, fleet)
+        if vs is None or vf is None:
+            missing = single if vs is None else fleet
+            failures.append(f"counter {missing}: missing from manifest")
+        elif vs != vf:
+            failures.append(
+                f"fleet diverged: {single}={vs} {fleet}={vf} "
+                "(the partitioned fleet must answer bit-identically)"
+            )
+    answered = counter(fresh, "shard_micro.single.answered")
+    if answered is not None and answered <= 0:
+        failures.append("shard_micro.single.answered = 0: the cell answered nothing")
+    nodes = counter(fresh, "shard_micro.nodes")
+    if nodes is None:
+        failures.append("counter shard_micro.nodes: missing from manifest")
+    elif nodes < min_nodes:
+        failures.append(
+            f"shard_micro.nodes = {nodes} below the paper-scale floor of "
+            f"{min_nodes} — the cell is no longer testing the table5 graph"
+        )
+    single_ms = span_total_ms(fresh, "shard_micro.drive_single")
+    fleet_ms = span_total_ms(fresh, "shard_micro.drive_fleet")
+    if single_ms is None or fleet_ms is None:
+        missing = (
+            "shard_micro.drive_single" if single_ms is None else "shard_micro.drive_fleet"
+        )
+        failures.append(f"span {missing}: missing from manifest")
+    elif fleet_ms <= 0:
+        failures.append(f"span shard_micro.drive_fleet: total is {fleet_ms} ms")
+    else:
+        ratio = single_ms / fleet_ms
+        if ratio < min_speedup:
+            failures.append(
+                f"fleet only {ratio:.2f}x faster than one shard "
+                f"({single_ms:.1f} ms vs {fleet_ms:.1f} ms) "
+                f"< required {min_speedup:.1f}x"
+            )
+    return failures
+
+
+def cmd_shard(args):
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = shard_failures(
+        fresh,
+        baseline,
+        time_tolerance=args.time_tolerance,
+        no_time=args.no_time,
+        min_speedup=args.min_speedup,
+        min_nodes=args.min_nodes,
+    )
+    single_ms = span_total_ms(fresh, "shard_micro.drive_single")
+    fleet_ms = span_total_ms(fresh, "shard_micro.drive_fleet")
+    if single_ms is not None and fleet_ms:
+        print(
+            f"bench_gate shard: single {single_ms:.1f} ms / "
+            f"fleet {fleet_ms:.1f} ms = {single_ms / fleet_ms:.2f}x"
+        )
+    report("shard", failures, f"{args.fresh} vs {args.baseline}")
 
 
 def cmd_warmstart(args):
@@ -618,6 +749,54 @@ def _warmstart_manifest(**overrides):
     return manifest
 
 
+def _shard_manifest(**overrides):
+    """A synthetic but structurally complete shard_micro manifest."""
+    manifest = {
+        "params": {"exec_threads": 4},
+        "counters": {
+            "shard_micro.nodes": 1_000_000,
+            "shard_micro.edges": 8_000_000,
+            "shard_micro.cut_edges": 6_000_000,
+            "shard_micro.rounds": 3,
+            "shard_micro.rotations": 4,
+            "shard_micro.single.answered": 6144,
+            "shard_micro.single.checksum_bits": 4612248968393252864,
+            "shard_micro.single.epoch": 2,
+            "shard_micro.fleet.answered": 6144,
+            "shard_micro.fleet.checksum_bits": 4612248968393252864,
+            "shard_micro.fleet.epoch": 2,
+            "shard_micro.single.shard_queries": 5471,
+            "shard_micro.single.explorations": 5471,
+            "shard_micro.single.fanout": 6144,
+            "shard_micro.single.merges": 0,
+            "shard_micro.fleet.shard_queries": 24576,
+            "shard_micro.fleet.explorations": 6144,
+            "shard_micro.fleet.fanout": 24576,
+            "shard_micro.fleet.merges": 6144,
+        },
+        "gauges": {},
+        "spans": [
+            {"path": "shard_micro.datagen", "count": 1, "total_ms": 900.0},
+            {"path": "shard_micro.drive_single", "count": 3, "total_ms": 3000.0},
+            {"path": "shard_micro.drive_fleet", "count": 3, "total_ms": 1200.0},
+        ],
+    }
+    for key, value in overrides.items():
+        section, name = key.split("/", 1)
+        if section == "spans":
+            if value is None:
+                manifest["spans"] = [s for s in manifest["spans"] if s["path"] != name]
+            else:
+                for span in manifest["spans"]:
+                    if span["path"] == name:
+                        span["total_ms"] = value
+        elif value is None:
+            manifest[section].pop(name, None)
+        else:
+            manifest[section][name] = value
+    return manifest
+
+
 def cmd_selftest(_args):
     """Pure-python checks of the gate's own comparison logic."""
     checks = 0
@@ -744,6 +923,82 @@ def cmd_selftest(_args):
         any("paper-scale floor" in f for f in warmstart_failures(ws_small)),
         "sub-1M warmstart graph must fail the floor",
     )
+
+    # Shard: identical single/fleet pairs at a 2.5x ratio pass cleanly.
+    sh_base = _shard_manifest()
+    expect(
+        shard_failures(_shard_manifest(), sh_base) == [],
+        "clean shard run must pass",
+    )
+
+    # Any single/fleet pair divergence fails — partitioning may never
+    # change an answer, checksum included.
+    sh_drift = _shard_manifest(**{"counters/shard_micro.fleet.checksum_bits": 1})
+    expect(
+        any("diverged" in f and "checksum_bits" in f for f in shard_failures(sh_drift, sh_drift)),
+        "fleet checksum drift must fail",
+    )
+    sh_epoch = _shard_manifest(**{"counters/shard_micro.fleet.epoch": 3})
+    expect(
+        any("diverged" in f and "epoch" in f for f in shard_failures(sh_epoch, sh_epoch)),
+        "fleet epoch drift must fail",
+    )
+
+    # Routing-counter drift against the baseline is caught.
+    sh_route = _shard_manifest(**{"counters/shard_micro.fleet.fanout": 9999})
+    expect(
+        any("fanout" in f for f in shard_failures(sh_route, sh_base)),
+        "fan-out drift vs baseline must fail",
+    )
+    sh_gone = _shard_manifest(**{"counters/shard_micro.fleet.merges": None})
+    expect(
+        any("merges" in f and "missing" in f for f in shard_failures(sh_gone, sh_base)),
+        "missing routing counter must fail",
+    )
+
+    # The speedup floor: a slow fleet drive or a missing span fails.
+    sh_slow = _shard_manifest(**{"spans/shard_micro.drive_fleet": 2500.0})
+    expect(
+        any("faster than one shard" in f for f in shard_failures(sh_slow, sh_slow)),
+        "sub-1.5x fleet drive must fail",
+    )
+    sh_no_span = _shard_manifest(**{"spans/shard_micro.drive_fleet": None})
+    expect(
+        any("span shard_micro.drive_fleet" in f and "missing" in f
+            for f in shard_failures(sh_no_span, sh_no_span)),
+        "missing drive_fleet span must fail",
+    )
+
+    # The paper-scale floor applies to shard_micro too.
+    sh_small = _shard_manifest(**{"counters/shard_micro.nodes": 10_000})
+    sh_small_base = _shard_manifest(**{"counters/shard_micro.nodes": 10_000})
+    expect(
+        any("paper-scale floor" in f for f in shard_failures(sh_small, sh_small_base)),
+        "sub-1M shard graph must fail the floor",
+    )
+
+    # Trace decomposition counts scatter_ns: a scatter-heavy entry
+    # whose other four parts alone fall 1% short must still pass.
+    parts_entry = {
+        "id": "t1",
+        "total_ns": 1_000_000,
+        "queue_ns": 100_000,
+        "assembly_ns": 100_000,
+        "compute_ns": 500_000,
+        "cache_ns": 100_000,
+        "scatter_ns": 200_000,
+    }
+    total = int(parts_entry["total_ns"])
+    five = sum(
+        int(parts_entry.get(k, 0))
+        for k in ("queue_ns", "assembly_ns", "compute_ns", "cache_ns", "scatter_ns")
+    )
+    expect(abs(five - total) <= max(total // 100, 1), "five-part trace sum must balance")
+    four = sum(
+        int(parts_entry.get(k, 0))
+        for k in ("queue_ns", "assembly_ns", "compute_ns", "cache_ns")
+    )
+    expect(abs(four - total) > max(total // 100, 1), "four-part sum alone drifts")
 
     print(f"bench_gate selftest OK ({checks} checks)")
 
@@ -913,6 +1168,42 @@ def main():
         help="minimum graph size the cell must build (default 1000000)",
     )
     warmstart.set_defaults(func=cmd_warmstart)
+
+    shard = sub.add_parser(
+        "shard",
+        help="gate the sharded-serving cell: the 4-shard fleet answers "
+        "bit-identically and its critical path beats one shard",
+    )
+    shard.add_argument("--fresh", required=True, help="BENCH_shard_micro.json")
+    shard.add_argument(
+        "--baseline", required=True, help="committed BENCH_shard_micro.json"
+    )
+    shard.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=50.0,
+        help="allowed drive-span drift vs the baseline, percent (default 50)",
+    )
+    shard.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.5,
+        help="the single-shard drive span must be at least this many "
+        "times the fleet drive span (default 1.5)",
+    )
+    shard.add_argument(
+        "--min-nodes",
+        type=int,
+        default=1_000_000,
+        help="minimum graph size the cell must build (default 1000000)",
+    )
+    shard.add_argument(
+        "--no-time",
+        action="store_true",
+        help="skip the drive-span drift check (counters and the speedup "
+        "floor still apply)",
+    )
+    shard.set_defaults(func=cmd_shard)
 
     selftest = sub.add_parser(
         "selftest", help="run the gate's own pure-python test suite"

@@ -82,6 +82,51 @@ fn crash_recovery_matches_twin_120_interleavings() {
     assert!(log.len() >= 100, "suite shrank below 100 interleavings");
 }
 
+/// The sharded tentpole rerun: a durable 2-shard fleet killed at a
+/// seeded op index — sometimes with a partial record on the fleet
+/// journal or on one shard's WAL (the cut-edge dual-write side) —
+/// warm-restarted (half the time under a *different* shard spec) and
+/// bit-compared against an uninterrupted 2-shard twin. 8 cases per
+/// preset keeps the suite fast; the per-seed logic matches the
+/// unsharded tentpole.
+#[test]
+fn fleet_crash_recovery_matches_twin() {
+    let run_seed = fui_testkit::seedlog::run_seed_from_env(DEFAULT_RUN_SEED);
+    let mut log = SeedLog::new("chaos_fleet", run_seed);
+    for (stream, &preset) in Preset::ALL.iter().enumerate() {
+        for i in 0..8 {
+            let seed = derive_seed(run_seed, stream as u64, i);
+            let case = corpus::generate(preset, seed);
+            let mut result = chaos::check_fleet_crash_recovery_matches_twin(&case);
+            if let Err(full) = &result {
+                let (small, small_err) =
+                    gen::minimize(&case, chaos::check_fleet_crash_recovery_matches_twin);
+                result = Err(format!(
+                    "{full}\nminimized to {} nodes / {} edges ({}): {small_err}",
+                    small.num_nodes,
+                    small.edges.len(),
+                    small.repro(),
+                ));
+            }
+            log.record(&case, &result);
+        }
+    }
+    let path = log
+        .write_manifest(&manifest_dir())
+        .expect("write fleet chaos manifest");
+    let failures = log.failures();
+    assert!(
+        failures.is_empty(),
+        "chaos_fleet: {}/{} interleavings diverged (run_seed={run_seed:#018x}, \
+         replay keys: {}; manifest: {}):\n{}",
+        failures.len(),
+        log.len(),
+        log.failing_keys(),
+        path.display(),
+        failures[0].error.as_deref().unwrap_or(""),
+    );
+}
+
 // ---- warm-start fallback corpus (corrupt snapshot fixtures) --------
 
 /// A scratch directory unique to this test binary + tag.

@@ -141,6 +141,22 @@ fn serving_cache_is_invisible() {
     });
 }
 
+/// Sharding invisibility: the same seeded serving interleavings driven
+/// through the unsharded engine and through 2- and 4-shard
+/// scatter/gather fleets (partition strategy alternating by seed
+/// parity) must produce bit-identical reply fingerprints — epochs,
+/// node orderings, score bits, rotation epochs, refresh counts — plus
+/// a tie-heavy star coda pinning the id-ascending merge cut. 24 cases
+/// per preset × 5 presets = 120 seeded interleavings, and the CI
+/// conformance matrix runs this binary at `FUI_THREADS=1` and
+/// `FUI_THREADS=4`.
+#[test]
+fn sharding_is_invisible() {
+    run_suite("conformance_shard", 24, |case| {
+        invariants::check_sharded_matches_unsharded(case)
+    });
+}
+
 /// Tracing invisibility: the same seeded serving interleaving replayed
 /// at `FUI_TRACE_SAMPLE` 0.0 / 0.5 / 1.0 (obs level forced to `Full`
 /// so capture is live) must produce bit-identical reply fingerprints —

@@ -53,6 +53,9 @@ fn run_one(id: &str, scale: &ExperimentScale) -> Vec<(String, String)> {
         // Sharded-serving speedup cell: also rides the streamed graph
         // (twice, in fact) — explicit opt-in only.
         "shard_micro" => vec![("shard_micro".into(), exp::shard_micro::run(scale))],
+        // Open-loop HTTP serving cell: ~6 wall-seconds of scheduled
+        // traffic plus drain — explicit opt-in only.
+        "load_micro" => vec![("load_micro".into(), exp::load_micro::run(scale))],
         "all" => {
             let ids = [
                 "table2",

@@ -32,6 +32,7 @@ pub const KNOWN_IDS: &[&str] = &[
     "table5_large",
     "warmstart",
     "shard_micro",
+    "load_micro",
     "all",
 ];
 
@@ -48,6 +49,10 @@ ids:    table2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
                        table5 graph (explicit only — never part of `all`)
         shard_micro    sharded scatter/gather serving speedup cell on
                        the table5 graph (explicit only — never part of
+                       `all`)
+        load_micro     open-loop HTTP serving cell: fui-load drives
+                       100k+ scheduled requests through the fui-net
+                       event loop (explicit only — never part of
                        `all`)
 
 flags:  --full            paper-shaped densities (slow)

@@ -22,6 +22,7 @@
 //! | [`table5_large::run`] | extra — paper-scale (1M+ node) streamed-CSR preprocess/query cell gated by CI (`bench_gate.py large`); not part of `all` |
 //! | [`warmstart::run`] | extra — durable cold-build vs warm-restart cell on the table5 graph gated by CI (`bench_gate.py warmstart`); not part of `all` |
 //! | [`shard_micro::run`] | extra — sharded scatter/gather serving speedup cell on the table5 graph gated by CI (`bench_gate.py shard`); not part of `all` |
+//! | [`load_micro::run`] | extra — open-loop HTTP serving cell (fui-load against the fui-net event loop) gated by CI (`bench_gate.py load`); not part of `all` |
 
 pub mod distrib;
 pub mod dynamic;
@@ -31,6 +32,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod landmark_tables;
 pub mod linkpred;
+pub mod load_micro;
 pub mod popularity;
 pub mod propagate_micro;
 pub mod serve_micro;

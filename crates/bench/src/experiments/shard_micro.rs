@@ -4,7 +4,7 @@
 //! Builds two [`fui_service::ShardedService`] fleets over the *same*
 //! `table5_large`-streamed graph — one with a single shard (the
 //! scatter/gather router degenerates to the unsharded pipeline) and
-//! one with [`FLEET_SHARDS`] hash-partitioned shards — then drives the
+//! one with `FLEET_SHARDS` hash-partitioned shards — then drives the
 //! identical workload through both: rounds of a 2048-query strided
 //! batch with deterministic follow churn and a staggered snapshot
 //! rotation or landmark refresh between rounds. Rotations and churn
@@ -172,7 +172,12 @@ struct DriveOutcome {
 /// (the round's [`fui_service::FleetStatus::crit_ns`] delta — see the
 /// module docs).
 fn drive(svc: &ShardedService, workload: &[Request], span_name: &'static str) -> DriveOutcome {
-    let n = svc.status().shards.iter().map(|s| s.owned_nodes).sum::<usize>();
+    let n = svc
+        .status()
+        .shards
+        .iter()
+        .map(|s| s.owned_nodes)
+        .sum::<usize>();
     let mut answered = 0u64;
     let mut checksum = 0.0f64;
     let mut rotations = 0u64;
@@ -238,7 +243,11 @@ fn emit_side_counters(side: &str, o: &DriveOutcome, before: &fui_obs::Snapshot) 
     ] {
         let delta = after.counter(name) - before.counter(name);
         let short = name.rsplit('.').next().unwrap();
-        let key = if short == "queries" { "shard_queries" } else { short };
+        let key = if short == "queries" {
+            "shard_queries"
+        } else {
+            short
+        };
         fui_obs::counter(&format!("shard_micro.{side}.{key}")).add(delta);
     }
 }
@@ -326,7 +335,10 @@ pub fn measure_with(
     // cell also holds itself to the contract in-process.
     assert_eq!(fleet_out.answered, single_out.answered, "answered diverged");
     assert_eq!(fleet_out.epoch, single_out.epoch, "epoch diverged");
-    assert_eq!(fleet_out.refreshed, single_out.refreshed, "refresh count diverged");
+    assert_eq!(
+        fleet_out.refreshed, single_out.refreshed,
+        "refresh count diverged"
+    );
     assert_eq!(
         fleet_out.checksum.to_bits(),
         single_out.checksum.to_bits(),
@@ -443,7 +455,7 @@ mod tests {
     }
 
     #[test]
-    fn two_shard_fleet_also_matches(){
+    fn two_shard_fleet_also_matches() {
         let r = measure_with(&tiny(), 6, 48, 2);
         assert_eq!(r.shards, 2);
         assert_eq!(r.single_checksum.to_bits(), r.fleet_checksum.to_bits());

@@ -107,8 +107,7 @@ impl Partition {
         );
         let n = graph.num_nodes();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        let degree =
-            |v: u32| (graph.out_degree(NodeId(v)) + graph.in_degree(NodeId(v))) as u64;
+        let degree = |v: u32| (graph.out_degree(NodeId(v)) + graph.in_degree(NodeId(v))) as u64;
         order.sort_by_key(|&v| (std::cmp::Reverse(degree(v)), v));
         let mut owner = vec![0u8; n];
         let mut mass = vec![0u64; shards];

@@ -504,8 +504,9 @@ mod tests {
                 let mut partials: Vec<(NodeId, f64)> = Vec::new();
                 for s in 0..shards {
                     let slice = index.filtered(|v| v.0 % shards == s);
-                    let mask: Vec<bool> =
-                        (0..d.graph.num_nodes() as u32).map(|v| v % shards == s).collect();
+                    let mask: Vec<bool> = (0..d.graph.num_nodes() as u32)
+                        .map(|v| v % shards == s)
+                        .collect();
                     let mut shard = ApproxRecommender::new(&p, &slice);
                     shard.candidate_mask = Some(&mask);
                     let got = shard.recommend(u, t, 50);
@@ -515,7 +516,7 @@ mod tests {
                     );
                     partials.extend(got.recommendations);
                 }
-                let merged = fui_core::topk::select_top_k(50, partials.into_iter());
+                let merged = fui_core::topk::select_top_k(50, partials);
                 assert_eq!(merged.len(), want.recommendations.len());
                 for (a, b) in merged.iter().zip(&want.recommendations) {
                     assert_eq!(a.0, b.0, "merge order diverged at {u} {t}");

@@ -1,0 +1,239 @@
+//! Per-connection state machine.
+//!
+//! Each accepted socket owns a `Conn`: an edge-triggered read
+//! buffer, a FIFO of response `Slot`s, and an edge-triggered write
+//! buffer. The FIFO is what makes HTTP/1.1 pipelining correct —
+//! responses leave in request-arrival order, so a control request
+//! parked behind an in-flight `GET /rec` waits for that ticket to
+//! resolve before its (already rendered) bytes ship.
+//!
+//! Backpressure: a connection with more than
+//! [`crate::HttpConfig::max_pipeline`] unanswered requests stops
+//! reading (edge-triggered epoll loses nothing — the event loop
+//! retries paused connections on every tick), and a read buffer is
+//! never allowed to grow past the parser's own hard limits plus one
+//! maximal request body.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use fui_service::Ticket;
+
+use crate::http;
+use crate::server::NetMetrics;
+
+/// Ceiling on buffered-but-unparsed request bytes per connection; one
+/// maximal head section plus one maximal body, so any single valid
+/// request always fits.
+const MAX_READ_BUF: usize = http::MAX_REQUEST_LINE + http::MAX_HEADER_BYTES + http::MAX_BODY;
+
+/// Read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// One response owed to the peer, in request-arrival order.
+pub(crate) enum Slot {
+    /// Rendered and ready to ship.
+    Done(Vec<u8>),
+    /// A submitted `GET /rec` whose ticket the event loop polls.
+    Waiting(PendingRec),
+}
+
+/// Book-keeping for an in-flight recommendation request.
+pub(crate) struct PendingRec {
+    /// The batcher ticket (always `Some`; `Option` so resolution can
+    /// move it out without juggling the queue).
+    pub(crate) ticket: Option<Ticket>,
+    /// Whether the request asked to keep the connection alive.
+    pub(crate) keep_alive: bool,
+    /// The server's stall stamp at submission; a different stamp at
+    /// shed-resolution time means a rotation/refresh overlapped the
+    /// request, which answers `503` instead of `429`.
+    pub(crate) stall_stamp: u64,
+    /// Submission instant (diagnostic only).
+    #[allow(dead_code)]
+    pub(crate) submitted_at: Instant,
+}
+
+/// What a read pass learned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ReadOutcome {
+    /// Drained to `WouldBlock` (or paused); connection healthy.
+    Open,
+    /// Peer closed its write half (EOF).
+    Eof,
+    /// Hard I/O error; drop the connection.
+    Err,
+}
+
+/// One accepted connection.
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    written: usize,
+    /// Responses owed, FIFO.
+    pub(crate) slots: VecDeque<Slot>,
+    /// Stop reading/parsing; close once every owed byte is flushed.
+    pub(crate) closing: bool,
+    /// Drop now (I/O error, hangup, or graceful close completed).
+    pub(crate) dead: bool,
+    /// Requests parsed on this connection (keep-alive reuse = all but
+    /// the first).
+    pub(crate) requests: u64,
+    /// Peer EOF seen; no more requests will arrive.
+    eof: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            written: 0,
+            slots: VecDeque::new(),
+            closing: false,
+            dead: false,
+            requests: 0,
+            eof: false,
+        }
+    }
+
+    /// Whether any owed response is still waiting on a ticket.
+    pub(crate) fn has_waiting(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, Slot::Waiting(_)))
+    }
+
+    /// Whether the pipeline is full enough to pause reads.
+    pub(crate) fn paused(&self, max_pipeline: usize) -> bool {
+        self.slots.len() >= max_pipeline || self.read_buf.len() >= MAX_READ_BUF
+    }
+
+    /// Unparsed buffered bytes (nonzero at EOF means a truncated
+    /// request).
+    pub(crate) fn unparsed(&self) -> usize {
+        self.read_buf.len()
+    }
+
+    /// Whether EOF has been observed.
+    pub(crate) fn saw_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Edge-triggered read pass: drain the socket to `WouldBlock`,
+    /// EOF, or the backpressure ceiling.
+    pub(crate) fn fill(&mut self, metrics: &NetMetrics, max_pipeline: usize) -> ReadOutcome {
+        if self.closing || self.eof {
+            return if self.eof {
+                ReadOutcome::Eof
+            } else {
+                ReadOutcome::Open
+            };
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            if self.paused(max_pipeline) {
+                // Deliberately leave the socket undrained; the event
+                // loop retries once the pipeline shrinks.
+                return ReadOutcome::Open;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return ReadOutcome::Eof;
+                }
+                Ok(n) => {
+                    metrics.read_bytes.add(n as u64);
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return ReadOutcome::Open,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Err,
+            }
+        }
+    }
+
+    /// Parses as many complete pipelined requests as the buffer
+    /// holds, handing each to `route`. `route` returns the slot owed
+    /// for that request plus whether the connection must close after
+    /// it (parse errors close via [`Conn::fail_request`] instead).
+    pub(crate) fn parse_requests<F>(&mut self, metrics: &NetMetrics, mut route: F)
+    where
+        F: FnMut(&http::HttpRequest) -> Slot,
+    {
+        while !self.closing {
+            match http::parse_request(&self.read_buf) {
+                Ok(None) => break,
+                Ok(Some((req, consumed))) => {
+                    self.read_buf.drain(..consumed);
+                    self.requests += 1;
+                    metrics.requests.incr();
+                    if self.requests > 1 {
+                        metrics.keepalive_reuse.incr();
+                    }
+                    let close_after = !req.keep_alive;
+                    self.slots.push_back(route(&req));
+                    if close_after {
+                        self.closing = true;
+                        self.read_buf.clear();
+                    }
+                }
+                Err(e) => {
+                    self.fail_request(metrics, &e);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Answers `400` for a malformed request and begins a graceful
+    /// close (the owed responses ahead of it still ship first).
+    pub(crate) fn fail_request(&mut self, metrics: &NetMetrics, err: &http::HttpError) {
+        metrics.parse_errors.incr();
+        metrics.status_bad_request.incr();
+        let mut bytes = Vec::new();
+        http::write_response(&mut bytes, 400, &format!("ERR {err}\n"), false);
+        self.slots.push_back(Slot::Done(bytes));
+        self.closing = true;
+        self.read_buf.clear();
+    }
+
+    /// Moves every leading `Done` slot into the write buffer and
+    /// flushes to `WouldBlock`. Marks the connection dead once a
+    /// closing connection has shipped everything it owes.
+    pub(crate) fn flush(&mut self, metrics: &NetMetrics) {
+        while let Some(Slot::Done(_)) = self.slots.front() {
+            let Some(Slot::Done(bytes)) = self.slots.pop_front() else {
+                unreachable!("front checked above");
+            };
+            self.write_buf.extend_from_slice(&bytes);
+        }
+        while self.written < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    metrics.write_bytes.add(n as u64);
+                    self.written += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.written == self.write_buf.len() {
+            self.write_buf.clear();
+            self.written = 0;
+            if self.slots.is_empty() && (self.closing || self.eof) {
+                self.dead = true;
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Readiness polling.
+//!
+//! On Linux this is `epoll` called through our own `extern "C"`
+//! declarations: the process already links libc via `std`, so the
+//! offline container needs no external crate to reach the syscalls.
+//! Sockets register **edge-triggered** (`EPOLLET`) for read *and*
+//! write interest once, at accept time — the event loop then drains
+//! every readiness edge to `WouldBlock`, which is the contract that
+//! makes one `epoll_ctl` per connection lifetime sufficient.
+//!
+//! On other platforms the [`Poller`] degrades to an "always ready"
+//! stub: `wait` sleeps a millisecond and reports every registered
+//! token readable and writable. Nonblocking sockets make that
+//! correct (spurious readiness just yields `WouldBlock`), merely
+//! busier — the production target, like CI, is Linux.
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the file descriptor registered with.
+    pub token: u64,
+    /// Readable (or a pending accept on a listener).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Peer hung up or the descriptor errored; the connection is dead.
+    pub closed: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLLET: u32 = 1 << 31;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    // The kernel ABI packs epoll_event on x86_64 only.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Capacity of the per-`wait` event batch.
+    const WAIT_BATCH: usize = 256;
+
+    /// An `epoll` instance.
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates an epoll instance (close-on-exec).
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        /// Registers `fd` edge-triggered for read + write interest.
+        pub fn register(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET,
+                data: token,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_ADD, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Removes `fd` from the interest set (best effort).
+        pub fn deregister(&self, fd: RawFd) {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // Pre-2.6.9 kernels required a non-null event for DEL;
+            // passing one is harmless everywhere. Close of the fd
+            // also deregisters implicitly, so errors are ignorable.
+            // SAFETY: as in `register`.
+            let _ = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+        }
+
+        /// Blocks up to `timeout` for readiness; fills `out`.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            out.clear();
+            let mut buf = [EpollEvent { events: 0, data: 0 }; WAIT_BATCH];
+            let ms = c_int::try_from(timeout.as_millis())
+                .unwrap_or(c_int::MAX)
+                .max(0);
+            // SAFETY: `buf` is valid for WAIT_BATCH entries for the
+            // duration of the call.
+            let n = unsafe { epoll_wait(self.epfd, buf.as_mut_ptr(), WAIT_BATCH as c_int, ms) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for e in buf.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let events = e.events;
+                let data = e.data;
+                out.push(Event {
+                    token: data,
+                    readable: events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0,
+                    writable: events & EPOLLOUT != 0,
+                    closed: events & (EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: we own the descriptor.
+            let _ = unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::Event;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    /// Always-ready fallback for non-Linux hosts.
+    pub struct Poller {
+        tokens: Mutex<Vec<(RawFd, u64)>>,
+    }
+
+    impl Poller {
+        /// Creates the fallback poller.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                tokens: Mutex::new(Vec::new()),
+            })
+        }
+
+        /// Remembers `fd` so `wait` reports it ready.
+        pub fn register(&self, fd: RawFd, token: u64) -> io::Result<()> {
+            self.tokens.lock().expect("poller lock").push((fd, token));
+            Ok(())
+        }
+
+        /// Forgets `fd`.
+        pub fn deregister(&self, fd: RawFd) {
+            self.tokens
+                .lock()
+                .expect("poller lock")
+                .retain(|&(f, _)| f != fd);
+        }
+
+        /// Sleeps briefly, then reports every registered fd ready.
+        pub fn wait(&self, out: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+            out.clear();
+            std::thread::sleep(timeout.min(Duration::from_millis(1)));
+            for &(_, token) in self.tokens.lock().expect("poller lock").iter() {
+                out.push(Event {
+                    token,
+                    readable: true,
+                    writable: true,
+                    closed: false,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+pub use imp::Poller;
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Poller")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{self, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn poller_reports_listener_and_stream_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let addr = listener.local_addr().expect("addr");
+        let poller = Poller::new().expect("poller");
+        poller.register(listener.as_raw_fd(), 7).expect("register");
+
+        // Idle wait times out with no events (linux); the fallback
+        // may report spurious readiness, which accept() tolerates.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Duration::from_millis(5))
+            .expect("wait");
+
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let accepted = loop {
+            poller
+                .wait(&mut events, Duration::from_millis(50))
+                .expect("wait");
+            if events.iter().any(|e| e.token == 7 && e.readable) {
+                if let Ok((s, _)) = listener.accept() {
+                    break s;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no accept readiness within 5s"
+            );
+        };
+        accepted.set_nonblocking(true).expect("nonblocking");
+        poller.register(accepted.as_raw_fd(), 9).expect("register");
+
+        client.write_all(b"ping").expect("write");
+        let got = loop {
+            poller
+                .wait(&mut events, Duration::from_millis(50))
+                .expect("wait");
+            if events.iter().any(|e| e.token == 9 && e.readable) {
+                let mut buf = [0u8; 8];
+                let mut s = &accepted;
+                match s.read(&mut buf) {
+                    Ok(n) => break buf[..n].to_vec(),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                    Err(e) => panic!("read: {e}"),
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no read readiness within 5s"
+            );
+        };
+        assert_eq!(got, b"ping");
+        poller.deregister(accepted.as_raw_fd());
+    }
+}

@@ -63,6 +63,25 @@ impl Ticket {
             }
         }
     }
+
+    /// Nonblocking redemption for event-loop frontends: `Ok` with the
+    /// reply once the pump has answered, `Err(self)` while it is still
+    /// queued (the ticket is handed back so the caller can poll again
+    /// after the next pump window). A dropped service resolves to
+    /// [`Reply::Overloaded`] with the same `service.shed.disconnect`
+    /// attribution as [`Ticket::wait`]; consuming `self` on resolution
+    /// makes double-counting impossible.
+    pub fn poll(self) -> Result<Reply, Ticket> {
+        match self.rx.try_recv() {
+            Ok(reply) => Ok(reply),
+            Err(mpsc::TryRecvError::Empty) => Err(self),
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.shed.incr();
+                self.shed_disconnect.incr();
+                Ok(Reply::Overloaded)
+            }
+        }
+    }
 }
 
 /// The bounded submission queue.

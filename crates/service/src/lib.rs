@@ -61,6 +61,7 @@ pub mod snapshot;
 pub use batch::Ticket;
 pub use cache::{CacheKey, CacheStamp, ResultCache};
 pub use durable::{JournalOp, JournalRecord, SnapshotState};
+pub use net::{execute_control, parse_node, parse_topic, parse_topics, render_reply};
 pub use net::{Backend, NetConfig, NetServer};
 pub use router::{ShardSpec, ShardedService};
 pub use service::{Reply, Request, RestoreError, Served, Service, ServiceConfig};

@@ -317,22 +317,35 @@ fn dispatch<B: Backend>(line: &str, service: &B, cfg: NetConfig) -> String {
 fn run_command<B: Backend>(line: &str, service: &B, cfg: NetConfig) -> Result<String, String> {
     let mut parts = line.split_ascii_whitespace();
     let verb = parts.next().unwrap_or("").to_ascii_uppercase();
+    if verb == "REC" {
+        let user = parse_node(parts.next())?;
+        let topic = parse_topic(parts.next())?;
+        let top_n = match parts.next() {
+            Some(s) => s.parse::<usize>().map_err(|_| format!("bad top_n {s:?}"))?,
+            None => 10,
+        };
+        expect_end(parts)?;
+        let req = Request { user, topic, top_n };
+        let deadline = Instant::now() + cfg.deadline;
+        return match service.submit(req, Some(deadline)) {
+            Ok(ticket) => Ok(render_reply(&ticket.wait())),
+            Err(_) => Ok("OVERLOADED".to_owned()),
+        };
+    }
+    execute_control(line, service)
+}
+
+/// Runs any control verb (everything except `REC` and `QUIT`) and
+/// renders its reply line.
+///
+/// This is the single dispatch path behind both frontends: the line
+/// protocol calls it from its per-connection handler and the `fui-net`
+/// HTTP frontend calls it from the event loop, so control answers are
+/// byte-identical over either transport by construction.
+pub fn execute_control<B: Backend>(line: &str, service: &B) -> Result<String, String> {
+    let mut parts = line.split_ascii_whitespace();
+    let verb = parts.next().unwrap_or("").to_ascii_uppercase();
     match verb.as_str() {
-        "REC" => {
-            let user = parse_node(parts.next())?;
-            let topic = parse_topic(parts.next())?;
-            let top_n = match parts.next() {
-                Some(s) => s.parse::<usize>().map_err(|_| format!("bad top_n {s:?}"))?,
-                None => 10,
-            };
-            expect_end(parts)?;
-            let req = Request { user, topic, top_n };
-            let deadline = Instant::now() + cfg.deadline;
-            match service.submit(req, Some(deadline)) {
-                Ok(ticket) => Ok(render_reply(ticket.wait())),
-                Err(_) => Ok("OVERLOADED".to_owned()),
-            }
-        }
         "FOLLOW" => {
             let follower = parse_node(parts.next())?;
             let followee = parse_node(parts.next())?;
@@ -499,7 +512,11 @@ fn render_shards(status: FleetStatus) -> String {
     out
 }
 
-fn render_reply(reply: Reply) -> String {
+/// Renders a [`Reply`] as its protocol line (`OK REC ...`,
+/// `OVERLOADED` or `ERR ...`), with shortest-round-trip `f64` score
+/// formatting. Public so the HTTP frontend serves the exact same
+/// bytes for a redeemed ticket as the line protocol does.
+pub fn render_reply(reply: &Reply) -> String {
     match reply {
         Reply::Result(served) => {
             let mut out = format!("OK REC {} {}", served.epoch, u8::from(served.cached));
@@ -513,19 +530,25 @@ fn render_reply(reply: Reply) -> String {
     }
 }
 
-fn parse_node(tok: Option<&str>) -> Result<NodeId, String> {
+/// Parses a node-id token (`None` means the token was missing); the
+/// error strings are part of the wire contract shared by both
+/// frontends.
+pub fn parse_node(tok: Option<&str>) -> Result<NodeId, String> {
     let tok = tok.ok_or("missing node id")?;
     tok.parse::<u32>()
         .map(NodeId)
         .map_err(|_| format!("bad node id {tok:?}"))
 }
 
-fn parse_topic(tok: Option<&str>) -> Result<Topic, String> {
+/// Parses a topic-name token (`None` means the token was missing).
+pub fn parse_topic(tok: Option<&str>) -> Result<Topic, String> {
     let tok = tok.ok_or("missing topic")?;
     Topic::from_str(tok).map_err(|e| e.to_string())
 }
 
-fn parse_topics(tok: Option<&str>) -> Result<TopicSet, String> {
+/// Parses a comma-separated topic list token (`None` means the token
+/// was missing).
+pub fn parse_topics(tok: Option<&str>) -> Result<TopicSet, String> {
     let tok = tok.ok_or("missing topics")?;
     let mut set = TopicSet::empty();
     for name in tok.split(',') {

@@ -89,6 +89,10 @@ use crate::service::{
 use crate::shard::{FleetStatus, Shard};
 use crate::snapshot::{apply_changes, Snapshot};
 
+/// A shared, immutable ranked recommendation list — the unit the
+/// cache stores and the scatter/gather lanes pass around.
+type RankedList = Arc<Vec<(NodeId, f64)>>;
+
 /// How a [`ShardedService`] splits the candidate space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardSpec {
@@ -492,8 +496,16 @@ impl ShardedService {
         spec: ShardSpec,
         dir: &Path,
     ) -> std::io::Result<ShardedService> {
-        let fleet =
-            ShardedService::new(graph, sim, params, variant, landmarks, stored_top_n, cfg, spec);
+        let fleet = ShardedService::new(
+            graph,
+            sim,
+            params,
+            variant,
+            landmarks,
+            stored_top_n,
+            cfg,
+            spec,
+        );
         std::fs::create_dir_all(dir)?;
         {
             let mut m = fleet.master.lock().expect("fleet master poisoned");
@@ -859,8 +871,7 @@ impl ShardedService {
 
         // Phase 1: validate + scatter planning.
         let mut replies: Vec<Option<Reply>> = (0..reqs.len()).map(|_| None).collect();
-        let mut scattered: Vec<Vec<usize>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut scattered: Vec<Vec<usize>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         let t0 = clock(tracing);
         for (i, req) in reqs.iter().enumerate() {
             if let Err(why) = validate(req, &snaps[0]) {
@@ -889,18 +900,17 @@ impl ShardedService {
             .map(|(s, _)| s)
             .collect();
         let t0 = clock(tracing);
-        let probed: Vec<(Vec<Option<Arc<Vec<(NodeId, f64)>>>>, u64)> =
-            fui_exec::par_map(&probe_shards, |&s| {
-                let lane = Instant::now();
-                let shard = &self.shards[s];
-                let out: Vec<Option<Arc<Vec<(NodeId, f64)>>>> = scattered[s]
-                    .iter()
-                    .map(|&i| shard.cache.get(key_of(&reqs[i]), &snaps[s]))
-                    .collect();
-                let busy = u64::try_from(lane.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                shard.busy_ns.fetch_add(busy, Ordering::Relaxed);
-                (out, busy)
-            });
+        let probed: Vec<(Vec<Option<RankedList>>, u64)> = fui_exec::par_map(&probe_shards, |&s| {
+            let lane = Instant::now();
+            let shard = &self.shards[s];
+            let out: Vec<Option<RankedList>> = scattered[s]
+                .iter()
+                .map(|&i| shard.cache.get(key_of(&reqs[i]), &snaps[s]))
+                .collect();
+            let busy = u64::try_from(lane.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shard.busy_ns.fetch_add(busy, Ordering::Relaxed);
+            (out, busy)
+        });
         lane_sum += probed.iter().map(|p| p.1).sum::<u64>();
         lane_max += probed.iter().map(|p| p.1).max().unwrap_or(0);
 
@@ -908,7 +918,7 @@ impl ShardedService {
         struct Slot {
             shard: usize,
             hit: bool,
-            value: Option<Arc<Vec<(NodeId, f64)>>>,
+            value: Option<RankedList>,
         }
         let mut slots: Vec<Vec<Slot>> = (0..reqs.len()).map(|_| Vec::new()).collect();
         let mut tasks: Vec<(usize, Vec<usize>)> =
@@ -1022,49 +1032,47 @@ impl ShardedService {
                 }
             }
 
-            let computed: Vec<(Vec<Arc<Vec<(NodeId, f64)>>>, u64)> =
-                fui_exec::par_map(&tasks, |(s, idxs)| {
-                    let lane = Instant::now();
-                    let snap = &snaps[*s];
-                    let propagator = snap.propagator();
-                    let mut rec = ApproxRecommender::new(&propagator, &snap.index);
-                    rec.explore_depth = self.cfg.explore_depth;
-                    rec.candidate_mask = Some(self.shards[*s].owned.as_slice());
-                    let results: Vec<Arc<Vec<(NodeId, f64)>>> = idxs
-                        .iter()
-                        .map(|&i| {
-                            let ex = &ex_of[&(i, snap.graph_gen)];
-                            let result = rec.compose_from(ex, reqs[i].topic, reqs[i].top_n);
-                            // Stamping and caching are shard-local
-                            // serving duties, so they run inside the
-                            // shard's lane: the router's serial section
-                            // stays planning and merges only.
-                            let met: Vec<(u32, u64)> = result
-                                .met_landmarks
-                                .iter()
-                                .map(|&l| {
-                                    let slot =
-                                        snap.index.slot_of(l).expect("met node is a landmark");
-                                    (slot, snap.slot_versions[slot as usize])
-                                })
-                                .collect();
-                            let value = Arc::new(result.recommendations);
-                            self.shards[*s].cache.insert(
-                                key_of(&reqs[i]),
-                                Arc::clone(&value),
-                                CacheStamp {
-                                    shard: *s as u32,
-                                    graph_gen: snap.graph_gen,
-                                    met,
-                                },
-                            );
-                            value
-                        })
-                        .collect();
-                    let busy = u64::try_from(lane.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                    self.shards[*s].busy_ns.fetch_add(busy, Ordering::Relaxed);
-                    (results, busy)
-                });
+            let computed: Vec<(Vec<RankedList>, u64)> = fui_exec::par_map(&tasks, |(s, idxs)| {
+                let lane = Instant::now();
+                let snap = &snaps[*s];
+                let propagator = snap.propagator();
+                let mut rec = ApproxRecommender::new(&propagator, &snap.index);
+                rec.explore_depth = self.cfg.explore_depth;
+                rec.candidate_mask = Some(self.shards[*s].owned.as_slice());
+                let results: Vec<RankedList> = idxs
+                    .iter()
+                    .map(|&i| {
+                        let ex = &ex_of[&(i, snap.graph_gen)];
+                        let result = rec.compose_from(ex, reqs[i].topic, reqs[i].top_n);
+                        // Stamping and caching are shard-local
+                        // serving duties, so they run inside the
+                        // shard's lane: the router's serial section
+                        // stays planning and merges only.
+                        let met: Vec<(u32, u64)> = result
+                            .met_landmarks
+                            .iter()
+                            .map(|&l| {
+                                let slot = snap.index.slot_of(l).expect("met node is a landmark");
+                                (slot, snap.slot_versions[slot as usize])
+                            })
+                            .collect();
+                        let value = Arc::new(result.recommendations);
+                        self.shards[*s].cache.insert(
+                            key_of(&reqs[i]),
+                            Arc::clone(&value),
+                            CacheStamp {
+                                shard: *s as u32,
+                                graph_gen: snap.graph_gen,
+                                met,
+                            },
+                        );
+                        value
+                    })
+                    .collect();
+                let busy = u64::try_from(lane.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.shards[*s].busy_ns.fetch_add(busy, Ordering::Relaxed);
+                (results, busy)
+            });
             lane_sum += computed.iter().map(|c| c.1).sum::<u64>();
             lane_max += computed.iter().map(|c| c.1).max().unwrap_or(0);
             lap(t0, &mut compute_ns);
@@ -1215,7 +1223,11 @@ impl ShardedService {
 
     /// Number of changes recorded but not yet rotated in (fleet-wide).
     pub fn pending_changes(&self) -> usize {
-        self.master.lock().expect("fleet master poisoned").pending.len()
+        self.master
+            .lock()
+            .expect("fleet master poisoned")
+            .pending
+            .len()
     }
 
     /// Applies all pending edge changes and republishes every shard —
@@ -1423,7 +1435,10 @@ impl ShardedService {
 
     /// Journal position of the last applied mutation.
     pub fn applied_seq(&self) -> u64 {
-        self.master.lock().expect("fleet master poisoned").applied_seq
+        self.master
+            .lock()
+            .expect("fleet master poisoned")
+            .applied_seq
     }
 
     /// Whether this fleet journals and snapshots to disk.

@@ -96,7 +96,12 @@ impl Shard {
             shed_queue_full: fui_obs::counter(&format!("service.shard.{id}.shed.queue_full")),
             shed_deadline: fui_obs::counter(&format!("service.shard.{id}.shed.deadline")),
             epoch_gauge,
-            slo: SloTracker::new(SloConfig::from_env(), metrics.request_latency, requests, shed),
+            slo: SloTracker::new(
+                SloConfig::from_env(),
+                metrics.request_latency,
+                requests,
+                shed,
+            ),
         }
     }
 

@@ -12,8 +12,7 @@ use fui_core::{ScoreParams, ScoreVariant};
 use fui_graph::{GraphBuilder, NodeId, PartitionStrategy, SocialGraph};
 use fui_landmarks::EdgeChange;
 use fui_service::{
-    NetConfig, NetServer, Reply, Request, Served, Service, ServiceConfig, ShardSpec,
-    ShardedService,
+    NetConfig, NetServer, Reply, Request, Served, Service, ServiceConfig, ShardSpec, ShardedService,
 };
 use fui_taxonomy::{SimMatrix, Topic, TopicSet};
 
@@ -258,8 +257,19 @@ fn net_frontend_serves_a_fleet_and_renders_shards() {
         let row = line.trim_end();
         assert!(row.starts_with("S "), "got {row:?}");
         for field in [
-            "epoch=", "gen=", "queue=", "pending=", "cache=", "owned=", "edge_mass=",
-            "requests=", "shed=", "queue_full=", "deadline=", "latency_burn=", "shed_burn=",
+            "epoch=",
+            "gen=",
+            "queue=",
+            "pending=",
+            "cache=",
+            "owned=",
+            "edge_mass=",
+            "requests=",
+            "shed=",
+            "queue_full=",
+            "deadline=",
+            "latency_burn=",
+            "shed_burn=",
         ] {
             assert!(row.contains(field), "{field} missing from {row:?}");
         }
@@ -331,11 +341,14 @@ fn durable_fleet_restores_warm_and_matches_a_twin() {
         );
     }
     let (epoch, graph_gen, applied) = restored.restore_probe().expect("probe");
-    assert_eq!((epoch, graph_gen, applied), (
-        restored.epoch(),
-        restored.graph_gen(),
-        restored.applied_seq()
-    ));
+    assert_eq!(
+        (epoch, graph_gen, applied),
+        (
+            restored.epoch(),
+            restored.graph_gen(),
+            restored.applied_seq()
+        )
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -474,9 +474,13 @@ pub fn check_fleet_crash_recovery_matches_twin(case: &GraphCase) -> Result<(), S
             }
         }
 
-        let restored =
-            ShardedService::restore(&victim_dir, SimMatrix::opencalais(), chaos_cfg(), restore_spec)
-                .map_err(|e| ctx(&format!("restore failed: {e}")))?;
+        let restored = ShardedService::restore(
+            &victim_dir,
+            SimMatrix::opencalais(),
+            chaos_cfg(),
+            restore_spec,
+        )
+        .map_err(|e| ctx(&format!("restore failed: {e}")))?;
 
         let mut victim_tail = Vec::new();
         for op in &ops[kill_op..] {

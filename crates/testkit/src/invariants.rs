@@ -615,10 +615,7 @@ pub fn check_sharded_matches_unsharded(case: &GraphCase) -> Result<(), String> {
                 Engine::Fleet(f) => f.refresh(),
             }
         }
-        fn submit(
-            &self,
-            r: Request,
-        ) -> Result<fui_service::Ticket, Reply> {
+        fn submit(&self, r: Request) -> Result<fui_service::Ticket, Reply> {
             match self {
                 Engine::Flat(s) => s.submit(r, None),
                 Engine::Fleet(f) => f.submit(r, None),
@@ -793,8 +790,7 @@ pub fn check_sharded_matches_unsharded(case: &GraphCase) -> Result<(), String> {
         b.build()
     };
     let star_n = leaves + 1;
-    let star_landmarks: Vec<NodeId> =
-        (0..star_n as u32).step_by(2).map(NodeId).collect();
+    let star_landmarks: Vec<NodeId> = (0..star_n as u32).step_by(2).map(NodeId).collect();
     let make = |shards: Option<usize>| -> Engine {
         match shards {
             None => Engine::Flat(Service::new(
@@ -987,6 +983,194 @@ pub fn check_tracing_is_invisible(case: &GraphCase) -> Result<(), String> {
     result
 }
 
+/// The HTTP frontend is a *transport*, not a second implementation:
+/// the same seeded sequence of recommendations, follow/unfollow
+/// churn, rotations, refreshes, epoch reads and deliberately invalid
+/// requests driven through the [`fui_service::NetServer`] line
+/// protocol and through the [`fui_net::HttpServer`] event loop (each
+/// fronting an identically built [`fui_service::Service`]) must
+/// produce **byte-identical** reply lines — epochs, node orderings,
+/// shortest-round-trip `f64` score text, cached flags and error
+/// strings — and every HTTP status must agree with the line reply's
+/// class (`OK` ↔ 200, `ERR` ↔ 400). Ops run sequentially, so both
+/// backends see the same state at every step and the comparison is
+/// exact, not statistical. (The CI conformance matrix runs this at
+/// `FUI_THREADS=1` and `FUI_THREADS=4`.)
+pub fn check_http_matches_line_protocol(case: &GraphCase) -> Result<(), String> {
+    use fui_net::{parse_response, HttpConfig, HttpServer};
+    use fui_service::{NetConfig, NetServer, Service, ServiceConfig};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    let n = case.num_nodes;
+    let cfg = ServiceConfig {
+        max_batch: 4,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        cache_shards: 4,
+        refresh_threshold: 0.02,
+        ..ServiceConfig::default()
+    };
+    let params = fixed_depth_params(0.8, 0.25);
+    let make = || {
+        let g = case.graph();
+        let lm: Vec<NodeId> = g.nodes().step_by(3).collect();
+        Arc::new(Service::new(
+            g,
+            SimMatrix::opencalais(),
+            params,
+            ScoreVariant::Full,
+            lm,
+            n,
+            cfg,
+        ))
+    };
+
+    let line_server = NetServer::start(make(), "127.0.0.1:0", NetConfig::default())
+        .map_err(|e| format!("line server: {e}"))?;
+    let http_server = HttpServer::start(make(), "127.0.0.1:0", HttpConfig::default())
+        .map_err(|e| format!("http server: {e}"))?;
+    let line_stream =
+        TcpStream::connect(line_server.local_addr()).map_err(|e| format!("line connect: {e}"))?;
+    let mut line_writer = line_stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+    let mut line_reader = BufReader::new(line_stream);
+    let mut http_stream =
+        TcpStream::connect(http_server.local_addr()).map_err(|e| format!("http connect: {e}"))?;
+
+    let mut ask_line = |cmd: &str| -> Result<String, String> {
+        writeln!(line_writer, "{cmd}").map_err(|e| format!("line write: {e}"))?;
+        let mut reply = String::new();
+        line_reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("line read: {e}"))?;
+        Ok(reply.trim_end_matches('\n').to_owned())
+    };
+    let mut http_buf: Vec<u8> = Vec::new();
+    let ask_http = |stream: &mut TcpStream, buf: &mut Vec<u8>, target: &str, post: bool| {
+        let verb = if post { "POST" } else { "GET" };
+        stream
+            .write_all(format!("{verb} {target} HTTP/1.1\r\n\r\n").as_bytes())
+            .map_err(|e| format!("http write: {e}"))?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match parse_response(buf).map_err(|e| format!("http parse: {e}"))? {
+                Some((resp, used)) => {
+                    buf.drain(..used);
+                    let body =
+                        String::from_utf8(resp.body).map_err(|e| format!("http body utf8: {e}"))?;
+                    return Ok((resp.status, body.trim_end_matches('\n').to_owned()));
+                }
+                None => {
+                    let got = stream
+                        .read(&mut chunk)
+                        .map_err(|e| format!("http read: {e}"))?;
+                    if got == 0 {
+                        return Err("http server closed mid-sequence".to_owned());
+                    }
+                    buf.extend_from_slice(&chunk[..got]);
+                }
+            }
+        }
+    };
+
+    let mut rng = SeededRng::new(case.seed.rotate_left(9));
+    let topics = &Topic::ALL[..4];
+    for step in 0..32u32 {
+        // Build one op as (line command, HTTP target, is-POST). Every
+        // value splices into both wire forms verbatim, including the
+        // invalid ones — error strings must match byte for byte too.
+        let (cmd, target, post) = match rng.below(12) {
+            0..=4 => {
+                let u = rng.below(n as u64);
+                let t = rng.pick(topics).name();
+                let k = 1 + rng.below(n as u64);
+                (
+                    format!("REC {u} {t} {k}"),
+                    format!("/rec?user={u}&topic={t}&top_n={k}"),
+                    false,
+                )
+            }
+            5 => {
+                // Unknown user: rejected at validation, same reason.
+                let ghost = n as u64 + 7 + rng.below(50);
+                (
+                    format!("REC {ghost} technology 3"),
+                    format!("/rec?user={ghost}&topic=technology&top_n=3"),
+                    false,
+                )
+            }
+            6 => {
+                // Malformed topic and top_n: rejected at parse.
+                let u = rng.below(n as u64);
+                if rng.below(2) == 0 {
+                    (
+                        format!("REC {u} nonsense 3"),
+                        format!("/rec?user={u}&topic=nonsense&top_n=3"),
+                        false,
+                    )
+                } else {
+                    (
+                        format!("REC {u} technology zap"),
+                        format!("/rec?user={u}&topic=technology&top_n=zap"),
+                        false,
+                    )
+                }
+            }
+            7 | 8 if n >= 2 => {
+                let f = rng.below(n as u64);
+                let g = (f + 1 + rng.below(n as u64 - 1)) % n as u64;
+                let mut t = String::from(rng.pick(topics).name());
+                if rng.below(2) == 0 {
+                    t.push(',');
+                    t.push_str(rng.pick(topics).name());
+                }
+                if rng.below(3) == 0 {
+                    (
+                        format!("UNFOLLOW {f} {g}"),
+                        format!("/unfollow?follower={f}&followee={g}"),
+                        true,
+                    )
+                } else {
+                    (
+                        format!("FOLLOW {f} {g} {t}"),
+                        format!("/follow?follower={f}&followee={g}&topics={t}"),
+                        true,
+                    )
+                }
+            }
+            9 => ("ROTATE".to_owned(), "/rotate".to_owned(), true),
+            10 => ("REFRESH".to_owned(), "/refresh".to_owned(), true),
+            _ => ("EPOCH".to_owned(), "/epoch".to_owned(), false),
+        };
+        let line_reply = ask_line(&cmd)?;
+        let (status, http_body) = ask_http(&mut http_stream, &mut http_buf, &target, post)?;
+        if line_reply != http_body {
+            return Err(format!(
+                "step {step}: HTTP body diverged from line reply for {cmd:?}: \
+                 {http_body:?} vs {line_reply:?} ({})",
+                case.repro()
+            ));
+        }
+        let want_status = if line_reply.starts_with("ERR") {
+            400
+        } else {
+            200
+        };
+        if status != want_status {
+            return Err(format!(
+                "step {step}: HTTP status {status} disagrees with reply class of \
+                 {line_reply:?} (want {want_status}, {})",
+                case.repro()
+            ));
+        }
+    }
+
+    line_server.shutdown();
+    http_server.shutdown();
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1007,6 +1191,7 @@ mod tests {
                     ("service-cache", check_cached_matches_uncached(&case)),
                     ("service-sharded", check_sharded_matches_unsharded(&case)),
                     ("tracing", check_tracing_is_invisible(&case)),
+                    ("http-vs-line", check_http_matches_line_protocol(&case)),
                 ] {
                     r.unwrap_or_else(|e| panic!("{name} on {preset:?}/{seed}: {e}"));
                 }

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """CI gate over fui-bench run manifests (BENCH_<id>.json).
 
-Three subcommands, all reading the JSON manifests the `experiments`
-driver writes with `--manifest`:
+Subcommands, all reading the JSON manifests the `experiments` driver
+writes with `--manifest`:
 
   check    Diff a fresh manifest against a committed baseline.
            Fails if any tier-1-tracked counter drifts (these are
@@ -76,6 +76,19 @@ driver writes with `--manifest`:
            --min-speedup times the shard_micro.drive_fleet span
            (default 1.5x: a fleet that does not beat one shard is
            not a fleet).
+
+  load     Gate the load_micro open-loop serving cell: the schedule-
+           derived counters (submitted and the query/change/rotate/
+           refresh split) must equal the committed baseline exactly —
+           they are a pure function of the workload seed — zero
+           requests may be lost or rejected (answered + shed ==
+           submitted, with every shed attributed to a 429 or a 503),
+           the fui-net frontend must have parsed exactly as many
+           requests as the client sent with zero parse errors, and the
+           timing-dependent outcomes are toleranced: shed rate under
+           --max-shed-rate, flash-crowd goodput over
+           --min-overload-goodput, client-observed p99/p999 under
+           --max-p99-ms / --max-p999-ms.
 
   selftest Run the gate's own pure-python test suite (no manifests on
            disk needed). CI's lint job runs this so a broken gate
@@ -231,6 +244,42 @@ SHARD_TRACKED_COUNTERS = [
 SHARD_TRACKED_SPANS = [
     "shard_micro.drive_single",
     "shard_micro.drive_fleet",
+]
+
+# Deterministic counters of the load_micro open-loop cell pinned
+# against the committed baseline. All of these are derived from the
+# seeded schedule (or are hard zero-loss invariants), so they are
+# exact across runs, platforms and FUI_THREADS widths. Timing-
+# dependent outcomes — how many of the submitted requests were
+# answered vs shed — are deliberately NOT pinned; they are gated by
+# the shed-rate ceiling and goodput floor instead.
+LOAD_TRACKED_COUNTERS = [
+    "load_micro.submitted",
+    "load_micro.queries",
+    "load_micro.changes",
+    "load_micro.rotates",
+    "load_micro.refreshes",
+    "load_micro.rejected",
+    "load_micro.lost",
+]
+
+# Server-side counters that must be zero after a clean load_micro run:
+# the workload only sends well-formed requests, so any parse error or
+# listener-backlog overflow is a frontend bug, not load.
+LOAD_ZERO_COUNTERS = [
+    "net.parse_errors",
+    "net.accept_overflow",
+    "net.http.bad_request",
+    "net.http.not_found",
+    "load_micro.rejected",
+    "load_micro.lost",
+]
+
+# Client-side latency gauges (exact nearest-rank percentiles over raw
+# nanosecond samples) under absolute ceilings.
+LOAD_LATENCY_GAUGES = [
+    ("load_micro.latency.p99_ns", "max_p99_ms"),
+    ("load_micro.latency.p999_ns", "max_p999_ms"),
 ]
 
 # Memory-story gauges the large gate requires in the fresh manifest.
@@ -613,6 +662,125 @@ def cmd_warmstart(args):
     report("warmstart", failures, args.fresh)
 
 
+def load_failures(
+    fresh,
+    baseline,
+    *,
+    max_shed_rate=0.60,
+    min_overload_goodput=2_000.0,
+    max_p99_ms=1_500.0,
+    max_p999_ms=3_000.0,
+    min_submitted=100_000,
+):
+    """Gate messages for the load_micro open-loop cell (pure,
+    testable). Schedule-derived counters are pinned exactly against
+    the baseline; loss/parse/overflow counters must be zero; the
+    answered/shed split is toleranced via a shed-rate ceiling, an
+    overload-goodput floor and latency-percentile ceilings."""
+    failures = diff_counters(
+        baseline, fresh, "baseline", "fresh", names=LOAD_TRACKED_COUNTERS
+    )
+    for name in LOAD_ZERO_COUNTERS:
+        value = counter(fresh, name)
+        if value is None:
+            failures.append(f"counter {name}: missing from manifest")
+        elif value != 0:
+            failures.append(f"counter {name} = {value}, must be 0")
+    submitted = counter(fresh, "load_micro.submitted")
+    answered = counter(fresh, "load_micro.answered")
+    shed = counter(fresh, "load_micro.shed")
+    rejected = counter(fresh, "load_micro.rejected")
+    if submitted is None or answered is None or shed is None or rejected is None:
+        failures.append(
+            "load_micro outcome counters (submitted/answered/shed/rejected) "
+            "missing from manifest"
+        )
+    else:
+        if submitted < min_submitted:
+            failures.append(
+                f"load_micro.submitted = {submitted} below the open-loop "
+                f"floor of {min_submitted} — the cell is no longer "
+                "driving million-request-class traffic"
+            )
+        if answered + shed + rejected != submitted:
+            failures.append(
+                f"outcome imbalance: answered {answered} + shed {shed} + "
+                f"rejected {rejected} != submitted {submitted} "
+                "(the zero-lost contract is broken)"
+            )
+        if answered <= 0:
+            failures.append("load_micro.answered = 0: the cell answered nothing")
+    shed_429 = counter(fresh, "load_micro.shed_429")
+    shed_503 = counter(fresh, "load_micro.shed_503")
+    if shed is not None and shed_429 is not None and shed_503 is not None:
+        if shed_429 + shed_503 != shed:
+            failures.append(
+                f"shed attribution imbalance: 429 {shed_429} + 503 "
+                f"{shed_503} != shed {shed}"
+            )
+    requests = counter(fresh, "net.http.requests")
+    if requests is None:
+        failures.append("counter net.http.requests: missing from manifest")
+    elif submitted is not None and requests != submitted:
+        failures.append(
+            f"net.http.requests = {requests} != submitted {submitted} "
+            "(the frontend parsed a different number of requests than "
+            "the client sent)"
+        )
+    rate = gauge(fresh, "load_micro.shed_rate")
+    if rate is None:
+        failures.append("gauge load_micro.shed_rate: missing from manifest")
+    elif rate > max_shed_rate:
+        failures.append(
+            f"shed rate {rate:.4f} over the {max_shed_rate:.2f} ceiling — "
+            "admission control is rejecting too much of the schedule"
+        )
+    goodput = gauge(fresh, "load_micro.overload_goodput_rps")
+    if goodput is None:
+        failures.append("gauge load_micro.overload_goodput_rps: missing from manifest")
+    elif goodput < min_overload_goodput:
+        failures.append(
+            f"overload goodput {goodput:.0f} rps under the "
+            f"{min_overload_goodput:.0f} floor — the frontend collapsed "
+            "instead of shedding under the flash crowd"
+        )
+    ceilings = {"max_p99_ms": max_p99_ms, "max_p999_ms": max_p999_ms}
+    for name, knob in LOAD_LATENCY_GAUGES:
+        value = gauge(fresh, name)
+        ceiling_ms = ceilings[knob]
+        if value is None:
+            failures.append(f"gauge {name}: missing from manifest")
+        elif value > ceiling_ms * 1e6:
+            failures.append(
+                f"{name} = {value / 1e6:.1f} ms over the "
+                f"{ceiling_ms:.0f} ms ceiling"
+            )
+    return failures
+
+
+def cmd_load(args):
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    failures = load_failures(
+        fresh,
+        baseline,
+        max_shed_rate=args.max_shed_rate,
+        min_overload_goodput=args.min_overload_goodput,
+        max_p99_ms=args.max_p99_ms,
+        max_p999_ms=args.max_p999_ms,
+        min_submitted=args.min_submitted,
+    )
+    submitted = counter(fresh, "load_micro.submitted")
+    rate = gauge(fresh, "load_micro.shed_rate")
+    p99 = gauge(fresh, "load_micro.latency.p99_ns")
+    if submitted is not None and rate is not None and p99 is not None:
+        print(
+            f"bench_gate load: {submitted} submitted, shed rate "
+            f"{rate:.4f}, p99 {p99 / 1e6:.2f} ms"
+        )
+    report("load", failures, f"{args.fresh} vs {args.baseline}")
+
+
 def large_summary(fresh):
     """One-line markdown footprint table for $GITHUB_STEP_SUMMARY."""
 
@@ -797,6 +965,50 @@ def _shard_manifest(**overrides):
     return manifest
 
 
+def _load_manifest(**overrides):
+    """A synthetic but structurally complete load_micro manifest."""
+    manifest = {
+        "params": {"exec_threads": 4},
+        "counters": {
+            "load_micro.submitted": 114_000,
+            "load_micro.queries": 111_534,
+            "load_micro.changes": 2_455,
+            "load_micro.rotates": 4,
+            "load_micro.refreshes": 7,
+            "load_micro.answered": 101_368,
+            "load_micro.shed": 12_632,
+            "load_micro.shed_429": 12_401,
+            "load_micro.shed_503": 231,
+            "load_micro.rejected": 0,
+            "load_micro.lost": 0,
+            "net.http.requests": 114_000,
+            "net.parse_errors": 0,
+            "net.accept_overflow": 0,
+            "net.http.bad_request": 0,
+            "net.http.not_found": 0,
+        },
+        "gauges": {
+            "load_micro.latency.p50_ns": 310_000.0,
+            "load_micro.latency.p99_ns": 18_500_000.0,
+            "load_micro.latency.p999_ns": 41_000_000.0,
+            "load_micro.latency.max_ns": 96_000_000.0,
+            "load_micro.send_lag.p99_ns": 120_000.0,
+            "load_micro.goodput_rps": 15_800.0,
+            "load_micro.overload_goodput_rps": 21_400.0,
+            "load_micro.shed_rate": 0.1108,
+            "load_micro.wall_s": 6.4,
+        },
+        "spans": [],
+    }
+    for key, value in overrides.items():
+        section, name = key.split("/", 1)
+        if value is None:
+            manifest[section].pop(name, None)
+        else:
+            manifest[section][name] = value
+    return manifest
+
+
 def cmd_selftest(_args):
     """Pure-python checks of the gate's own comparison logic."""
     checks = 0
@@ -975,6 +1187,103 @@ def cmd_selftest(_args):
     expect(
         any("paper-scale floor" in f for f in shard_failures(sh_small, sh_small_base)),
         "sub-1M shard graph must fail the floor",
+    )
+
+    # Load: a clean open-loop manifest passes every check.
+    ld_base = _load_manifest()
+    expect(load_failures(_load_manifest(), ld_base) == [], "clean load run must pass")
+
+    # Schedule-derived counters are exact: any drift vs baseline fails.
+    ld_drift = _load_manifest(**{"counters/load_micro.submitted": 113_999})
+    expect(
+        any("load_micro.submitted" in f for f in load_failures(ld_drift, ld_base)),
+        "submitted drift vs baseline must fail",
+    )
+    ld_gone = _load_manifest(**{"counters/load_micro.rotates": None})
+    expect(
+        any("load_micro.rotates" in f and "missing" in f
+            for f in load_failures(ld_gone, ld_base)),
+        "missing schedule counter must fail",
+    )
+
+    # The zero-loss contract: a single lost or rejected request fails,
+    # as does any server-side parse error or backlog overflow.
+    ld_lost = _load_manifest(
+        **{"counters/load_micro.lost": 1, "counters/load_micro.answered": 101_367}
+    )
+    expect(
+        any("load_micro.lost" in f and "must be 0" in f
+            for f in load_failures(ld_lost, ld_lost)),
+        "a lost request must fail",
+    )
+    ld_parse = _load_manifest(**{"counters/net.parse_errors": 3})
+    expect(
+        any("net.parse_errors" in f for f in load_failures(ld_parse, ld_base)),
+        "server parse errors must fail",
+    )
+
+    # Outcome conservation: answered + shed + rejected == submitted,
+    # and the 429/503 attribution must account for every shed.
+    ld_leak = _load_manifest(**{"counters/load_micro.answered": 101_000})
+    expect(
+        any("imbalance" in f for f in load_failures(ld_leak, ld_leak)),
+        "outcome imbalance must fail",
+    )
+    ld_attr = _load_manifest(**{"counters/load_micro.shed_429": 12_400})
+    expect(
+        any("attribution" in f for f in load_failures(ld_attr, ld_attr)),
+        "shed attribution imbalance must fail",
+    )
+    ld_req = _load_manifest(**{"counters/net.http.requests": 113_000})
+    expect(
+        any("net.http.requests" in f for f in load_failures(ld_req, ld_base)),
+        "frontend request-count mismatch must fail",
+    )
+
+    # The open-loop floor: a shrunken schedule cannot pass.
+    ld_small = _load_manifest(
+        **{
+            "counters/load_micro.submitted": 10_000,
+            "counters/load_micro.answered": 9_000,
+            "counters/load_micro.shed": 1_000,
+            "counters/load_micro.shed_429": 1_000,
+            "counters/load_micro.shed_503": 0,
+            "counters/net.http.requests": 10_000,
+        }
+    )
+    expect(
+        any("open-loop" in f and "floor" in f for f in load_failures(ld_small, ld_small)),
+        "sub-100k schedule must fail the floor",
+    )
+
+    # Toleranced outcomes: shed-rate ceiling, overload-goodput floor,
+    # latency-percentile ceilings, and missing gauges all fail.
+    ld_shed = _load_manifest(**{"gauges/load_micro.shed_rate": 0.75})
+    expect(
+        any("shed rate" in f and "ceiling" in f for f in load_failures(ld_shed, ld_base)),
+        "shed rate over ceiling must fail",
+    )
+    ld_collapse = _load_manifest(**{"gauges/load_micro.overload_goodput_rps": 500.0})
+    expect(
+        any("overload goodput" in f for f in load_failures(ld_collapse, ld_base)),
+        "overload goodput under floor must fail",
+    )
+    ld_slow = _load_manifest(**{"gauges/load_micro.latency.p99_ns": 1.6e9})
+    expect(
+        any("latency.p99_ns" in f and "ceiling" in f
+            for f in load_failures(ld_slow, ld_base)),
+        "p99 over ceiling must fail",
+    )
+    ld_nogauge = _load_manifest(**{"gauges/load_micro.latency.p999_ns": None})
+    expect(
+        any("latency.p999_ns" in f and "missing" in f
+            for f in load_failures(ld_nogauge, ld_base)),
+        "missing latency gauge must fail",
+    )
+    ld_tight = load_failures(ld_base, ld_base, max_p99_ms=10.0)
+    expect(
+        any("latency.p99_ns" in f for f in ld_tight),
+        "a tightened p99 knob must bite",
     )
 
     # Trace decomposition counts scatter_ns: a scatter-heavy entry
@@ -1204,6 +1513,51 @@ def main():
         "floor still apply)",
     )
     shard.set_defaults(func=cmd_shard)
+
+    load_p = sub.add_parser(
+        "load",
+        help="gate the open-loop serving cell: fui-load drives 100k+ "
+        "scheduled HTTP requests through the fui-net event loop with "
+        "zero lost, bounded shed and bounded tail latency",
+    )
+    load_p.add_argument("--fresh", required=True, help="BENCH_load_micro.json")
+    load_p.add_argument(
+        "--baseline", required=True, help="committed BENCH_load_micro.json"
+    )
+    load_p.add_argument(
+        "--max-shed-rate",
+        type=float,
+        default=0.60,
+        help="ceiling on the shed fraction of submitted requests "
+        "(default 0.60)",
+    )
+    load_p.add_argument(
+        "--min-overload-goodput",
+        type=float,
+        default=2_000.0,
+        help="floor on answered rps during the flash-crowd overload "
+        "phase (default 2000)",
+    )
+    load_p.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=1_500.0,
+        help="ceiling on client-observed p99 latency in ms (default 1500)",
+    )
+    load_p.add_argument(
+        "--max-p999-ms",
+        type=float,
+        default=3_000.0,
+        help="ceiling on client-observed p999 latency in ms (default 3000)",
+    )
+    load_p.add_argument(
+        "--min-submitted",
+        type=int,
+        default=100_000,
+        help="minimum open-loop requests the schedule must carry "
+        "(default 100000)",
+    )
+    load_p.set_defaults(func=cmd_load)
 
     selftest = sub.add_parser(
         "selftest", help="run the gate's own pure-python test suite"
